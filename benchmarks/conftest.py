@@ -1,0 +1,18 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one of the paper's tables or figures.
+``pytest benchmarks/ --benchmark-only`` times the regeneration and
+asserts the reproduced *shape* (who wins, by what factor, where mapjoin
+OOMs) against the paper's published envelope.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ssb.datagen import SSBGenerator
+
+
+@pytest.fixture(scope="session")
+def small_data():
+    return SSBGenerator(scale_factor=0.002, seed=42).generate()

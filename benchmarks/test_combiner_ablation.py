@@ -1,0 +1,56 @@
+"""Design-choice ablation: combiners for partial aggregation (paper 4.2:
+"combiners can be used for partial aggregation before sending the
+results over to the reducers").
+
+Functional measurement: the same star-join job with and without the
+combiner, comparing shuffled records and simulated shuffle cost.
+"""
+
+from repro.core.engine import ClydesdaleEngine
+from repro.core.expressions import Col
+from repro.core.planner import plan_star_join
+from repro.core.query import Aggregate, DimensionJoin, StarQuery
+
+# An unselective query: every fact row survives the join, so the map
+# output volume (and the combiner's leverage) is maximal.
+QUERY = StarQuery(
+    name="revenue-by-year",
+    fact_table="lineorder",
+    joins=[DimensionJoin("date", "lo_orderdate", "d_datekey")],
+    aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+    group_by=["d_year"],
+)
+
+
+def _run(engine, with_combiner: bool):
+    conf, output = plan_star_join(QUERY, engine.catalog, engine.cluster,
+                                  engine.cost_model, engine.features)
+    if not with_combiner:
+        conf.combiner_class = None
+    result = engine.runner.run(conf)
+    return result, output
+
+
+def test_combiner_shrinks_shuffle(benchmark, small_data):
+    engine = ClydesdaleEngine.with_ssb_data(data=small_data, num_nodes=4,
+                                            row_group_size=2_000)
+
+    def run_both():
+        with_result, with_out = _run(engine, True)
+        without_result, without_out = _run(engine, False)
+        return with_result, with_out, without_result, without_out
+
+    with_result, with_out, without_result, without_out = \
+        benchmark(run_both)
+
+    # Identical answers either way.
+    assert sorted(with_out.results) == sorted(without_out.results)
+    # The combiner collapses per-task output to ~one record per group.
+    shuffled_with = with_result.counters.get("shuffle", "records")
+    shuffled_without = without_result.counters.get("shuffle", "records")
+    assert shuffled_with < shuffled_without / 50
+    assert with_result.counters.get("map", "combined_records") > 0
+
+    print(f"\nshuffle records: {shuffled_without:,} without combiner "
+          f"-> {shuffled_with:,} with combiner "
+          f"({shuffled_without / max(1, shuffled_with):.0f}x reduction)")

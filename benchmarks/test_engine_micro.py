@@ -1,0 +1,92 @@
+"""Micro-benchmarks of the functional engines themselves (wall-clock,
+not simulated): end-to-end query execution, CIF scanning, hash build,
+and the probe pipeline at small scale.
+
+These guard against performance regressions in the reproduction's own
+code paths; they make no claims about the paper's numbers.
+"""
+
+import pytest
+
+from repro.core.engine import ClydesdaleEngine
+from repro.core.expressions import TruePredicate
+from repro.core.hashtable import DimensionHashTable
+from repro.hive.engine import HiveEngine
+from repro.mapreduce.job import JobConf
+from repro.ssb.queries import ssb_queries
+from repro.ssb.schema import SCHEMAS
+from repro.storage.cif import ColumnInputFormat
+
+
+@pytest.fixture(scope="module")
+def clyde(small_data):
+    return ClydesdaleEngine.with_ssb_data(data=small_data, num_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def hive(small_data):
+    return HiveEngine.with_ssb_data(data=small_data, num_nodes=4)
+
+
+def test_clydesdale_q21_end_to_end(benchmark, clyde):
+    query = ssb_queries()["Q2.1"]
+    result = benchmark(clyde.execute, query)
+    assert result.rows
+
+
+def test_clydesdale_q31_three_dims(benchmark, clyde):
+    query = ssb_queries()["Q3.1"]
+    result = benchmark(clyde.execute, query)
+    assert result.columns == ["c_nation", "s_nation", "d_year", "revenue"]
+
+
+def test_hive_mapjoin_q21_end_to_end(benchmark, hive):
+    query = ssb_queries()["Q2.1"]
+    result = benchmark(hive.execute, query, "mapjoin")
+    assert result.rows
+
+
+def test_cif_projected_scan(benchmark, clyde):
+    fact_dir = clyde.catalog.meta("lineorder").directory
+    fmt = ColumnInputFormat()
+    conf = JobConf("scan").set_input_paths(fact_dir)
+    ColumnInputFormat.set_projection(conf, ["lo_revenue", "lo_orderdate"])
+
+    def scan():
+        total = 0
+        for split in fmt.get_splits(clyde.fs, conf):
+            reader = fmt.get_record_reader(clyde.fs, split, conf)
+            for _ in reader:
+                total += 1
+        return total
+
+    assert benchmark(scan) == len(clyde.data.lineorder)
+
+
+def test_bcif_block_scan(benchmark, clyde):
+    fact_dir = clyde.catalog.meta("lineorder").directory
+    fmt = ColumnInputFormat()
+    conf = JobConf("scan").set_input_paths(fact_dir)
+    ColumnInputFormat.set_projection(conf, ["lo_revenue", "lo_orderdate"])
+    conf.set("cif.block.iteration", True)
+
+    def scan():
+        total = 0
+        for split in fmt.get_splits(clyde.fs, conf):
+            reader = fmt.get_record_reader(clyde.fs, split, conf)
+            for _, block in reader:
+                total += len(block)
+        return total
+
+    assert benchmark(scan) == len(clyde.data.lineorder)
+
+
+def test_dimension_hash_build(benchmark, small_data):
+    def build():
+        return DimensionHashTable.build(
+            "customer", "lo_custkey", SCHEMAS["customer"],
+            small_data.customer, "c_custkey", TruePredicate(),
+            ["c_nation", "c_city"])
+
+    table = benchmark(build)
+    assert len(table) == len(small_data.customer)

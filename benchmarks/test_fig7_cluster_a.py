@@ -1,0 +1,43 @@
+"""Figure 7 — Clydesdale vs Hive (repartition + mapjoin), SF1000,
+cluster A (8 workers, 16 GB/node).
+
+Paper: speedups 17.4x-82.7x, average 38x; mapjoin OOMs on Q3.1 and
+Q4.1-Q4.3. Run ``python -m repro.bench fig7`` for the rendered figure.
+"""
+
+from repro.bench import paper_reference as paper
+from repro.bench.figures import fig7, render_speedup_figure, \
+    summarize_speedups
+
+
+def test_fig7_regeneration(benchmark):
+    rows = benchmark(fig7)
+    assert len(rows) == 13
+
+    summary = summarize_speedups(rows)
+    # Same OOM set as the paper.
+    assert set(summary["oom"]) == set(paper.FIG7_MAPJOIN_OOM)
+    # Clydesdale wins every query by a wide margin.
+    assert summary["min"] > 5
+    # The envelope overlaps the paper's 17.4x-82.7x / avg 38x.
+    lo, hi = paper.FIG7_SPEEDUP_RANGE
+    assert summary["max"] > lo
+    assert summary["min"] < hi
+    assert 0.5 * paper.FIG7_SPEEDUP_AVG < summary["avg"] \
+        < 1.6 * paper.FIG7_SPEEDUP_AVG
+
+    print()
+    print(render_speedup_figure(
+        rows, "Figure 7: Clydesdale vs Hive at SF1000 on Cluster A"))
+
+
+def test_fig7_speedup_grows_with_dimension_count(benchmark):
+    """Section 6.4: more dimensions / bigger hash tables favor
+    Clydesdale — flight 2 repartition speedups exceed flight 1's."""
+    rows = benchmark(fig7)
+    by_name = {r.query: r for r in rows}
+    flight1 = sum(by_name[q].speedup_repartition
+                  for q in ("Q1.1", "Q1.2", "Q1.3")) / 3
+    flight2 = sum(by_name[q].speedup_repartition
+                  for q in ("Q2.1", "Q2.2", "Q2.3")) / 3
+    assert flight2 > flight1

@@ -1,0 +1,61 @@
+"""Figure 9 — impact of turning off each Clydesdale technique
+(cluster A, SF1000).
+
+Paper: block iteration off ~1.2x slower; columnar off ~3.4x (flight 2
+~3.8x, flight 4 ~2.0x); multithreading off ~2.4x (flight 1 ~1.2x,
+flight 4 ~4.5x). Run ``python -m repro.bench fig9`` to render.
+"""
+
+import pytest
+
+from repro.bench import paper_reference as paper
+from repro.bench.figures import fig9, flight_averages, \
+    render_ablation_figure
+
+
+def test_fig9_regeneration(benchmark):
+    rows = benchmark(fig9)
+    assert len(rows) == 13
+    for row in rows:
+        assert row.no_block_iteration > 1.0
+        assert row.no_columnar > 1.0
+        assert row.no_multithreading > 1.0
+
+    averages = {
+        "block": sum(r.no_block_iteration for r in rows) / 13,
+        "columnar": sum(r.no_columnar for r in rows) / 13,
+        "mt": sum(r.no_multithreading for r in rows) / 13,
+    }
+    assert averages["block"] == pytest.approx(
+        paper.FIG9_BLOCK_ITERATION_AVG, abs=0.3)
+    assert averages["columnar"] == pytest.approx(
+        paper.FIG9_COLUMNAR_AVG, rel=0.35)
+    assert averages["mt"] == pytest.approx(
+        paper.FIG9_MULTITHREADING_AVG, rel=0.35)
+
+    print()
+    print(render_ablation_figure(rows))
+
+
+def test_fig9_flight_gradients(benchmark):
+    """The paper's per-flight structure: columnar hurts narrow-scan
+    flights most; multithreading hurts big-dimension flights most."""
+    rows = benchmark(fig9)
+    averages = flight_averages(rows)
+    assert averages[2]["no_columnar"] > averages[4]["no_columnar"]
+    assert averages[4]["no_multithreading"] > \
+        2 * averages[1]["no_multithreading"]
+    assert averages[1]["no_multithreading"] == pytest.approx(
+        paper.FIG9_MULTITHREADING_FLIGHT1, abs=0.35)
+    assert averages[4]["no_multithreading"] == pytest.approx(
+        paper.FIG9_MULTITHREADING_FLIGHT4, rel=0.35)
+
+
+def test_fig9_no_single_technique_explains_everything(benchmark):
+    """Paper 6.5's conclusion: the techniques are complementary; none
+    alone accounts for the full advantage."""
+    rows = benchmark(fig9)
+    for row in rows:
+        factors = (row.no_block_iteration, row.no_columnar,
+                   row.no_multithreading)
+        assert max(factors) < 8.0

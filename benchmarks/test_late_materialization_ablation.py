@@ -1,0 +1,44 @@
+"""Wall-clock ablation of late tuple reconstruction (paper 5.3's
+anticipated optimization, implemented opt-in).
+
+On selective queries (Q4.3 matches ~0.01% of fact rows) the late path
+avoids touching measure columns and building closures for the 99.99% of
+rows that die during the probe. This bench measures *our engine's real
+wall-clock* for both paths and requires the same answers.
+"""
+
+import pytest
+
+from repro.core.engine import ClydesdaleEngine
+from repro.core.planner import ClydesdaleFeatures
+from repro.ssb.queries import ssb_queries
+
+LATE = ClydesdaleFeatures(late_materialization=True)
+EAGER = ClydesdaleFeatures()
+
+
+@pytest.fixture(scope="module")
+def engine(small_data):
+    return ClydesdaleEngine.with_ssb_data(data=small_data, num_nodes=4)
+
+
+def test_late_path_selective_query(benchmark, engine):
+    query = ssb_queries()["Q2.3"]  # one brand in a thousand
+    eager_result = engine.execute(query, features=EAGER)
+    result = benchmark(engine.execute, query, LATE)
+    assert result.rows == eager_result.rows
+
+
+def test_eager_path_selective_query(benchmark, engine):
+    query = ssb_queries()["Q2.3"]
+    result = benchmark(engine.execute, query, EAGER)
+    assert result.columns == ["d_year", "p_brand1", "revenue"]
+
+
+def test_late_path_unselective_query(benchmark, engine):
+    """Q1.1-style queries keep ~6% of rows; the two paths should stay
+    within the same ballpark (late must not regress badly)."""
+    query = ssb_queries()["Q1.1"]
+    eager_result = engine.execute(query, features=EAGER)
+    result = benchmark(engine.execute, query, LATE)
+    assert result.rows == eager_result.rows

@@ -1,0 +1,66 @@
+"""Design-choice ablation: unsorted CIF row groups vs Llama-style sorted
+column-group projections for fact-data roll-in (paper section 2).
+
+The paper rejects Llama's organization because rolling in new fact data
+would require merging and rewriting every sorted projection of the fact
+table. This bench quantifies that argument with the cost model (daily
+roll-in of 1/365 of the SF1000 fact table) and also measures the real
+roll-in path functionally.
+"""
+
+from repro.bench.report import render_table
+from repro.common.units import GB
+from repro.core.rollin import append_fact_rows, compare_rollin_cost
+from repro.ssb.datagen import SSBGenerator
+
+
+def test_rollin_cost_sweep(benchmark):
+    """Llama's overhead grows with fact-table size; Clydesdale's cost is
+    flat."""
+    table_sizes_gb = (10, 50, 100, 334, 1000)
+    batch_gb = 1.0
+
+    def sweep():
+        return [compare_rollin_cost(size * GB, batch_gb * GB,
+                                    num_sorted_projections=4)
+                for size in table_sizes_gb]
+
+    costs = benchmark(sweep)
+    clydesdale = [c.clydesdale_seconds for c in costs]
+    llama = [c.llama_seconds for c in costs]
+    # Flat vs growing:
+    assert max(clydesdale) == min(clydesdale)
+    assert llama == sorted(llama)
+    assert costs[-1].llama_overhead > costs[0].llama_overhead
+    # At the paper's SF1000 size the overhead is prohibitive.
+    sf1000 = costs[table_sizes_gb.index(334)]
+    assert sf1000.llama_overhead > 50
+
+    rows = [[f"{size} GB", f"{c.clydesdale_seconds:,.0f}",
+             f"{c.llama_seconds:,.0f}", f"{c.llama_overhead:,.0f}x"]
+            for size, c in zip(table_sizes_gb, costs)]
+    print()
+    print(render_table(
+        ["fact table", "Clydesdale roll-in (s)", "Llama-style merge (s)",
+         "overhead"],
+        rows, title="Roll-in of a 1 GB batch (modeled, cluster A)"))
+
+
+def test_functional_rollin_throughput(benchmark, small_data):
+    """Time the real roll-in path: append 3,000 rows to a live table."""
+    from repro.core.engine import ClydesdaleEngine
+
+    engine = ClydesdaleEngine.with_ssb_data(data=small_data, num_nodes=4,
+                                            row_group_size=2_000)
+    gen = SSBGenerator(scale_factor=0.0005, seed=123)
+    date_keys = [row[0] for row in small_data.date]
+    batch = list(gen.iter_lineorder(
+        len(small_data.customer), len(small_data.supplier),
+        len(small_data.part), date_keys))
+    meta = engine.catalog.meta("lineorder")
+
+    def roll_in():
+        return append_fact_rows(engine.fs, meta, batch)
+
+    updated = benchmark(roll_in)
+    assert updated.num_rows >= len(small_data.lineorder) + len(batch)

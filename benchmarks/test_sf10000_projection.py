@@ -1,0 +1,63 @@
+"""The paper's declared future work, executed: SF10,000 on cluster B.
+
+Section 6.4: "We expect that Clydesdale's advantages over Hive will
+continue to hold on Cluster B with larger scale factors, e.g. 10,000.
+Unfortunately the data generator ... does not currently support scale
+factor 10,000. Verifying performance at SF 10,000 is left as future
+work."
+
+Our generator and model have no such limit, so this bench projects the
+full query set at SF10,000 on cluster B and checks the paper's
+expectation: with 10x the data per node, fixed overheads amortize away
+and the speedups swing back toward cluster-A levels.
+"""
+
+from repro.bench.report import render_table
+from repro.bench.figures import speedup_rows, summarize_speedups
+from repro.sim.hardware import cluster_b
+
+
+def test_sf10000_cluster_b(benchmark):
+    rows_10k = benchmark(speedup_rows, cluster_b(), None, 10_000.0)
+    rows_1k = speedup_rows(cluster_b(), None, 1_000.0)
+
+    summary_10k = summarize_speedups(rows_10k)
+    summary_1k = summarize_speedups(rows_1k)
+
+    # The paper's expectation: the advantage holds and grows.
+    assert summary_10k["avg"] > summary_1k["avg"]
+    assert summary_10k["min"] > 1.0
+    # With 10x data, B's memory headroom evaporates: the customer table
+    # is 300M rows, so every query that OOM'd on A at SF1000 OOMs on B
+    # at SF10000 — and Q3.2 (nation-filtered, 12M entries) joins them.
+    assert {"Q3.1", "Q4.1", "Q4.2", "Q4.3"} <= set(summary_10k["oom"])
+    assert "Q3.3" not in summary_10k["oom"]  # city filters stay tiny
+
+    table = [[r1k.query,
+              f"{r1k.clydesdale_s:,.0f}",
+              f"{r10k.clydesdale_s:,.0f}",
+              f"{r1k.speedup_repartition:.1f}x",
+              f"{r10k.speedup_repartition:.1f}x"]
+             for r1k, r10k in zip(rows_1k, rows_10k)]
+    print()
+    print(render_table(
+        ["query", "clydesdale SF1000 (s)", "clydesdale SF10000 (s)",
+         "speedup SF1000", "speedup SF10000"],
+        table,
+        title="Projection: cluster B at SF10,000 (the paper's future "
+              "work)"))
+    print(f"\nSF1000  avg speedup {summary_1k['avg']:.1f}x "
+          f"(range {summary_1k['min']:.1f}-{summary_1k['max']:.1f}x)")
+    print(f"SF10000 avg speedup {summary_10k['avg']:.1f}x "
+          f"(range {summary_10k['min']:.1f}-{summary_10k['max']:.1f}x); "
+          f"mapjoin OOM: {list(summary_10k['oom'])}")
+
+
+def test_sf10000_times_scale_sanely(benchmark):
+    rows_10k = benchmark(speedup_rows, cluster_b(), None, 10_000.0)
+    rows_1k = {r.query: r for r in speedup_rows(cluster_b(), None,
+                                                1_000.0)}
+    for row in rows_10k:
+        ratio = row.clydesdale_s / rows_1k[row.query].clydesdale_s
+        # 10x the data: between 5x (overhead amortization) and 11x.
+        assert 4.0 < ratio < 11.5, (row.query, ratio)

@@ -1,0 +1,43 @@
+"""Table 1 — TestDFSIO: HDFS bandwidth vs raw disk bandwidth
+(section 6.6).
+
+Paper finding: HDFS delivers a fraction of the raw `dd` bandwidth, and
+query scans observe even less (67 MB/s/node vs 560 MB/s raw on A). Run
+``python -m repro.bench table1`` to render.
+"""
+
+from repro.bench import paper_reference as paper
+from repro.bench.dfsio import run_dfsio
+from repro.bench.figures import render_table1, table1
+from repro.hdfs.filesystem import MiniDFS
+from repro.sim.costs import DEFAULT_COST_MODEL
+from repro.sim.hardware import tiny_cluster
+
+
+def test_table1_model(benchmark):
+    rows = benchmark(table1)
+    a_row, b_row = rows
+    assert a_row["raw_read_mb_s"] == paper.CLUSTER_A_RAW_MB_S
+    assert b_row["raw_read_mb_s"] == paper.CLUSTER_B_RAW_MB_S
+    for row in rows:
+        assert row["dfsio_read_mb_s"] < row["raw_read_mb_s"]
+        assert row["query_scan_mb_s"] <= row["dfsio_read_mb_s"]
+    # The query-scan ceiling sits above the paper's observed 67 MB/s
+    # (which was a CPU-balanced pipeline, not the path limit).
+    assert a_row["query_scan_mb_s"] >= paper.Q21_CLYDESDALE_SCAN_MB_S
+
+    print()
+    print(render_table1(rows))
+
+
+def test_table1_functional_dfsio(benchmark):
+    """Actually run the write+read DFSIO jobs on a mini cluster."""
+    def run():
+        fs = MiniDFS(num_nodes=4)
+        return run_dfsio(fs, tiny_cluster(workers=4),
+                         DEFAULT_COST_MODEL, files=8,
+                         bytes_per_file=2 * 1024 * 1024)
+
+    result = benchmark(run)
+    assert result.local_read_fraction == 1.0
+    assert result.read_throughput_mb_s() > result.write_throughput_mb_s()

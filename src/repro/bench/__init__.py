@@ -1,0 +1,46 @@
+"""Benchmark harness: regenerates every table and figure in the paper."""
+
+from repro.bench.dfsio import DfsioResult, run_dfsio
+from repro.bench.figures import (
+    AblationRow,
+    SpeedupRow,
+    fig7,
+    fig8,
+    fig9,
+    flight_averages,
+    q21_breakdown,
+    render_ablation_figure,
+    render_q21,
+    render_speedup_figure,
+    render_table1,
+    speedup_rows,
+    summarize_speedups,
+    table1,
+    table1_functional,
+    validate_small_scale,
+)
+from repro.bench.report import fmt_speedup, render_bars, render_table
+
+__all__ = [
+    "AblationRow",
+    "DfsioResult",
+    "SpeedupRow",
+    "fig7",
+    "fig8",
+    "fig9",
+    "flight_averages",
+    "fmt_speedup",
+    "q21_breakdown",
+    "render_ablation_figure",
+    "render_bars",
+    "render_q21",
+    "render_speedup_figure",
+    "render_table",
+    "render_table1",
+    "run_dfsio",
+    "speedup_rows",
+    "summarize_speedups",
+    "table1",
+    "table1_functional",
+    "validate_small_scale",
+]

@@ -1,0 +1,91 @@
+"""TestDFSIO — the HDFS throughput benchmark of paper section 6.6.
+
+The real TestDFSIO ships with Hadoop: a write job where each map task
+writes a file of a given size, then a read job where each map task reads
+one file back; throughput is bytes/elapsed. This is the same benchmark
+implemented against mini-HDFS + the MapReduce engine, reporting both the
+functional result (simulated seconds from the cost model) and measured
+locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.units import MB
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.api import Mapper
+from repro.mapreduce.inputformat import WholeFileInputFormat
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.outputformat import CollectingOutputFormat
+from repro.mapreduce.runtime import JobRunner
+from repro.mapreduce.types import OutputCollector
+from repro.sim.costs import CostModel
+from repro.sim.hardware import ClusterSpec
+
+
+@dataclass
+class DfsioResult:
+    """One TestDFSIO run's outcome."""
+
+    files: int
+    bytes_per_file: int
+    write_seconds: float
+    read_seconds: float
+    local_read_fraction: float
+
+    @property
+    def total_bytes(self) -> int:
+        return self.files * self.bytes_per_file
+
+    def read_throughput_mb_s(self) -> float:
+        if self.read_seconds <= 0:
+            return 0.0
+        return self.total_bytes / MB / self.read_seconds
+
+    def write_throughput_mb_s(self) -> float:
+        if self.write_seconds <= 0:
+            return 0.0
+        return self.total_bytes / MB / self.write_seconds
+
+
+class _ReadMapper(Mapper):
+    """Reads its whole file (the reader already did) and emits its size."""
+
+    def map(self, key, value, collector: OutputCollector, context) -> None:
+        collector.collect(key, len(value))
+
+
+def run_dfsio(fs: MiniDFS, cluster: ClusterSpec, cost_model: CostModel,
+              files: int = 8, bytes_per_file: int = 256 * 1024,
+              ) -> DfsioResult:
+    """Run the write job then the read job; returns throughput figures."""
+    runner = JobRunner(fs, cluster, cost_model)
+
+    # Write phase: one map task per file, each writing through the
+    # replication pipeline (task overheads included, like the real job).
+    from repro.sim.scheduler import schedule
+    payload = bytes(range(256)) * (bytes_per_file // 256 + 1)
+    for index in range(files):
+        fs.write_file(f"/benchmarks/dfsio/io_data/file-{index:04d}",
+                      payload[:bytes_per_file], overwrite=True)
+    per_write_task = (cost_model.task_start_cost(False)
+                      + cost_model.write_cost(bytes_per_file))
+    write_seconds = schedule([per_write_task] * files,
+                             cluster.total_map_slots).makespan
+
+    # Read phase: one map task per file.
+    job = JobConf("dfsio-read")
+    job.set_input_paths("/benchmarks/dfsio/io_data")
+    job.input_format = WholeFileInputFormat()
+    job.mapper_class = _ReadMapper
+    job.output_format = CollectingOutputFormat()
+    job.set_num_reduce_tasks(0)
+    result = runner.run(job)
+
+    read_seconds = result.breakdown.get("map_phase", 0.0)
+    local = sum(1 for t in result.map_tasks if t.data_local)
+    return DfsioResult(
+        files=files, bytes_per_file=bytes_per_file,
+        write_seconds=write_seconds, read_seconds=max(read_seconds, 1e-9),
+        local_read_fraction=local / max(1, len(result.map_tasks)))

@@ -1,0 +1,107 @@
+"""Export the reproduced figure/table series to CSV and JSON.
+
+``python -m repro.bench export [--out-dir results]`` writes one file per
+experiment so downstream users can plot the series with their own tools
+(the paper's figures are bar charts over exactly these columns).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+
+from repro.bench.figures import (
+    fig7,
+    fig8,
+    fig9,
+    q21_breakdown,
+    summarize_speedups,
+    table1,
+)
+
+
+def speedup_rows_to_records(rows) -> list[dict]:
+    return [{
+        "query": r.query,
+        "clydesdale_s": round(r.clydesdale_s, 1),
+        "hive_repartition_s": round(r.repartition_s, 1),
+        "hive_mapjoin_s": (None if r.mapjoin_s is None
+                           else round(r.mapjoin_s, 1)),
+        "speedup_vs_repartition": round(r.speedup_repartition, 2),
+        "speedup_vs_mapjoin": (None if r.speedup_mapjoin is None
+                               else round(r.speedup_mapjoin, 2)),
+        "mapjoin_oom": r.mapjoin_s is None,
+    } for r in rows]
+
+
+def ablation_rows_to_records(rows) -> list[dict]:
+    return [{
+        "query": r.query,
+        "all_features_s": round(r.base_s, 1),
+        "no_block_iteration_x": round(r.no_block_iteration, 3),
+        "no_columnar_x": round(r.no_columnar, 3),
+        "no_multithreading_x": round(r.no_multithreading, 3),
+    } for r in rows]
+
+
+def q21_to_records(breakdown) -> list[dict]:
+    records = []
+    for engine in ("clydesdale", "mapjoin", "repartition"):
+        result = breakdown[engine]
+        for stage in result.stages:
+            records.append({
+                "engine": engine,
+                "stage": stage.name,
+                "seconds": round(stage.seconds, 1),
+            })
+    return records
+
+
+def _write_csv(path: Path, records: list[dict]) -> None:
+    if not records:
+        path.write_text("")
+        return
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0]))
+    writer.writeheader()
+    writer.writerows(records)
+    path.write_text(buffer.getvalue())
+
+
+def export_all(out_dir: str | Path = "results") -> list[Path]:
+    """Write every experiment's series; returns the files created."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    created: list[Path] = []
+
+    datasets = {
+        "fig7_cluster_a": speedup_rows_to_records(fig7()),
+        "fig8_cluster_b": speedup_rows_to_records(fig8()),
+        "fig9_ablation": ablation_rows_to_records(fig9()),
+        "table1_dfsio": table1(),
+        "q21_breakdown": q21_to_records(q21_breakdown()),
+    }
+    summary = {
+        "fig7": summarize_speedups(fig7()),
+        "fig8": summarize_speedups(fig8()),
+    }
+    for key in ("fig7", "fig8"):
+        summary[key] = {
+            "min_speedup": round(summary[key]["min"], 2),
+            "max_speedup": round(summary[key]["max"], 2),
+            "avg_speedup": round(summary[key]["avg"], 2),
+            "mapjoin_oom": list(summary[key]["oom"]),
+        }
+
+    for name, records in datasets.items():
+        csv_path = out / f"{name}.csv"
+        json_path = out / f"{name}.json"
+        _write_csv(csv_path, records)
+        json_path.write_text(json.dumps(records, indent=2))
+        created.extend([csv_path, json_path])
+    summary_path = out / "summary.json"
+    summary_path.write_text(json.dumps(summary, indent=2))
+    created.append(summary_path)
+    return created

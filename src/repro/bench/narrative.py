@@ -1,0 +1,128 @@
+"""A self-updating markdown report of the whole reproduction.
+
+``python -m repro.bench report`` regenerates a paper-vs-measured
+markdown document from the current models and calibration — the
+machine-written counterpart of the curated EXPERIMENTS.md, useful after
+changing any cost constant.
+"""
+
+from __future__ import annotations
+
+from repro.bench import paper_reference as paper
+from repro.bench.figures import (
+    fig7,
+    fig8,
+    fig9,
+    flight_averages,
+    q21_breakdown,
+    summarize_speedups,
+    table1,
+)
+from repro.model.calibration import verify_calibration
+
+
+def _speedup_section(title: str, rows, paper_range, paper_avg,
+                     paper_oom) -> list[str]:
+    summary = summarize_speedups(rows)
+    lines = [f"## {title}", ""]
+    lines.append("| metric | paper | reproduced |")
+    lines.append("|---|---|---|")
+    lines.append(f"| speedup range | {paper_range[0]}x - "
+                 f"{paper_range[1]}x | {summary['min']:.1f}x - "
+                 f"{summary['max']:.1f}x |")
+    lines.append(f"| average speedup | {paper_avg}x | "
+                 f"{summary['avg']:.1f}x |")
+    lines.append(f"| mapjoin OOM | {', '.join(paper_oom) or 'none'} | "
+                 f"{', '.join(summary['oom']) or 'none'} |")
+    lines.append("")
+    lines.append("| query | clydesdale (s) | repartition (s) | "
+                 "mapjoin (s) |")
+    lines.append("|---|---|---|---|")
+    for row in rows:
+        mapjoin = ("OOM" if row.mapjoin_s is None
+                   else f"{row.mapjoin_s:,.0f}")
+        lines.append(f"| {row.query} | {row.clydesdale_s:,.0f} | "
+                     f"{row.repartition_s:,.0f} | {mapjoin} |")
+    lines.append("")
+    return lines
+
+
+def render_markdown_report() -> str:
+    """The full paper-vs-measured report as markdown."""
+    lines = ["# Clydesdale reproduction — regenerated report", ""]
+    drift = verify_calibration()
+    if drift:
+        lines.append(f"Calibration: DRIFTED constants: {drift}")
+    else:
+        lines.append("Calibration: all constants consistent with their "
+                     "paper-derived values.")
+    lines.append("")
+
+    lines += _speedup_section(
+        "Figure 7 — Cluster A, SF1000", fig7(),
+        paper.FIG7_SPEEDUP_RANGE, paper.FIG7_SPEEDUP_AVG,
+        paper.FIG7_MAPJOIN_OOM)
+    lines += _speedup_section(
+        "Figure 8 — Cluster B, SF1000", fig8(),
+        paper.FIG8_SPEEDUP_RANGE, paper.FIG8_SPEEDUP_AVG,
+        paper.FIG8_MAPJOIN_OOM)
+
+    lines.append("## Figure 9 — ablation (Cluster A)")
+    lines.append("")
+    rows = fig9()
+    averages = flight_averages(rows)
+    lines.append("| configuration | paper | reproduced |")
+    lines.append("|---|---|---|")
+    block = sum(r.no_block_iteration for r in rows) / len(rows)
+    columnar = sum(r.no_columnar for r in rows) / len(rows)
+    multithreading = sum(r.no_multithreading for r in rows) / len(rows)
+    lines.append(f"| no block iteration (avg) | "
+                 f"{paper.FIG9_BLOCK_ITERATION_AVG}x | {block:.2f}x |")
+    lines.append(f"| no columnar (avg) | {paper.FIG9_COLUMNAR_AVG}x | "
+                 f"{columnar:.2f}x |")
+    lines.append(f"| no columnar, flight 2 | "
+                 f"{paper.FIG9_COLUMNAR_FLIGHT2}x | "
+                 f"{averages[2]['no_columnar']:.2f}x |")
+    lines.append(f"| no columnar, flight 4 | "
+                 f"{paper.FIG9_COLUMNAR_FLIGHT4}x | "
+                 f"{averages[4]['no_columnar']:.2f}x |")
+    lines.append(f"| no multithreading (avg) | "
+                 f"{paper.FIG9_MULTITHREADING_AVG}x | "
+                 f"{multithreading:.2f}x |")
+    lines.append(f"| no multithreading, flight 1 | "
+                 f"{paper.FIG9_MULTITHREADING_FLIGHT1}x | "
+                 f"{averages[1]['no_multithreading']:.2f}x |")
+    lines.append(f"| no multithreading, flight 4 | "
+                 f"{paper.FIG9_MULTITHREADING_FLIGHT4}x | "
+                 f"{averages[4]['no_multithreading']:.2f}x |")
+    lines.append("")
+
+    lines.append("## Table 1 — TestDFSIO (per node, MB/s)")
+    lines.append("")
+    lines.append("| cluster | raw (dd) | DFSIO read | DFSIO write | "
+                 "query scan |")
+    lines.append("|---|---|---|---|---|")
+    for row in table1():
+        lines.append(
+            f"| {row['cluster']} | {row['raw_read_mb_s']:,.0f} | "
+            f"{row['dfsio_read_mb_s']:,.0f} | "
+            f"{row['dfsio_write_mb_s']:,.0f} | "
+            f"{row['query_scan_mb_s']:,.0f} |")
+    lines.append("")
+
+    lines.append("## Q2.1 breakdown — Cluster A, SF1000")
+    lines.append("")
+    breakdown = q21_breakdown()
+    lines.append("| engine | total (s) | paper (s) |")
+    lines.append("|---|---|---|")
+    lines.append(f"| clydesdale | "
+                 f"{breakdown['clydesdale'].seconds:,.0f} | "
+                 f"{paper.Q21_CLYDESDALE_TOTAL:,.0f} |")
+    lines.append(f"| hive mapjoin | "
+                 f"{breakdown['mapjoin'].seconds:,.0f} | "
+                 f"{paper.Q21_MAPJOIN_TOTAL:,.0f} |")
+    lines.append(f"| hive repartition | "
+                 f"{breakdown['repartition'].seconds:,.0f} | "
+                 f"{paper.Q21_REPARTITION_TOTAL:,.0f} |")
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,74 @@
+"""The paper's published numbers, for side-by-side reporting.
+
+Only values printed in the paper's text are recorded here; the bar
+figures' exact heights are not machine-readable from the PDF, so
+Figures 7/8 are summarized by their stated speedup ranges/averages and
+the OOM set, and Figure 9 by its stated ablation factors.
+"""
+
+from __future__ import annotations
+
+#: Figure 7 (cluster A, SF1000): Clydesdale vs Hive speedup envelope.
+FIG7_SPEEDUP_RANGE = (17.4, 82.7)
+FIG7_SPEEDUP_AVG = 38.0
+#: Hive mapjoin ran out of memory on these queries on cluster A.
+FIG7_MAPJOIN_OOM = ("Q3.1", "Q4.1", "Q4.2", "Q4.3")
+
+#: Figure 8 (cluster B, SF1000).
+FIG8_SPEEDUP_RANGE = (5.2, 21.4)
+FIG8_SPEEDUP_AVG = 11.1
+FIG8_MAPJOIN_OOM: tuple = ()
+
+#: Section 6.3's Q2.1 breakdown on cluster A (seconds).
+Q21_CLYDESDALE_TOTAL = 215.0
+Q21_CLYDESDALE_BUILD = 27.0
+Q21_CLYDESDALE_PROBE = 164.0
+Q21_CLYDESDALE_SORT = 10.0
+Q21_CLYDESDALE_SCAN_MB_S = 67.0
+Q21_CLYDESDALE_BYTES_PER_TASK_GB = 10.8
+
+Q21_MAPJOIN_TOTAL = 15_142.0
+Q21_MAPJOIN_STAGES = {
+    "stage1 (date)": 2_640.0,
+    "stage2 (part)": 2_040.0,
+    "stage3 (supplier)": 9_180.0,
+    "stage4 (groupby)": 720.0,
+    "stage5 (orderby)": 19.0,
+}
+Q21_MAPJOIN_STAGE1_TASKS = 4_887
+Q21_MAPJOIN_STAGE1_TASK_SECONDS = 25.0
+Q21_SUPPLIER_HT_MEMORY_MB = 500.0
+Q21_SUPPLIER_HT_DISK_MB = 100.0
+
+Q21_REPARTITION_TOTAL = 17_700.0
+Q21_REPARTITION_STAGES = {
+    "stage1 (date)": 9_720.0,
+    "stage2 (part)": 7_140.0,
+    "stage3 (supplier)": 420.0,
+}
+
+#: Q2.1 on cluster B: per-task build/probe seconds (section 6.4).
+Q21_B_BUILD_S = 16.0
+Q21_B_PROBE_S = 29.0
+Q21_B_TOTAL_S = 65.0
+
+#: Figure 9 ablation factors (cluster A, section 6.5).
+FIG9_BLOCK_ITERATION_AVG = 1.2
+FIG9_COLUMNAR_AVG = 3.4
+FIG9_COLUMNAR_FLIGHT2 = 3.8
+FIG9_COLUMNAR_FLIGHT4 = 2.0
+FIG9_MULTITHREADING_AVG = 2.4
+FIG9_MULTITHREADING_FLIGHT1 = 1.2
+FIG9_MULTITHREADING_FLIGHT4 = 4.5
+
+#: Section 6.2 storage sizes at SF1000.
+SF1000_TEXT_FACT_GB = 600.0
+SF1000_MULTICIF_FACT_GB = 334.0
+SF1000_RCFILE_ALL_GB = 558.0
+SF1000_DIM_SIZES_GB = {"customer": 2.8, "supplier": 0.828,
+                       "part": 0.166, "date": 0.000225}
+
+#: Section 6.6: raw disk bandwidth per node (dd), conservative figure.
+RAW_DISK_MB_S_PER_DISK = (70.0, 100.0)
+CLUSTER_A_RAW_MB_S = 560.0
+CLUSTER_B_RAW_MB_S = 280.0

@@ -1,0 +1,60 @@
+"""Plain-text rendering of benchmark tables and bar-style figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str | None = None) -> str:
+    """Fixed-width table with a header rule.
+
+    >>> print(render_table(["a", "b"], [[1, "x"]]))
+    a  b
+    -  -
+    1  x
+    """
+    cells = [[str(v) for v in row] for row in rows]
+    widths = [max([len(h)] + [len(row[i]) for row in cells])
+              for i, h in enumerate(headers)]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_bars(labels: Sequence[str], series: dict[str, Sequence[float]],
+                width: int = 50, title: str | None = None,
+                unit: str = "s") -> str:
+    """ASCII grouped bar chart (log-free, scaled to the max value).
+
+    ``series`` maps a series name (e.g. "Clydesdale") to one value per
+    label; None values render as "OOM".
+    """
+    peak = max((v for vs in series.values() for v in vs if v is not None),
+               default=1.0)
+    name_width = max(len(n) for n in series)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for index, label in enumerate(labels):
+        lines.append(label)
+        for name, values in series.items():
+            value = values[index]
+            if value is None:
+                bar, text = "", "OOM"
+            else:
+                bar = "#" * max(1, int(round(width * value / peak)))
+                text = f"{value:,.0f} {unit}"
+            lines.append(f"  {name.ljust(name_width)} |{bar} {text}")
+    return "\n".join(lines)
+
+
+def fmt_speedup(value: float | None) -> str:
+    return "--" if value is None else f"{value:.1f}x"

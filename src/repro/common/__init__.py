@@ -1,0 +1,64 @@
+"""Shared kernel: types, schemas, records, configuration, units, errors."""
+
+from repro.common.config import Configuration
+from repro.common.errors import (
+    BlockCorruptionError,
+    ConfigError,
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+    JobFailedError,
+    MapReduceError,
+    PlanningError,
+    QueryError,
+    ReplicationError,
+    ReproError,
+    SchedulerError,
+    SchemaError,
+    StorageError,
+    TaskOutOfMemoryError,
+)
+from repro.common.record import Record, records_from_rows
+from repro.common.schema import Column, Schema
+from repro.common.types import DataType, type_from_name
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    fmt_bytes,
+    fmt_seconds,
+    parse_bytes,
+)
+
+__all__ = [
+    "BlockCorruptionError",
+    "Column",
+    "ConfigError",
+    "Configuration",
+    "DataType",
+    "FileAlreadyExists",
+    "FileNotFoundInHdfs",
+    "GB",
+    "HdfsError",
+    "JobFailedError",
+    "KB",
+    "MB",
+    "MapReduceError",
+    "PlanningError",
+    "QueryError",
+    "Record",
+    "ReplicationError",
+    "ReproError",
+    "SchedulerError",
+    "Schema",
+    "SchemaError",
+    "StorageError",
+    "TB",
+    "TaskOutOfMemoryError",
+    "fmt_bytes",
+    "fmt_seconds",
+    "parse_bytes",
+    "records_from_rows",
+    "type_from_name",
+]

@@ -1,0 +1,71 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class at API boundaries while tests can assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration key is missing, malformed, or inconsistent."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or a record does not match its schema."""
+
+
+class StorageError(ReproError):
+    """A storage-format read or write failed."""
+
+
+class HdfsError(ReproError):
+    """Base class for mini-HDFS failures."""
+
+
+class FileNotFoundInHdfs(HdfsError):
+    """The requested HDFS path does not exist."""
+
+
+class FileAlreadyExists(HdfsError):
+    """An HDFS path was created twice without overwrite."""
+
+
+class ReplicationError(HdfsError):
+    """A block could not be placed at the requested replication level."""
+
+
+class BlockCorruptionError(HdfsError):
+    """A block replica was lost or corrupted and no healthy replica remains."""
+
+
+class MapReduceError(ReproError):
+    """Base class for MapReduce engine failures."""
+
+
+class JobFailedError(MapReduceError):
+    """A job terminated without producing output."""
+
+    def __init__(self, message: str, cause: Exception | None = None):
+        super().__init__(message)
+        self.cause = cause
+
+
+class TaskOutOfMemoryError(MapReduceError):
+    """A task exceeded the memory budget of its slot (simulated OOM)."""
+
+
+class SchedulerError(MapReduceError):
+    """The task scheduler could not place a task."""
+
+
+class QueryError(ReproError):
+    """A star query is malformed or references unknown tables/columns."""
+
+
+class PlanningError(QueryError):
+    """The planner could not produce an executable plan."""

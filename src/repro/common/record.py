@@ -1,0 +1,95 @@
+"""Records: schema-bound tuples, the unit of data flowing through jobs.
+
+The paper's pseudocode (Figure 4) manipulates ``Record`` objects with a
+``project`` method; we mirror that API. A record stores its values as a
+plain tuple plus a reference to a shared :class:`Schema`, so millions of
+records share one schema object.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.common.errors import SchemaError
+from repro.common.schema import Schema
+
+
+class Record:
+    """A typed row bound to a :class:`Schema`.
+
+    >>> from repro.common.types import DataType
+    >>> s = Schema([("a", DataType.INT32), ("b", DataType.STRING)])
+    >>> r = Record(s, (1, "x"))
+    >>> r["b"]
+    'x'
+    >>> r.project(["b"]).values
+    ('x',)
+    """
+
+    __slots__ = ("schema", "values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any],
+                 validate: bool = False):
+        self.schema = schema
+        self.values = tuple(values)
+        if validate:
+            schema.validate_row(self.values)
+
+    def __getitem__(self, key: str | int) -> Any:
+        if isinstance(key, int):
+            return self.values[key]
+        return self.values[self.schema.index_of(key)]
+
+    def get(self, name: str) -> Any:
+        """Field access by column name (mirrors the paper's ``get``)."""
+        return self.values[self.schema.index_of(name)]
+
+    def project(self, names: Sequence[str]) -> "Record":
+        """Return a new record with only ``names``, in the given order."""
+        idx = [self.schema.index_of(n) for n in names]
+        return Record(self.schema.project(names),
+                      tuple(self.values[i] for i in idx))
+
+    def with_appended(self, other: "Record") -> "Record":
+        """Concatenate two records (used when a probe augments a fact row)."""
+        merged = Schema(list(self.schema.columns) + list(other.schema.columns))
+        return Record(merged, self.values + other.values)
+
+    def as_dict(self) -> dict:
+        return dict(zip(self.schema.names, self.values))
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.values)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Record)
+                and self.values == other.values
+                and self.schema.names == other.schema.names)
+
+    def __hash__(self) -> int:
+        return hash(self.values)
+
+    def __repr__(self) -> str:
+        fields = ", ".join(
+            f"{n}={v!r}" for n, v in zip(self.schema.names, self.values))
+        return f"Record({fields})"
+
+
+def records_from_rows(schema: Schema, rows: Sequence[Sequence[Any]],
+                      coerce: bool = False) -> list[Record]:
+    """Bulk-construct records, optionally coercing raw values.
+
+    Raises :class:`SchemaError` on the first non-conforming row.
+    """
+    if coerce:
+        return [Record(schema, schema.coerce_row(r)) for r in rows]
+    out = []
+    for row in rows:
+        rec = Record(schema, row, validate=True)
+        out.append(rec)
+    if not all(len(r) == len(schema) for r in out):
+        raise SchemaError("row arity mismatch")
+    return out

@@ -1,0 +1,140 @@
+"""Table schemas: ordered, named, typed columns.
+
+A :class:`Schema` is immutable once built; projections return new schemas.
+Schemas serialize to/from a compact dict form so they can be stored next to
+table data in mini-HDFS (the way Hive keeps schemas in its metastore).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.common.errors import SchemaError
+from repro.common.types import DataType, type_from_name
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column."""
+
+    name: str
+    dtype: DataType
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "type": self.dtype.value}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, str]) -> "Column":
+        return cls(name=data["name"], dtype=type_from_name(data["type"]))
+
+
+class Schema:
+    """An ordered collection of uniquely-named columns.
+
+    >>> s = Schema([("a", DataType.INT32), ("b", DataType.STRING)])
+    >>> s.index_of("b")
+    1
+    >>> s.project(["b"]).names
+    ('b',)
+    """
+
+    def __init__(self, columns: Iterable[Column | tuple]):
+        cols = []
+        for col in columns:
+            if isinstance(col, Column):
+                cols.append(col)
+            else:
+                name, dtype = col
+                if isinstance(dtype, str):
+                    dtype = type_from_name(dtype)
+                cols.append(Column(name, dtype))
+        self._columns: tuple[Column, ...] = tuple(cols)
+        self._index = {c.name: i for i, c in enumerate(self._columns)}
+        if len(self._index) != len(self._columns):
+            seen: set[str] = set()
+            for col in self._columns:
+                if col.name in seen:
+                    raise SchemaError(f"duplicate column name {col.name!r}")
+                seen.add(col.name)
+        if not self._columns:
+            raise SchemaError("schema must have at least one column")
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    @property
+    def dtypes(self) -> tuple[DataType, ...]:
+        return tuple(c.dtype for c in self._columns)
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Schema) and self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype.value}" for c in self._columns)
+        return f"Schema({cols})"
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` or raise :class:`SchemaError`."""
+        try:
+            return self._columns[self._index[name]]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown column {name!r}; have {list(self.names)}") from exc
+
+    def index_of(self, name: str) -> int:
+        """Return the positional index of ``name``."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown column {name!r}; have {list(self.names)}") from exc
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema containing ``names`` in the given order."""
+        return Schema([self.column(n) for n in names])
+
+    def validate_row(self, values: Sequence[Any]) -> None:
+        """Raise :class:`SchemaError` unless ``values`` matches this schema."""
+        if len(values) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(values)} values, schema has "
+                f"{len(self._columns)} columns")
+        for value, col in zip(values, self._columns):
+            if not col.dtype.validate(value):
+                raise SchemaError(
+                    f"value {value!r} does not match column "
+                    f"{col.name}:{col.dtype.value}")
+
+    def coerce_row(self, values: Sequence[Any]) -> tuple:
+        """Coerce a raw row (e.g. parsed text fields) to canonical types."""
+        if len(values) != len(self._columns):
+            raise SchemaError(
+                f"row has {len(values)} values, schema has "
+                f"{len(self._columns)} columns")
+        return tuple(
+            col.dtype.coerce(v) for v, col in zip(values, self._columns))
+
+    def to_dict(self) -> dict:
+        return {"columns": [c.to_dict() for c in self._columns]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Schema":
+        return cls([Column.from_dict(c) for c in data["columns"]])

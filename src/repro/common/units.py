@@ -1,0 +1,82 @@
+"""Byte- and time-unit helpers.
+
+The simulator reasons about data volumes constantly; keeping the unit
+arithmetic in one place avoids the classic MB-vs-MiB slip. Following
+Hadoop convention, this module uses binary units (1 KB = 1024 bytes).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+_SUFFIXES = {
+    "b": 1,
+    "kb": KB,
+    "k": KB,
+    "mb": MB,
+    "m": MB,
+    "gb": GB,
+    "g": GB,
+    "tb": TB,
+    "t": TB,
+}
+
+
+def parse_bytes(text: str | int | float) -> int:
+    """Parse a human-readable size such as ``"64MB"`` or ``"1.5 GB"``.
+
+    Integers and floats pass through unchanged (rounded to whole bytes).
+
+    >>> parse_bytes("64MB") == 64 * MB
+    True
+    >>> parse_bytes(123)
+    123
+    """
+    if isinstance(text, (int, float)):
+        return int(text)
+    raw = text.strip().lower().replace(" ", "")
+    if not raw:
+        raise ValueError("empty size string")
+    idx = len(raw)
+    while idx > 0 and not raw[idx - 1].isdigit():
+        idx -= 1
+    number, suffix = raw[:idx], raw[idx:]
+    if not number:
+        raise ValueError(f"no numeric part in size string {text!r}")
+    multiplier = _SUFFIXES.get(suffix or "b")
+    if multiplier is None:
+        raise ValueError(f"unknown size suffix {suffix!r} in {text!r}")
+    return int(float(number) * multiplier)
+
+
+def fmt_bytes(num_bytes: int | float) -> str:
+    """Render a byte count using the largest sensible binary unit.
+
+    >>> fmt_bytes(64 * MB)
+    '64.0 MB'
+    """
+    value = float(num_bytes)
+    for unit, size in (("TB", TB), ("GB", GB), ("MB", MB), ("KB", KB)):
+        if abs(value) >= size:
+            return f"{value / size:.1f} {unit}"
+    return f"{value:.0f} B"
+
+
+def fmt_seconds(seconds: float) -> str:
+    """Render a duration compactly: ``95.0`` -> ``'1m35s'``.
+
+    >>> fmt_seconds(95)
+    '1m35s'
+    >>> fmt_seconds(2.5)
+    '2.5s'
+    """
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m{secs:02d}s"

@@ -1,0 +1,205 @@
+"""ClydesdaleEngine — the public query API of the reproduction.
+
+>>> from repro.core.engine import ClydesdaleEngine
+>>> from repro.ssb.queries import ssb_queries
+>>> engine = ClydesdaleEngine.with_ssb_data(scale_factor=0.002)
+>>> result = engine.execute(ssb_queries()["Q2.1"])
+>>> result.columns
+['d_year', 'p_brand1', 'revenue']
+
+The engine owns a mini-HDFS (CIF fact table under the co-locating
+placement policy, dimension tables cached node-locally), a simulated
+cluster, and the calibrated cost model. ``execute`` really runs the
+star-join MapReduce job and returns correct rows plus simulated timings
+and execution statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.planner import ClydesdaleFeatures, plan_star_join
+from repro.core.query import StarQuery
+from repro.core.result import QueryResult, apply_order_by
+from repro.hdfs.filesystem import MiniDFS
+from repro.hdfs.placement import CoLocatingPlacementPolicy
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.runtime import JobResult, JobRunner
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.hardware import ClusterSpec, tiny_cluster
+from repro.ssb.datagen import SSBData, SSBGenerator
+from repro.ssb.loader import Catalog, load_for_clydesdale
+
+
+@dataclass
+class ExecutionStats:
+    """What one query execution measured (feeds the SF1000 model)."""
+
+    query_name: str
+    job: JobResult
+    rows_probed: int = 0
+    rows_matched: int = 0
+    hdfs_bytes_read: int = 0
+    ht_builds: int = 0
+    ht_entries: dict[str, int] = field(default_factory=dict)
+    ht_scanned: dict[str, int] = field(default_factory=dict)
+    output_groups: int = 0
+
+    @classmethod
+    def from_job(cls, query_name: str, job: JobResult) -> "ExecutionStats":
+        counters = job.counters
+        stats = cls(query_name=query_name, job=job)
+        stats.rows_probed = counters.get("clydesdale", "rows_probed")
+        stats.rows_matched = counters.get("clydesdale", "rows_matched")
+        stats.hdfs_bytes_read = counters.get(Counters.GROUP_HDFS,
+                                             "bytes_read")
+        stats.ht_builds = counters.get("clydesdale", "ht_builds")
+        for group, name, value in counters.items():
+            if group != "clydesdale":
+                continue
+            if name.startswith("ht_entries:"):
+                stats.ht_entries[name.split(":", 1)[1]] = value
+            elif name.startswith("ht_scanned:"):
+                stats.ht_scanned[name.split(":", 1)[1]] = value
+        stats.output_groups = counters.get(Counters.GROUP_REDUCE,
+                                           "output_records")
+        return stats
+
+    def selectivity(self, dimension: str) -> float:
+        """Fraction of a dimension's rows passing its predicate."""
+        scanned = self.ht_scanned.get(dimension, 0)
+        if scanned == 0:
+            return 0.0
+        # Counters sum over per-node builds; the ratio is per-build exact.
+        return self.ht_entries.get(dimension, 0) / scanned
+
+    def join_selectivity(self) -> float:
+        """Fraction of fact rows surviving all predicates and probes."""
+        if self.rows_probed == 0:
+            return 0.0
+        return self.rows_matched / self.rows_probed
+
+
+class ClydesdaleEngine:
+    """Executes :class:`StarQuery` objects over a Clydesdale layout."""
+
+    def __init__(self, fs: MiniDFS, catalog: Catalog,
+                 cluster: ClusterSpec | None = None,
+                 cost_model: CostModel | None = None,
+                 features: ClydesdaleFeatures | None = None):
+        self.fs = fs
+        self.catalog = catalog
+        self.cluster = cluster or tiny_cluster(workers=len(fs.node_ids))
+        self.cost_model = cost_model or DEFAULT_COST_MODEL
+        self.features = features or ClydesdaleFeatures()
+        self.runner = JobRunner(fs, self.cluster, self.cost_model)
+        self.last_stats: ExecutionStats | None = None
+
+    @classmethod
+    def with_ssb_data(cls, scale_factor: float = 0.01, seed: int = 42,
+                      num_nodes: int = 4,
+                      cluster: ClusterSpec | None = None,
+                      cost_model: CostModel | None = None,
+                      features: ClydesdaleFeatures | None = None,
+                      row_group_size: int = 25_000,
+                      data: SSBData | None = None) -> "ClydesdaleEngine":
+        """Generate (or reuse) SSB data and build a ready engine."""
+        fs = MiniDFS(num_nodes=num_nodes,
+                     placement=CoLocatingPlacementPolicy())
+        if data is None:
+            data = SSBGenerator(scale_factor=scale_factor,
+                                seed=seed).generate()
+        catalog = load_for_clydesdale(fs, data,
+                                      row_group_size=row_group_size)
+        engine = cls(fs, catalog, cluster=cluster, cost_model=cost_model,
+                     features=features)
+        engine.data = data
+        return engine
+
+    def execute(self, query: StarQuery,
+                features: ClydesdaleFeatures | None = None) -> QueryResult:
+        """Run a star query; returns ordered rows with simulated timing.
+
+        If the dimension hash tables cannot all fit a node's heap at
+        once, the engine automatically falls back to the multi-pass
+        strategy of paper section 5.1 (one subset of dimensions per
+        pass over the data).
+        """
+        active = features or self.features
+        from repro.core.multipass import estimate_ht_bytes, plan_passes
+        budget = self.cluster.heap_budget_per_node
+        worst_case = sum(estimate_ht_bytes(
+            query, self.catalog,
+            self.cost_model.clydesdale_hash_bytes_per_entry).values())
+        if query.joins and worst_case > budget:
+            passes = plan_passes(
+                query, self.catalog, budget,
+                self.cost_model.clydesdale_hash_bytes_per_entry)
+            if len(passes) > 1:
+                return self.execute_multipass(query, passes,
+                                              features=active)
+        conf, output = plan_star_join(query, self.catalog, self.cluster,
+                                      self.cost_model, active)
+        job = self.runner.run(conf)
+        columns = list(query.group_by) + [a.alias for a in query.aggregates]
+        rows = [tuple(key) + tuple(values)
+                for key, values in output.results]
+        ordered = apply_order_by(rows, columns, query.order_by, query.limit)
+        final_sort = (len(rows) / self.cost_model.final_sort_rows_s
+                      if query.order_by else 0.0)
+        breakdown = dict(job.breakdown)
+        if final_sort:
+            breakdown["final_sort"] = final_sort
+        self.last_stats = ExecutionStats.from_job(query.name, job)
+        return QueryResult(
+            query_name=query.name,
+            columns=columns,
+            rows=ordered,
+            simulated_seconds=job.simulated_seconds + final_sort,
+            breakdown=breakdown,
+        )
+
+    def explain(self, query: StarQuery,
+                features: ClydesdaleFeatures | None = None) -> str:
+        """Render the physical plan ``execute`` would run (EXPLAIN)."""
+        from repro.core.explain import explain_clydesdale
+        return explain_clydesdale(query, self.catalog, self.cluster,
+                                  self.cost_model,
+                                  features or self.features)
+
+    def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
+        """Parse star-join SQL (the dialect the paper prints) and run it.
+
+        >>> engine = ClydesdaleEngine.with_ssb_data(scale_factor=0.001)
+        >>> result = engine.sql(
+        ...     "SELECT d_year, sum(lo_revenue) AS revenue "
+        ...     "FROM lineorder, date "
+        ...     "WHERE lo_orderdate = d_datekey "
+        ...     "GROUP BY d_year ORDER BY d_year")
+        >>> result.columns
+        ['d_year', 'revenue']
+        """
+        from repro.core.sqlparser import parse_sql
+        schemas = {table: meta.schema
+                   for table, meta in self.catalog.tables.items()}
+        return self.execute(parse_sql(sql_text, schemas, name=name))
+
+    def execute_multipass(self, query: StarQuery,
+                          passes: list[list[str]] | None = None,
+                          features: ClydesdaleFeatures | None = None,
+                          ) -> QueryResult:
+        """Run ``query`` joining one subset of dimensions per pass
+        (paper section 5.1's strategy for oversized hash tables).
+
+        ``passes`` lists dimension names per pass, in join order; when
+        omitted, a memory-feasible partition is planned automatically.
+        """
+        from repro.core.multipass import execute_multipass, plan_passes
+        active = features or self.features
+        if passes is None:
+            passes = plan_passes(
+                query, self.catalog, self.cluster.heap_budget_per_node,
+                self.cost_model.clydesdale_hash_bytes_per_entry)
+        self.last_stats = None  # per-pass stats are in the result
+        return execute_multipass(self.fs, self.catalog, self.cluster,
+                                 self.cost_model, active, query, passes)

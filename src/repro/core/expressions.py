@@ -1,0 +1,351 @@
+"""Predicate and value expressions for star queries.
+
+Predicates filter rows of a single table (dimension predicates are
+evaluated during hash-table build; fact predicates during the scan).
+Value expressions compute aggregate inputs such as
+``lo_extendedprice * lo_discount``.
+
+Both kinds serialize to plain dicts so a whole query can travel through a
+``JobConf`` the way the paper's Figure 4 passes ``queryParams``.
+"""
+
+from __future__ import annotations
+
+import operator
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.common.errors import QueryError
+
+Getter = Callable[[str], Any]
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+# --------------------------------------------------------------------- #
+# Predicates
+# --------------------------------------------------------------------- #
+
+class Predicate(ABC):
+    """Boolean expression over one table's row."""
+
+    @abstractmethod
+    def evaluate(self, get: Getter) -> bool:
+        """Evaluate against ``get(column_name) -> value``."""
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        """Column names this predicate reads."""
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        ...
+
+    @abstractmethod
+    def to_sql(self) -> str:
+        ...
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And([self, other])
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or([self, other])
+
+
+class TruePredicate(Predicate):
+    """Matches every row (the absent-WHERE-clause predicate)."""
+
+    def evaluate(self, get: Getter) -> bool:
+        return True
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def to_dict(self) -> dict:
+        return {"kind": "true"}
+
+    def to_sql(self) -> str:
+        return "TRUE"
+
+
+class Comparison(Predicate):
+    """``column <op> literal``."""
+
+    def __init__(self, column: str, op: str, literal: Any):
+        if op not in _OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.column = column
+        self.op = op
+        self.literal = literal
+
+    def evaluate(self, get: Getter) -> bool:
+        return _OPS[self.op](get(self.column), self.literal)
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_dict(self) -> dict:
+        return {"kind": "cmp", "column": self.column, "op": self.op,
+                "literal": self.literal}
+
+    def to_sql(self) -> str:
+        lit = (f"'{self.literal}'" if isinstance(self.literal, str)
+               else str(self.literal))
+        return f"{self.column} {self.op} {lit}"
+
+
+class Between(Predicate):
+    """``column BETWEEN lo AND hi`` (inclusive, SQL semantics)."""
+
+    def __init__(self, column: str, low: Any, high: Any):
+        self.column = column
+        self.low = low
+        self.high = high
+
+    def evaluate(self, get: Getter) -> bool:
+        value = get(self.column)
+        return self.low <= value <= self.high
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_dict(self) -> dict:
+        return {"kind": "between", "column": self.column,
+                "low": self.low, "high": self.high}
+
+    def to_sql(self) -> str:
+        def lit(x):
+            return f"'{x}'" if isinstance(x, str) else str(x)
+        return f"{self.column} BETWEEN {lit(self.low)} AND {lit(self.high)}"
+
+
+class InList(Predicate):
+    """``column IN (v1, v2, ...)``."""
+
+    def __init__(self, column: str, values: Sequence[Any]):
+        if not values:
+            raise QueryError("IN list cannot be empty")
+        self.column = column
+        self.values = frozenset(values)
+        self._ordered = list(values)
+
+    def evaluate(self, get: Getter) -> bool:
+        return get(self.column) in self.values
+
+    def columns(self) -> set[str]:
+        return {self.column}
+
+    def to_dict(self) -> dict:
+        return {"kind": "in", "column": self.column,
+                "values": self._ordered}
+
+    def to_sql(self) -> str:
+        rendered = ", ".join(
+            f"'{v}'" if isinstance(v, str) else str(v)
+            for v in self._ordered)
+        return f"{self.column} IN ({rendered})"
+
+
+class And(Predicate):
+    def __init__(self, parts: Sequence[Predicate]):
+        if not parts:
+            raise QueryError("AND needs at least one operand")
+        self.parts = list(parts)
+
+    def evaluate(self, get: Getter) -> bool:
+        return all(p.evaluate(get) for p in self.parts)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+    def to_dict(self) -> dict:
+        return {"kind": "and", "parts": [p.to_dict() for p in self.parts]}
+
+    def to_sql(self) -> str:
+        return " AND ".join(f"({p.to_sql()})" for p in self.parts)
+
+
+class Or(Predicate):
+    def __init__(self, parts: Sequence[Predicate]):
+        if not parts:
+            raise QueryError("OR needs at least one operand")
+        self.parts = list(parts)
+
+    def evaluate(self, get: Getter) -> bool:
+        return any(p.evaluate(get) for p in self.parts)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for part in self.parts:
+            out |= part.columns()
+        return out
+
+    def to_dict(self) -> dict:
+        return {"kind": "or", "parts": [p.to_dict() for p in self.parts]}
+
+    def to_sql(self) -> str:
+        return " OR ".join(f"({p.to_sql()})" for p in self.parts)
+
+
+class Not(Predicate):
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+
+    def evaluate(self, get: Getter) -> bool:
+        return not self.inner.evaluate(get)
+
+    def columns(self) -> set[str]:
+        return self.inner.columns()
+
+    def to_dict(self) -> dict:
+        return {"kind": "not", "inner": self.inner.to_dict()}
+
+    def to_sql(self) -> str:
+        return f"NOT ({self.inner.to_sql()})"
+
+
+def predicate_from_dict(data: Mapping[str, Any]) -> Predicate:
+    """Inverse of ``Predicate.to_dict``."""
+    kind = data.get("kind")
+    if kind == "true":
+        return TruePredicate()
+    if kind == "cmp":
+        return Comparison(data["column"], data["op"], data["literal"])
+    if kind == "between":
+        return Between(data["column"], data["low"], data["high"])
+    if kind == "in":
+        return InList(data["column"], data["values"])
+    if kind == "and":
+        return And([predicate_from_dict(p) for p in data["parts"]])
+    if kind == "or":
+        return Or([predicate_from_dict(p) for p in data["parts"]])
+    if kind == "not":
+        return Not(predicate_from_dict(data["inner"]))
+    raise QueryError(f"unknown predicate kind {kind!r}")
+
+
+# --------------------------------------------------------------------- #
+# Value expressions (aggregate inputs)
+# --------------------------------------------------------------------- #
+
+_ARITH: dict[str, Callable[[Any, Any], Any]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+}
+
+
+class ValueExpr(ABC):
+    """Scalar expression over one (fact) row."""
+
+    @abstractmethod
+    def evaluate(self, get: Getter) -> Any:
+        ...
+
+    @abstractmethod
+    def columns(self) -> set[str]:
+        ...
+
+    @abstractmethod
+    def to_dict(self) -> dict:
+        ...
+
+    @abstractmethod
+    def to_sql(self) -> str:
+        ...
+
+    def __add__(self, other: "ValueExpr") -> "ValueExpr":
+        return BinaryOp("+", self, other)
+
+    def __sub__(self, other: "ValueExpr") -> "ValueExpr":
+        return BinaryOp("-", self, other)
+
+    def __mul__(self, other: "ValueExpr") -> "ValueExpr":
+        return BinaryOp("*", self, other)
+
+
+class Col(ValueExpr):
+    """A column reference."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def evaluate(self, get: Getter) -> Any:
+        return get(self.name)
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def to_dict(self) -> dict:
+        return {"kind": "col", "name": self.name}
+
+    def to_sql(self) -> str:
+        return self.name
+
+
+class Lit(ValueExpr):
+    """A literal constant."""
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def evaluate(self, get: Getter) -> Any:
+        return self.value
+
+    def columns(self) -> set[str]:
+        return set()
+
+    def to_dict(self) -> dict:
+        return {"kind": "lit", "value": self.value}
+
+    def to_sql(self) -> str:
+        return (f"'{self.value}'" if isinstance(self.value, str)
+                else str(self.value))
+
+
+class BinaryOp(ValueExpr):
+    """``left <op> right`` for + - * /."""
+
+    def __init__(self, op: str, left: ValueExpr, right: ValueExpr):
+        if op not in _ARITH:
+            raise QueryError(f"unknown arithmetic operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def evaluate(self, get: Getter) -> Any:
+        return _ARITH[self.op](self.left.evaluate(get),
+                               self.right.evaluate(get))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def to_dict(self) -> dict:
+        return {"kind": "binop", "op": self.op,
+                "left": self.left.to_dict(), "right": self.right.to_dict()}
+
+    def to_sql(self) -> str:
+        return f"{self.left.to_sql()} {self.op} {self.right.to_sql()}"
+
+
+def value_from_dict(data: Mapping[str, Any]) -> ValueExpr:
+    kind = data.get("kind")
+    if kind == "col":
+        return Col(data["name"])
+    if kind == "lit":
+        return Lit(data["value"])
+    if kind == "binop":
+        return BinaryOp(data["op"], value_from_dict(data["left"]),
+                        value_from_dict(data["right"]))
+    raise QueryError(f"unknown value expression kind {kind!r}")

@@ -1,0 +1,158 @@
+"""Dimension hash tables (paper section 4.2).
+
+Built once per node per query: scan the dimension table, keep only rows
+passing the dimension predicate, and map the primary key to the tuple of
+*auxiliary columns* the query needs from that dimension (the group-by
+columns it contributes). Once built, the table is read-only, so it can be
+shared by every join thread without synchronization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.common.errors import QueryError
+from repro.common.schema import Schema
+from repro.core.expressions import Predicate
+
+
+@dataclass
+class HashTableStats:
+    """Build statistics, consumed by the cost and memory models."""
+
+    dimension: str
+    rows_scanned: int
+    entries: int
+    aux_arity: int
+
+    def estimated_bytes(self, bytes_per_entry: float) -> float:
+        """In-memory footprint under a given per-entry overhead model."""
+        return self.entries * bytes_per_entry
+
+
+class DimensionHashTable:
+    """pk -> aux-tuple mapping for one dimension of one query."""
+
+    def __init__(self, dimension: str, fact_fk: str, table: dict,
+                 aux_columns: tuple[str, ...], stats: HashTableStats):
+        self.dimension = dimension
+        self.fact_fk = fact_fk
+        self._table = table
+        self.aux_columns = aux_columns
+        self.stats = stats
+
+    @classmethod
+    def build(cls, dimension: str, fact_fk: str, schema: Schema,
+              rows: Sequence[Sequence[Any]], dim_pk: str,
+              predicate: Predicate,
+              aux_columns: Sequence[str]) -> "DimensionHashTable":
+        """Scan ``rows``, filter by ``predicate``, key by ``dim_pk``."""
+        pk_index = schema.index_of(dim_pk)
+        aux_indexes = [schema.index_of(c) for c in aux_columns]
+        pred_indexes = {name: schema.index_of(name)
+                        for name in predicate.columns()}
+        table: dict[Any, tuple] = {}
+        for row in rows:
+            if pred_indexes:
+                get = lambda name, _row=row: _row[pred_indexes[name]]
+                if not predicate.evaluate(get):
+                    continue
+            key = row[pk_index]
+            if key in table:
+                raise QueryError(
+                    f"duplicate primary key {key!r} in dimension "
+                    f"{dimension!r}")
+            table[key] = tuple(row[i] for i in aux_indexes)
+        stats = HashTableStats(dimension=dimension, rows_scanned=len(rows),
+                               entries=len(table),
+                               aux_arity=len(aux_columns))
+        return cls(dimension, fact_fk, table, tuple(aux_columns), stats)
+
+    @classmethod
+    def build_snowflake(cls, join, schemas: dict, tables: dict,
+                        aux_columns: Sequence[str],
+                        ) -> "DimensionHashTable":
+        """Build a hash table for a snowflake branch.
+
+        ``join`` is a :class:`~repro.core.query.DimensionJoin` whose
+        ``snowflake`` sub-joins normalize parts of the dimension into
+        separate tables; the branch is denormalized here, at build time,
+        so probing stays a single lookup. ``schemas``/``tables`` map
+        every table in the branch to its schema/rows; ``aux_columns``
+        may come from any table in the branch.
+        """
+        flattened = flatten_dimension(join, schemas, tables)
+        table: dict[Any, tuple] = {}
+        for key, row in flattened.items():
+            table[key] = tuple(row[c] for c in aux_columns)
+        stats = HashTableStats(
+            dimension=join.dimension,
+            rows_scanned=len(tables[join.dimension]),
+            entries=len(table), aux_arity=len(aux_columns))
+        return cls(join.dimension, join.fact_fk, table,
+                   tuple(aux_columns), stats)
+
+    def probe(self, key: Any) -> tuple | None:
+        """Return the aux tuple for ``key`` or ``None`` on join miss."""
+        return self._table.get(key)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __repr__(self) -> str:
+        return (f"DimensionHashTable({self.dimension}, "
+                f"{len(self._table)} entries, aux={self.aux_columns})")
+
+
+def flatten_dimension(join, schemas: dict, tables: dict,
+                      ) -> dict[Any, dict[str, Any]]:
+    """Denormalize a snowflake branch into pk -> {column: value} rows.
+
+    Rows failing any predicate in the branch (the dimension's own or a
+    sub-dimension's, inner-join semantics) are dropped. Duplicate
+    primary keys raise :class:`QueryError`.
+    """
+    schema: Schema = schemas[join.dimension]
+    rows = tables[join.dimension]
+    sub_lookups = []
+    for sub in join.snowflake:
+        # ``sub.fact_fk`` names the FK column in *this* (parent) table.
+        if sub.fact_fk not in schema:
+            raise QueryError(
+                f"snowflake key {sub.fact_fk!r} not in "
+                f"{join.dimension!r}")
+        sub_lookups.append(
+            (schema.index_of(sub.fact_fk),
+             flatten_dimension(sub, schemas, tables)))
+
+    pk_index = schema.index_of(join.dim_pk)
+    pred_cols = {name: schema.index_of(name)
+                 for name in join.predicate.columns()}
+    names = schema.names
+    out: dict[Any, dict[str, Any]] = {}
+    for row in rows:
+        if pred_cols:
+            get = lambda name, _row=row: _row[pred_cols[name]]
+            if not join.predicate.evaluate(get):
+                continue
+        flat = dict(zip(names, row))
+        miss = False
+        for fk_index, lookup in sub_lookups:
+            sub_row = lookup.get(row[fk_index])
+            if sub_row is None:
+                miss = True
+                break
+            flat.update(sub_row)
+        if miss:
+            continue
+        key = row[pk_index]
+        if key in out:
+            raise QueryError(
+                f"duplicate primary key {key!r} in dimension "
+                f"{join.dimension!r}")
+        out[key] = flat
+    return out

@@ -1,0 +1,375 @@
+"""The Clydesdale star-join MapReduce job (paper Figures 4 and 5).
+
+One MapReduce job executes the whole star join:
+
+* **map init** — build (or reuse) one hash table per dimension from the
+  node-local dimension cache, filtered by the dimension predicates;
+* **map** — scan the fact split (rows or B-CIF blocks), probe every hash
+  table with early-out, emit (group-key, aggregate contributions);
+* **combine/reduce** — merge aggregate states per group;
+* **driver** — final single-process ORDER BY.
+
+The :class:`MTMapRunner` replaces Hadoop's default runner: it unpacks the
+MultiCIF multi-split and feeds each thread its own reader while all
+threads share the one set of hash tables (read-only after build, so no
+synchronization is needed).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Any, Callable
+
+from repro.common.errors import MapReduceError, QueryError
+from repro.common.schema import Schema
+from repro.core.expressions import TruePredicate
+from repro.core.hashtable import DimensionHashTable
+from repro.core.query import StarQuery
+from repro.mapreduce.api import MapRunner, Mapper, Reducer, TaskContext
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import OutputCollector, RecordReader
+from repro.ssb.loader import dim_cache_name
+from repro.storage import serde
+from repro.storage.cif import RowBlock
+
+KEY_QUERY = "clydesdale.query"
+KEY_FACT_SCHEMA = "clydesdale.fact.schema"
+KEY_DIM_SCHEMAS = "clydesdale.dim.schemas"
+KEY_PROBE_RATE = "clydesdale.rate.probe.rows.per.s.per.thread"
+KEY_BUILD_RATE = "clydesdale.rate.build.rows.per.s"
+KEY_HT_BYTES_PER_ENTRY = "clydesdale.ht.bytes.per.entry"
+KEY_LATE_MATERIALIZATION = "clydesdale.late.materialization"
+
+COUNTER_GROUP = "clydesdale"
+
+
+def configure_query(conf: JobConf, query: StarQuery, fact_schema: Schema,
+                    dim_schemas: dict[str, Schema]) -> None:
+    """Serialize the query plan into the job configuration
+    (the paper's ``queryParams``, Figure 4 line 31)."""
+    conf.set(KEY_QUERY, json.dumps(query.to_dict()))
+    conf.set(KEY_FACT_SCHEMA, json.dumps(fact_schema.to_dict()))
+    conf.set(KEY_DIM_SCHEMAS, json.dumps(
+        {name: schema.to_dict() for name, schema in dim_schemas.items()}))
+
+
+def load_query_config(conf: JobConf) -> tuple[StarQuery, Schema, dict[str, Schema]]:
+    query = StarQuery.from_dict(json.loads(conf.require(KEY_QUERY)))
+    fact_schema = Schema.from_dict(json.loads(conf.require(KEY_FACT_SCHEMA)))
+    dim_schemas = {
+        name: Schema.from_dict(data)
+        for name, data in json.loads(conf.require(KEY_DIM_SCHEMAS)).items()}
+    return query, fact_schema, dim_schemas
+
+
+def resolve_aux_columns(query: StarQuery, join,
+                        dim_schemas: dict[str, Schema]) -> list[str]:
+    """Group-by columns supplied by a join's whole (snowflake) branch,
+    in group-by order."""
+    names: list[str] = []
+    for column in query.group_by:
+        for table in join.all_tables():
+            if column in dim_schemas[table] and column not in names:
+                names.append(column)
+                break
+    return names
+
+
+class StarJoinMapper(Mapper):
+    """Figure 4's ``QMapper``: n-way hash probe with early-out."""
+
+    def __init__(self) -> None:
+        self.query: StarQuery | None = None
+        self.hash_tables: list[DimensionHashTable] = []
+        self._fk_names: list[str] = []
+        self._group_plan: list[tuple[str, int, int]] = []
+        self._agg_fns: list[Callable[[Callable[[str], Any]], Any]] = []
+        self._fact_pred = None
+        self._rows_probed = 0
+        self._rows_matched = 0
+        self._late_materialization = False
+        self._lock = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------- #
+
+    def initialize(self, context: TaskContext) -> None:
+        query, fact_schema, dim_schemas = load_query_config(context.conf)
+        self.query = query
+        self._fact_pred = query.fact_predicate
+        self._fk_names = [j.fact_fk for j in query.joins]
+        self.hash_tables = self._build_or_reuse_hash_tables(
+            context, query, dim_schemas)
+        self._group_plan = self._plan_group_keys(query, fact_schema,
+                                                 dim_schemas)
+        self._agg_fns = [self._make_agg_fn(agg) for agg in query.aggregates]
+        self._late_materialization = context.conf.get_bool(
+            KEY_LATE_MATERIALIZATION, False)
+        ht_bytes = sum(
+            ht.stats.estimated_bytes(
+                context.conf.get_float(KEY_HT_BYTES_PER_ENTRY, 64.0))
+            for ht in self.hash_tables)
+        context.require_memory(ht_bytes)
+
+    def _build_or_reuse_hash_tables(
+            self, context: TaskContext, query: StarQuery,
+            dim_schemas: dict[str, Schema]) -> list[DimensionHashTable]:
+        cache_key = f"clydesdale.ht:{query.name}"
+        cached = context.jvm_state.get(cache_key)
+        if cached is not None:
+            context.count(COUNTER_GROUP, "ht_builds_reused")
+            return cached
+        tables: list[DimensionHashTable] = []
+        max_dim_rows = 0
+        for join in query.joins:
+            if join.snowflake:
+                branch_tables = {}
+                branch_rows = 0
+                for name in join.all_tables():
+                    blob = context.read_node_local(dim_cache_name(name))
+                    branch_tables[name] = serde.decode_rows(
+                        dim_schemas[name], blob)
+                    branch_rows += len(branch_tables[name])
+                aux = resolve_aux_columns(query, join, dim_schemas)
+                table = DimensionHashTable.build_snowflake(
+                    join, dim_schemas, branch_tables, aux)
+                rows_scanned = branch_rows
+            else:
+                schema = dim_schemas[join.dimension]
+                blob = context.read_node_local(
+                    dim_cache_name(join.dimension))
+                rows = serde.decode_rows(schema, blob)
+                aux = resolve_aux_columns(query, join, dim_schemas)
+                table = DimensionHashTable.build(
+                    dimension=join.dimension, fact_fk=join.fact_fk,
+                    schema=schema, rows=rows, dim_pk=join.dim_pk,
+                    predicate=join.predicate, aux_columns=aux)
+                rows_scanned = len(rows)
+            tables.append(table)
+            max_dim_rows = max(max_dim_rows, rows_scanned)
+            context.count(COUNTER_GROUP,
+                          f"ht_entries:{join.dimension}", len(table))
+            context.count(COUNTER_GROUP,
+                          f"ht_scanned:{join.dimension}", rows_scanned)
+        context.jvm_state[cache_key] = tables
+        context.count(COUNTER_GROUP, "ht_builds")
+        # The build parallelizes one thread per dimension (paper 4.2), so
+        # the wall time is set by the largest dimension table.
+        build_rate = context.conf.get_float(KEY_BUILD_RATE, 160_000.0)
+        context.charge(max_dim_rows / build_rate)
+        return tables
+
+    @staticmethod
+    def _plan_group_keys(query: StarQuery, fact_schema: Schema,
+                         dim_schemas: dict[str, Schema],
+                         ) -> list[tuple[str, int, int]]:
+        """Resolve each group-by column to its source.
+
+        Returns tuples ``("fact", fact_col_index_placeholder, 0)`` or
+        ``("dim", join_index, aux_index)``; fact columns are fetched by
+        name at probe time (the projected record's schema varies).
+        """
+        plan: list[tuple[str, int, int]] = []
+        for column in query.group_by:
+            if column in fact_schema:
+                plan.append(("fact", -1, 0))
+                continue
+            located = False
+            for join_index, join in enumerate(query.joins):
+                if any(column in dim_schemas[t]
+                       for t in join.all_tables()):
+                    aux = resolve_aux_columns(query, join, dim_schemas)
+                    plan.append(("dim", join_index, aux.index(column)))
+                    located = True
+                    break
+            if not located:
+                raise QueryError(
+                    f"group-by column {column!r} not found in the fact "
+                    f"table or any joined dimension")
+        return plan
+
+    @staticmethod
+    def _make_agg_fn(agg) -> Callable[[Callable[[str], Any]], Any]:
+        if agg.function == "count":
+            return lambda get: 1
+        expr = agg.expr
+        return expr.evaluate
+
+    # -- the probe pipeline ------------------------------------------------ #
+
+    def process_record(self, get: Callable[[str], Any],
+                       collector: OutputCollector) -> bool:
+        """Probe one fact row; emit on full match. Returns hit/miss."""
+        if not self._fact_pred.evaluate(get):
+            return False
+        aux_values: list[tuple] = []
+        for name, table in zip(self._fk_names, self.hash_tables):
+            aux = table.probe(get(name))
+            if aux is None:
+                return False  # early-out (paper 4.2)
+            aux_values.append(aux)
+        group_key = tuple(
+            get(self.query.group_by[i]) if source == "fact"
+            else aux_values[join_index][aux_index]
+            for i, (source, join_index, aux_index)
+            in enumerate(self._group_plan))
+        values = tuple(fn(get) for fn in self._agg_fns)
+        collector.collect(group_key, values)
+        return True
+
+    def map(self, key: Any, value: Any, collector: OutputCollector,
+            context: TaskContext) -> None:
+        if isinstance(value, RowBlock):
+            self._map_block(value, collector)
+        else:
+            record = value
+            get = record.get
+            matched = self.process_record(get, collector)
+            with self._lock:
+                self._rows_probed += 1
+                self._rows_matched += 1 if matched else 0
+
+    def _map_block(self, block: RowBlock, collector: OutputCollector,
+                   ) -> None:
+        if self._late_materialization:
+            matched = self._map_block_late(block, collector)
+        else:
+            matched = self._map_block_eager(block, collector)
+        with self._lock:
+            self._rows_probed += block.num_rows
+            self._rows_matched += matched
+
+    def _map_block_eager(self, block: RowBlock,
+                         collector: OutputCollector) -> int:
+        columns = block.columns
+        matched = 0
+        for i in range(block.num_rows):
+            get = lambda name, _i=i: columns[name][_i]
+            matched += 1 if self.process_record(get, collector) else 0
+        return matched
+
+    def _map_block_late(self, block: RowBlock,
+                        collector: OutputCollector) -> int:
+        """Late tuple reconstruction (paper 5.3's future-work idea).
+
+        Phase 1 touches only the predicate and foreign-key columns,
+        collecting the positions (and probed aux tuples) of surviving
+        rows; phase 2 materializes group keys and measures for the
+        survivors only. On selective queries most rows never touch the
+        measure columns, which is the cache win the paper anticipates.
+        """
+        columns = block.columns
+        pred = self._fact_pred
+        fk_lists = [columns[name] for name in self._fk_names]
+        tables = self.hash_tables
+
+        survivors: list[int] = []
+        survivor_aux: list[list[tuple]] = []
+        for i in range(block.num_rows):
+            if not isinstance(pred, TruePredicate):
+                get = lambda name, _i=i: columns[name][_i]
+                if not pred.evaluate(get):
+                    continue
+            aux_values = []
+            miss = False
+            for fk_list, table in zip(fk_lists, tables):
+                aux = table.probe(fk_list[i])
+                if aux is None:
+                    miss = True
+                    break
+                aux_values.append(aux)
+            if miss:
+                continue
+            survivors.append(i)
+            survivor_aux.append(aux_values)
+
+        group_by = self.query.group_by
+        plan = self._group_plan
+        agg_fns = self._agg_fns
+        for i, aux_values in zip(survivors, survivor_aux):
+            get = lambda name, _i=i: columns[name][_i]
+            group_key = tuple(
+                get(group_by[position]) if source == "fact"
+                else aux_values[join_index][aux_index]
+                for position, (source, join_index, aux_index)
+                in enumerate(plan))
+            values = tuple(fn(get) for fn in agg_fns)
+            collector.collect(group_key, values)
+        return len(survivors)
+
+    def close(self, collector: OutputCollector,
+              context: TaskContext) -> None:
+        probe_rate = context.conf.get_float(KEY_PROBE_RATE, 762_000.0)
+        context.charge(self._rows_probed
+                       / (probe_rate * max(1, context.threads)))
+        context.count(COUNTER_GROUP, "rows_probed", self._rows_probed)
+        context.count(COUNTER_GROUP, "rows_matched", self._rows_matched)
+
+
+class StarJoinReducer(Reducer):
+    """Figure 4's ``QReducer`` generalized to any aggregate list."""
+
+    def __init__(self) -> None:
+        self._aggregates = None
+
+    def initialize(self, context: TaskContext) -> None:
+        query, _, _ = load_query_config(context.conf)
+        self._aggregates = query.aggregates
+
+    def reduce(self, key: Any, values, collector: OutputCollector,
+               context: TaskContext) -> None:
+        if self._aggregates is None:
+            self.initialize(context)
+        merged: list[Any] | None = None
+        for value in values:
+            if merged is None:
+                merged = list(value)
+            else:
+                merged = [agg.merge(m, v) for agg, m, v
+                          in zip(self._aggregates, merged, value)]
+        collector.collect(key, tuple(merged or ()))
+
+
+class StarJoinCombiner(StarJoinReducer):
+    """Map-side partial aggregation (paper 4.2: "combiners can be used")."""
+
+
+class MTMapRunner(MapRunner):
+    """Figure 5: a multi-threaded map task sharing one set of hash tables.
+
+    Unpacks the multi-split into per-thread readers; join threads run the
+    probe pipeline concurrently against the shared read-only hash tables.
+    """
+
+    def run(self, reader: RecordReader, mapper: Mapper,
+            collector: OutputCollector, context: TaskContext) -> None:
+        mapper.initialize(context)
+        readers = reader.get_multiple_readers()
+        num_threads = max(1, min(context.threads, len(readers)))
+        queue: list[RecordReader] = list(readers)
+        queue_lock = threading.Lock()
+        errors: list[Exception] = []
+
+        def join_thread() -> None:
+            try:
+                while True:
+                    with queue_lock:
+                        if not queue:
+                            return
+                        current = queue.pop(0)
+                    for key, value in current:
+                        mapper.map(key, value, collector, context)
+            except Exception as exc:  # propagated after join
+                errors.append(exc)
+
+        threads = [threading.Thread(target=join_thread,
+                                    name=f"join-thread-{i}")
+                   for i in range(num_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise MapReduceError(
+                f"join thread failed: {errors[0]}") from errors[0]
+        mapper.close(collector, context)

@@ -1,0 +1,280 @@
+"""The star-query AST: joins, aggregates, grouping, ordering.
+
+A :class:`StarQuery` describes a query of the shape the paper targets —
+one fact table joined with any number of dimension tables, measures
+aggregated, grouped by dimension (or fact) columns, ordered at the end:
+
+>>> from repro.core.expressions import Comparison, Col
+>>> q = StarQuery(
+...     name="example",
+...     fact_table="lineorder",
+...     joins=[DimensionJoin("customer", fact_fk="lo_custkey",
+...                          dim_pk="c_custkey",
+...                          predicate=Comparison("c_region", "=", "ASIA"))],
+...     aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+...     group_by=["c_nation"],
+...     order_by=[OrderKey("revenue", descending=True)])
+
+Both engines (Clydesdale and the Hive baseline) execute the same AST, and
+``to_sql()`` renders the SQL the paper prints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.common.errors import QueryError
+from repro.core.expressions import (
+    Predicate,
+    TruePredicate,
+    ValueExpr,
+    predicate_from_dict,
+    value_from_dict,
+)
+
+AGG_FUNCTIONS = ("sum", "count", "min", "max")
+
+
+@dataclass
+class DimensionJoin:
+    """One fact-to-dimension equi-join edge of the star.
+
+    ``snowflake`` turns the edge into a snowflake branch: each sub-join
+    normalizes part of this dimension into its own table. For a
+    sub-join, ``fact_fk`` names the foreign-key column *in the parent
+    dimension* (e.g. store.st_region_id -> region.r_id). Clydesdale
+    denormalizes the branch while building the dimension hash table, so
+    the probe phase is unchanged (paper section 4: star *or snowflake*
+    schemas).
+    """
+
+    dimension: str
+    fact_fk: str
+    dim_pk: str
+    predicate: Predicate = field(default_factory=TruePredicate)
+    snowflake: list["DimensionJoin"] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {"dimension": self.dimension, "fact_fk": self.fact_fk,
+                "dim_pk": self.dim_pk,
+                "predicate": self.predicate.to_dict(),
+                "snowflake": [s.to_dict() for s in self.snowflake]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DimensionJoin":
+        return cls(dimension=data["dimension"], fact_fk=data["fact_fk"],
+                   dim_pk=data["dim_pk"],
+                   predicate=predicate_from_dict(data["predicate"]),
+                   snowflake=[cls.from_dict(s)
+                              for s in data.get("snowflake", [])])
+
+    def all_tables(self) -> list[str]:
+        """This dimension plus every (transitive) snowflake table."""
+        tables = [self.dimension]
+        for sub in self.snowflake:
+            tables.extend(sub.all_tables())
+        return tables
+
+
+@dataclass
+class Aggregate:
+    """An aggregate over a fact-row value expression."""
+
+    function: str
+    expr: ValueExpr
+    alias: str
+
+    def __post_init__(self) -> None:
+        if self.function not in AGG_FUNCTIONS:
+            raise QueryError(f"unknown aggregate {self.function!r}; "
+                             f"supported: {AGG_FUNCTIONS}")
+        if not self.alias:
+            raise QueryError("aggregate needs an alias")
+
+    def initial(self) -> Any:
+        if self.function == "sum":
+            return 0
+        if self.function == "count":
+            return 0
+        return None  # min/max start undefined
+
+    def accumulate(self, state: Any, value: Any) -> Any:
+        if self.function == "sum":
+            return state + value
+        if self.function == "count":
+            return state + 1
+        if self.function == "min":
+            return value if state is None else min(state, value)
+        return value if state is None else max(state, value)
+
+    def merge(self, left: Any, right: Any) -> Any:
+        """Combine two partial states (combiner/reducer merging)."""
+        if self.function in ("sum", "count"):
+            return left + right
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return min(left, right) if self.function == "min" \
+            else max(left, right)
+
+    def to_dict(self) -> dict:
+        return {"function": self.function, "expr": self.expr.to_dict(),
+                "alias": self.alias}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Aggregate":
+        return cls(function=data["function"],
+                   expr=value_from_dict(data["expr"]), alias=data["alias"])
+
+    def to_sql(self) -> str:
+        return f"{self.function}({self.expr.to_sql()}) AS {self.alias}"
+
+
+@dataclass(frozen=True)
+class OrderKey:
+    """One ORDER BY key: a group column name or an aggregate alias."""
+
+    column: str
+    descending: bool = False
+
+    def to_dict(self) -> dict:
+        return {"column": self.column, "descending": self.descending}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OrderKey":
+        return cls(column=data["column"],
+                   descending=bool(data["descending"]))
+
+
+@dataclass
+class StarQuery:
+    """A complete star-join aggregation query."""
+
+    name: str
+    fact_table: str
+    joins: list[DimensionJoin] = field(default_factory=list)
+    fact_predicate: Predicate = field(default_factory=TruePredicate)
+    aggregates: list[Aggregate] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[OrderKey] = field(default_factory=list)
+    limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.aggregates:
+            raise QueryError(f"query {self.name!r} has no aggregates")
+        seen_aliases = set()
+        for agg in self.aggregates:
+            if agg.alias in seen_aliases:
+                raise QueryError(f"duplicate aggregate alias {agg.alias!r}")
+            seen_aliases.add(agg.alias)
+        dims = [j.dimension for j in self.joins]
+        if len(dims) != len(set(dims)):
+            raise QueryError(
+                f"query {self.name!r} joins a dimension twice")
+        output = set(self.group_by) | seen_aliases
+        for key in self.order_by:
+            if key.column not in output:
+                raise QueryError(
+                    f"ORDER BY column {key.column!r} is neither a group "
+                    f"key nor an aggregate alias")
+
+    # -- column requirement analysis (drives CIF projection) ------------- #
+
+    def fact_columns(self) -> list[str]:
+        """Fact-table columns the scan must read, in deterministic order.
+
+        Foreign keys of every join, fact-predicate columns, aggregate
+        input columns, and any group-by columns that live on the fact
+        table side (identified later by the planner against schemas; here
+        we return all candidates that are not dimension-provided).
+        """
+        ordered: list[str] = []
+
+        def add(name: str) -> None:
+            if name not in ordered:
+                ordered.append(name)
+
+        for join in self.joins:
+            add(join.fact_fk)
+        for column in sorted(self.fact_predicate.columns()):
+            add(column)
+        for agg in self.aggregates:
+            for column in sorted(agg.expr.columns()):
+                add(column)
+        return ordered
+
+    def aux_columns(self, dimension: str,
+                    dim_schema_names: Sequence[str]) -> list[str]:
+        """Group-by columns supplied by ``dimension`` (paper section 4.2:
+        the hash-table payload)."""
+        names = set(dim_schema_names)
+        return [c for c in self.group_by if c in names]
+
+    def join_for(self, dimension: str) -> DimensionJoin:
+        for join in self.joins:
+            if join.dimension == dimension:
+                return join
+        raise QueryError(f"query {self.name!r} does not join {dimension!r}")
+
+    # -- serialization ----------------------------------------------------- #
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "fact_table": self.fact_table,
+            "joins": [j.to_dict() for j in self.joins],
+            "fact_predicate": self.fact_predicate.to_dict(),
+            "aggregates": [a.to_dict() for a in self.aggregates],
+            "group_by": list(self.group_by),
+            "order_by": [k.to_dict() for k in self.order_by],
+            "limit": self.limit,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "StarQuery":
+        return cls(
+            name=data["name"],
+            fact_table=data["fact_table"],
+            joins=[DimensionJoin.from_dict(j) for j in data["joins"]],
+            fact_predicate=predicate_from_dict(data["fact_predicate"]),
+            aggregates=[Aggregate.from_dict(a) for a in data["aggregates"]],
+            group_by=list(data["group_by"]),
+            order_by=[OrderKey.from_dict(k) for k in data["order_by"]],
+            limit=data.get("limit"),
+        )
+
+    def to_sql(self) -> str:
+        """Render the query as the SQL text the paper prints."""
+        select = ", ".join(self.group_by
+                           + [a.to_sql() for a in self.aggregates])
+        tables = ", ".join([self.fact_table]
+                           + [t for j in self.joins
+                              for t in j.all_tables()])
+        where_parts: list[str] = []
+
+        def render_branch(join: DimensionJoin) -> None:
+            where_parts.append(f"{join.fact_fk} = {join.dim_pk}")
+            if not isinstance(join.predicate, TruePredicate):
+                where_parts.append(join.predicate.to_sql())
+            for sub in join.snowflake:
+                render_branch(sub)
+
+        for join in self.joins:
+            render_branch(join)
+        if not isinstance(self.fact_predicate, TruePredicate):
+            where_parts.append(self.fact_predicate.to_sql())
+        sql = f"SELECT {select}\nFROM {tables}"
+        if where_parts:
+            sql += "\nWHERE " + "\n  AND ".join(where_parts)
+        if self.group_by:
+            sql += "\nGROUP BY " + ", ".join(self.group_by)
+        if self.order_by:
+            rendered = ", ".join(
+                f"{k.column} {'DESC' if k.descending else 'ASC'}"
+                for k in self.order_by)
+            sql += "\nORDER BY " + rendered
+        if self.limit is not None:
+            sql += f"\nLIMIT {self.limit}"
+        return sql + ";"

@@ -1,0 +1,99 @@
+"""Query results and final ORDER BY handling.
+
+The paper evaluates ORDER BY with a single-process sort after the
+MapReduce job finishes (Figure 4 line 33); :func:`apply_order_by`
+implements that step with SQL semantics (stable multi-key sort, ASC/DESC
+per key).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.common.errors import QueryError
+from repro.core.query import OrderKey
+
+
+@dataclass
+class QueryResult:
+    """The rows a star query returns, with their output column names."""
+
+    query_name: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    #: Simulated wall-clock seconds for the whole query (when available).
+    simulated_seconds: float = 0.0
+    #: Per-phase simulated time (build/probe/shuffle/...).
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    def column(self, name: str) -> list[Any]:
+        try:
+            index = self.columns.index(name)
+        except ValueError as exc:
+            raise QueryError(
+                f"result has no column {name!r}; have {self.columns}"
+            ) from exc
+        return [row[index] for row in self.rows]
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def row_set(self) -> set[tuple]:
+        """Order-insensitive view for result comparison in tests."""
+        return set(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_csv(self) -> str:
+        """Render the result as CSV text (header + rows)."""
+        import csv
+        import io
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(self.columns)
+        writer.writerows(self.rows)
+        return buffer.getvalue()
+
+    def to_markdown(self, max_rows: int | None = None) -> str:
+        """Render the result as a GitHub-flavored markdown table."""
+        shown = self.rows if max_rows is None else self.rows[:max_rows]
+        lines = ["| " + " | ".join(self.columns) + " |",
+                 "| " + " | ".join("---" for _ in self.columns) + " |"]
+        for row in shown:
+            lines.append("| " + " | ".join(str(v) for v in row) + " |")
+        if max_rows is not None and len(self.rows) > max_rows:
+            lines.append(f"| ... {len(self.rows) - max_rows} more rows |")
+        return "\n".join(lines)
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """Simple fixed-width rendering for examples and docs."""
+        shown = self.rows[:max_rows]
+        cells = [[str(v) for v in row] for row in shown]
+        widths = [max([len(c)] + [len(row[i]) for row in cells])
+                  for i, c in enumerate(self.columns)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines = [header, "  ".join("-" * w for w in widths)]
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+def apply_order_by(rows: list[tuple], columns: Sequence[str],
+                   order_by: Sequence[OrderKey],
+                   limit: int | None = None) -> list[tuple]:
+    """Sort rows by the query's ORDER BY keys (stable, SQL semantics)."""
+    out = list(rows)
+    index = {name: i for i, name in enumerate(columns)}
+    for key in reversed(list(order_by)):
+        if key.column not in index:
+            raise QueryError(f"ORDER BY references unknown output column "
+                             f"{key.column!r}")
+        position = index[key.column]
+        out.sort(key=lambda row: row[position], reverse=key.descending)
+    if limit is not None:
+        out = out[:limit]
+    return out

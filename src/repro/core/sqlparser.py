@@ -1,0 +1,531 @@
+"""A SQL front-end for star queries.
+
+The paper's Clydesdale accepts queries "written as Java programs"; this
+reproduction goes one step further and parses the star-join SQL dialect
+the paper itself prints (and that the Star Schema Benchmark uses):
+
+    SELECT c_nation, s_nation, d_year, sum(lo_revenue) AS revenue
+    FROM lineorder, customer, supplier, date
+    WHERE lo_custkey = c_custkey
+      AND lo_suppkey = s_suppkey
+      AND lo_orderdate = d_datekey
+      AND c_region = 'ASIA' AND s_region = 'ASIA'
+      AND d_year >= 1992 AND d_year <= 1997
+    GROUP BY c_nation, s_nation, d_year
+    ORDER BY d_year ASC, revenue DESC;
+
+Supported surface: SELECT with sum/count/min/max aggregates (arithmetic
+over fact columns, COUNT(*)), comma FROM lists, conjunctive WHERE whose
+conjuncts are either equi-join conditions or single-table predicates
+(=, !=, <, <=, >, >=, BETWEEN, IN, AND/OR/NOT within one table), GROUP
+BY, ORDER BY ... ASC|DESC, LIMIT. Join conditions are resolved against
+the catalog's schemas: the first FROM table is the fact table; edges
+between two dimensions become snowflake branches.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from repro.common.errors import QueryError
+from repro.common.schema import Schema
+from repro.core.expressions import (
+    And,
+    Between,
+    BinaryOp,
+    Col,
+    Comparison,
+    InList,
+    Lit,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+    ValueExpr,
+)
+from repro.core.query import Aggregate, DimensionJoin, OrderKey, StarQuery
+
+AGG_FUNCTIONS = ("sum", "count", "min", "max")
+
+_TOKEN_RE = re.compile(r"""
+    \s*(?:
+        (?P<string>'(?:[^']|'')*')
+      | (?P<number>\d+\.\d+|\.\d+|\d+)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9#.]*)
+      | (?P<op><=|>=|!=|<>|[=<>(),;*+\-/])
+    )""", re.VERBOSE)
+
+
+class SqlError(QueryError):
+    """A SQL parsing or resolution failure (with position context)."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # "string" | "number" | "ident" | "op" | "end"
+    text: str
+    position: int
+
+    @property
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if match is None:
+            if sql[position:].strip() == "":
+                break
+            raise SqlError(
+                f"unexpected character {sql[position]!r} at offset "
+                f"{position}")
+        for kind in ("string", "number", "ident", "op"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(Token(kind, text, match.start(kind)))
+                break
+        position = match.end()
+    tokens.append(Token("end", "", len(sql)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser producing an unresolved syntax form."""
+
+    KEYWORDS = {"SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY",
+                "LIMIT", "AS", "AND", "OR", "NOT", "BETWEEN", "IN",
+                "ASC", "DESC"}
+
+    def __init__(self, sql: str):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token helpers ----------------------------------------------------- #
+
+    def peek(self) -> Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != "end":
+            self.index += 1
+        return token
+
+    def accept_keyword(self, word: str) -> bool:
+        token = self.peek()
+        if token.kind == "ident" and token.upper == word:
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise SqlError(
+                f"expected {word} near offset {self.peek().position} "
+                f"(got {self.peek().text!r})")
+
+    def accept_op(self, op: str) -> bool:
+        token = self.peek()
+        if token.kind == "op" and token.text == op:
+            self.advance()
+            return True
+        return False
+
+    def expect_op(self, op: str) -> None:
+        if not self.accept_op(op):
+            raise SqlError(
+                f"expected {op!r} near offset {self.peek().position} "
+                f"(got {self.peek().text!r})")
+
+    def expect_ident(self) -> str:
+        token = self.peek()
+        if token.kind != "ident" or token.upper in self.KEYWORDS:
+            raise SqlError(
+                f"expected identifier near offset {token.position} "
+                f"(got {token.text!r})")
+        self.advance()
+        return token.text
+
+    # -- grammar ------------------------------------------------------------ #
+
+    def parse(self) -> dict:
+        self.expect_keyword("SELECT")
+        select_items = [self.select_item()]
+        while self.accept_op(","):
+            select_items.append(self.select_item())
+        self.expect_keyword("FROM")
+        tables = [self.expect_ident()]
+        while self.accept_op(","):
+            tables.append(self.expect_ident())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.condition()
+        group_by: list[str] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expect_ident())
+            while self.accept_op(","):
+                group_by.append(self.expect_ident())
+        order_by: list[OrderKey] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_key())
+            while self.accept_op(","):
+                order_by.append(self.order_key())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self.peek()
+            if token.kind != "number" or "." in token.text:
+                raise SqlError("LIMIT expects an integer")
+            limit = int(self.advance().text)
+        self.accept_op(";")
+        if self.peek().kind != "end":
+            raise SqlError(
+                f"trailing input near offset {self.peek().position}: "
+                f"{self.peek().text!r}")
+        return {"select": select_items, "tables": tables, "where": where,
+                "group_by": group_by, "order_by": order_by,
+                "limit": limit}
+
+    def order_key(self) -> OrderKey:
+        column = self.expect_ident()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderKey(column, descending=descending)
+
+    def select_item(self) -> dict:
+        token = self.peek()
+        if token.kind == "ident" and token.upper.lower() in AGG_FUNCTIONS \
+                and self.tokens[self.index + 1].text == "(":
+            function = self.advance().text.lower()
+            self.expect_op("(")
+            if function == "count" and self.accept_op("*"):
+                expr: ValueExpr = Lit(1)
+            else:
+                expr = self.value_expr()
+            self.expect_op(")")
+            alias = None
+            if self.accept_keyword("AS"):
+                alias = self.expect_ident()
+            return {"kind": "agg", "function": function, "expr": expr,
+                    "alias": alias}
+        return {"kind": "column", "name": self.expect_ident()}
+
+    # value expressions: term ((+|-) term)*; term: factor ((*|/) factor)*
+    def value_expr(self) -> ValueExpr:
+        expr = self.term()
+        while True:
+            if self.accept_op("+"):
+                expr = BinaryOp("+", expr, self.term())
+            elif self.accept_op("-"):
+                expr = BinaryOp("-", expr, self.term())
+            else:
+                return expr
+
+    def term(self) -> ValueExpr:
+        expr = self.factor()
+        while True:
+            if self.accept_op("*"):
+                expr = BinaryOp("*", expr, self.factor())
+            elif self.accept_op("/"):
+                expr = BinaryOp("/", expr, self.factor())
+            else:
+                return expr
+
+    def factor(self) -> ValueExpr:
+        if self.accept_op("("):
+            expr = self.value_expr()
+            self.expect_op(")")
+            return expr
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return Lit(self._number(token.text))
+        if token.kind == "string":
+            self.advance()
+            return Lit(self._string(token.text))
+        return Col(self.expect_ident())
+
+    # conditions: or_expr; or: and (OR and)*; and: unary (AND unary)*
+    def condition(self) -> "_Cond":
+        parts = [self.and_condition()]
+        while self.accept_keyword("OR"):
+            parts.append(self.and_condition())
+        return parts[0] if len(parts) == 1 else _Bool("or", parts)
+
+    def and_condition(self) -> "_Cond":
+        parts = [self.unary_condition()]
+        while self.accept_keyword("AND"):
+            parts.append(self.unary_condition())
+        return parts[0] if len(parts) == 1 else _Bool("and", parts)
+
+    def unary_condition(self) -> "_Cond":
+        if self.accept_keyword("NOT"):
+            return _Bool("not", [self.unary_condition()])
+        if self.accept_op("("):
+            inner = self.condition()
+            self.expect_op(")")
+            return inner
+        return self.comparison()
+
+    def comparison(self) -> "_Cond":
+        column = self.expect_ident()
+        if self.accept_keyword("BETWEEN"):
+            low = self.literal()
+            self.expect_keyword("AND")
+            high = self.literal()
+            return _Pred(Between(column, low, high), {column})
+        if self.accept_keyword("IN"):
+            self.expect_op("(")
+            values = [self.literal()]
+            while self.accept_op(","):
+                values.append(self.literal())
+            self.expect_op(")")
+            return _Pred(InList(column, values), {column})
+        for op in ("<=", ">=", "!=", "<>", "=", "<", ">"):
+            if self.accept_op(op):
+                canonical = "!=" if op == "<>" else op
+                token = self.peek()
+                if token.kind == "ident" \
+                        and token.upper not in self.KEYWORDS:
+                    other = self.expect_ident()
+                    if canonical != "=":
+                        raise SqlError(
+                            "only equality joins between columns are "
+                            "supported")
+                    return _JoinCond(column, other)
+                return _Pred(Comparison(column, canonical,
+                                        self.literal()),
+                             {column})
+        raise SqlError(
+            f"expected a comparison operator near offset "
+            f"{self.peek().position}")
+
+    def literal(self) -> Any:
+        token = self.peek()
+        if token.kind == "number":
+            self.advance()
+            return self._number(token.text)
+        if token.kind == "string":
+            self.advance()
+            return self._string(token.text)
+        raise SqlError(
+            f"expected a literal near offset {token.position} "
+            f"(got {token.text!r})")
+
+    @staticmethod
+    def _number(text: str) -> Any:
+        return float(text) if "." in text else int(text)
+
+    @staticmethod
+    def _string(text: str) -> str:
+        return text[1:-1].replace("''", "'")
+
+
+# --------------------------------------------------------------------- #
+# Unresolved condition forms
+# --------------------------------------------------------------------- #
+
+class _Cond:
+    pass
+
+
+@dataclass
+class _Pred(_Cond):
+    predicate: Predicate
+    columns: set[str]
+
+
+@dataclass
+class _JoinCond(_Cond):
+    left: str
+    right: str
+
+
+@dataclass
+class _Bool(_Cond):
+    op: str  # "and" | "or" | "not"
+    parts: list
+
+
+# --------------------------------------------------------------------- #
+# Resolution against schemas
+# --------------------------------------------------------------------- #
+
+def _conjuncts(cond: _Cond | None) -> list[_Cond]:
+    if cond is None:
+        return []
+    if isinstance(cond, _Bool) and cond.op == "and":
+        out = []
+        for part in cond.parts:
+            out.extend(_conjuncts(part))
+        return out
+    return [cond]
+
+
+def _table_of_column(column: str, tables: Sequence[str],
+                     schemas: Mapping[str, Schema]) -> str:
+    owners = [t for t in tables if column in schemas[t]]
+    if not owners:
+        raise SqlError(f"column {column!r} not found in any FROM table")
+    if len(owners) > 1:
+        raise SqlError(
+            f"column {column!r} is ambiguous across {owners}")
+    return owners[0]
+
+
+def _to_predicate(cond: _Cond) -> tuple[Predicate, set[str]]:
+    """Collapse a single-table condition tree into a Predicate."""
+    if isinstance(cond, _Pred):
+        return cond.predicate, set(cond.columns)
+    if isinstance(cond, _JoinCond):
+        raise SqlError(
+            "join conditions may not appear under OR/NOT")
+    assert isinstance(cond, _Bool)
+    parts = []
+    columns: set[str] = set()
+    for sub in cond.parts:
+        predicate, cols = _to_predicate(sub)
+        parts.append(predicate)
+        columns |= cols
+    if cond.op == "not":
+        return Not(parts[0]), columns
+    if cond.op == "or":
+        return Or(parts), columns
+    return And(parts), columns
+
+
+def parse_sql(sql: str, schemas: Mapping[str, Schema],
+              name: str = "sql-query") -> StarQuery:
+    """Parse star-join SQL into a :class:`StarQuery`.
+
+    ``schemas`` maps table names to their schemas (e.g. a catalog's
+    view); the first table in FROM is taken as the fact table.
+    """
+    parsed = _Parser(sql).parse()
+    tables = parsed["tables"]
+    for table in tables:
+        if table not in schemas:
+            raise SqlError(f"unknown table {table!r}")
+    if len(set(tables)) != len(tables):
+        raise SqlError("a table appears twice in FROM")
+    fact = tables[0]
+    dims = tables[1:]
+
+    # Partition WHERE conjuncts into join edges and per-table predicates.
+    join_edges: list[tuple[str, str, str, str]] = []  # (tA, cA, tB, cB)
+    table_preds: dict[str, list[Predicate]] = {t: [] for t in tables}
+    for conjunct in _conjuncts(parsed["where"]):
+        if isinstance(conjunct, _JoinCond):
+            left_table = _table_of_column(conjunct.left, tables, schemas)
+            right_table = _table_of_column(conjunct.right, tables,
+                                           schemas)
+            if left_table == right_table:
+                raise SqlError(
+                    f"self-join condition on {left_table!r} is not "
+                    f"supported")
+            join_edges.append((left_table, conjunct.left,
+                               right_table, conjunct.right))
+        else:
+            predicate, columns = _to_predicate(conjunct)
+            owners = {_table_of_column(c, tables, schemas)
+                      for c in columns}
+            if len(owners) != 1:
+                raise SqlError(
+                    f"predicate {predicate.to_sql()} mixes columns from "
+                    f"{sorted(owners)}; only single-table predicates "
+                    f"are supported")
+            table_preds[owners.pop()].append(predicate)
+
+    def predicate_for(table: str) -> Predicate:
+        preds = table_preds[table]
+        if not preds:
+            return TruePredicate()
+        return preds[0] if len(preds) == 1 else And(preds)
+
+    # Build the join tree breadth-first from the fact table: fact-dim
+    # edges become DimensionJoins; dim-dim edges snowflake branches.
+    adjacency: dict[str, list[tuple[str, str, str]]] = {
+        t: [] for t in tables}
+    for table_a, col_a, table_b, col_b in join_edges:
+        adjacency[table_a].append((table_b, col_a, col_b))
+        adjacency[table_b].append((table_a, col_b, col_a))
+
+    visited = {fact}
+    joins_by_table: dict[str, DimensionJoin] = {}
+    roots: list[DimensionJoin] = []
+    frontier = [fact]
+    while frontier:
+        current = frontier.pop(0)
+        for other, current_col, other_col in adjacency[current]:
+            if other in visited:
+                continue
+            visited.add(other)
+            join = DimensionJoin(
+                dimension=other, fact_fk=current_col, dim_pk=other_col,
+                predicate=predicate_for(other))
+            joins_by_table[other] = join
+            if current == fact:
+                roots.append(join)
+            else:
+                joins_by_table[current].snowflake.append(join)
+            frontier.append(other)
+    unjoined = [t for t in dims if t not in visited]
+    if unjoined:
+        raise SqlError(
+            f"tables {unjoined} have no join path to {fact!r} "
+            f"(cross products are not supported)")
+
+    # SELECT list -> group columns + aggregates.
+    group_by = list(parsed["group_by"])
+    aggregates: list[Aggregate] = []
+    plain_columns: list[str] = []
+    agg_counter = 0
+    for item in parsed["select"]:
+        if item["kind"] == "column":
+            plain_columns.append(item["name"])
+        else:
+            alias = item["alias"]
+            if alias is None:
+                agg_counter += 1
+                columns = sorted(item["expr"].columns())
+                alias = (f"{item['function']}_{columns[0]}"
+                         if columns else f"{item['function']}_{agg_counter}")
+            aggregates.append(Aggregate(item["function"], item["expr"],
+                                        alias=alias))
+    if not aggregates:
+        raise SqlError("SELECT must contain at least one aggregate "
+                       "(Clydesdale executes aggregation queries)")
+    for column in plain_columns:
+        if column not in group_by:
+            raise SqlError(
+                f"non-aggregated column {column!r} must appear in "
+                f"GROUP BY")
+    for column in group_by:
+        _table_of_column(column, tables, schemas)
+    for aggregate in aggregates:
+        for column in aggregate.expr.columns():
+            if _table_of_column(column, tables, schemas) != fact:
+                raise SqlError(
+                    f"aggregate input {column!r} must come from the "
+                    f"fact table {fact!r}")
+
+    return StarQuery(
+        name=name,
+        fact_table=fact,
+        joins=roots,
+        fact_predicate=predicate_for(fact),
+        aggregates=aggregates,
+        group_by=group_by,
+        order_by=list(parsed["order_by"]),
+        limit=parsed["limit"],
+    )

@@ -1,0 +1,41 @@
+"""Mini-HDFS: an in-process distributed filesystem simulation.
+
+Real bytes, real replica placement and locality metadata, pluggable
+block placement (the HDFS 0.21 feature Clydesdale's CIF depends on),
+node-failure injection and re-replication.
+"""
+
+from repro.hdfs.blocks import BlockId, BlockInfo, BlockLocation
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.faults import FaultInjector
+from repro.hdfs.filesystem import (
+    DEFAULT_BLOCK_SIZE,
+    DEFAULT_REPLICATION,
+    HdfsWriter,
+    MiniDFS,
+)
+from repro.hdfs.namenode import INode, NameNode
+from repro.hdfs.placement import (
+    CoLocatingPlacementPolicy,
+    DefaultPlacementPolicy,
+    PlacementPolicy,
+)
+from repro.hdfs.topology import Topology
+
+__all__ = [
+    "BlockId",
+    "BlockInfo",
+    "BlockLocation",
+    "CoLocatingPlacementPolicy",
+    "DEFAULT_BLOCK_SIZE",
+    "DEFAULT_REPLICATION",
+    "DataNode",
+    "DefaultPlacementPolicy",
+    "FaultInjector",
+    "HdfsWriter",
+    "INode",
+    "MiniDFS",
+    "NameNode",
+    "PlacementPolicy",
+    "Topology",
+]

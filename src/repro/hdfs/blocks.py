@@ -1,0 +1,48 @@
+"""Block-level primitives for the mini distributed filesystem.
+
+Files in mini-HDFS are split into fixed-size blocks; each block is
+replicated onto several datanodes. A :class:`BlockId` names a block
+globally; :class:`BlockInfo` is the namenode's metadata for one block.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class BlockId:
+    """Globally unique block identifier: (file path, block index)."""
+
+    path: str
+    index: int
+
+    def __str__(self) -> str:
+        return f"{self.path}#blk{self.index}"
+
+
+@dataclass
+class BlockInfo:
+    """Namenode-side metadata for one block."""
+
+    block_id: BlockId
+    length: int
+    #: Datanode ids currently holding a healthy replica, in pipeline order.
+    replicas: list[str] = field(default_factory=list)
+
+    @property
+    def replication(self) -> int:
+        return len(self.replicas)
+
+
+@dataclass(frozen=True)
+class BlockLocation:
+    """Client-visible location of one byte range of a file.
+
+    Mirrors Hadoop's ``BlockLocation``: the hosts able to serve this range
+    locally. Input formats use this for locality-aware split placement.
+    """
+
+    offset: int
+    length: int
+    hosts: tuple[str, ...]

@@ -1,0 +1,63 @@
+"""Failure injection for mini-HDFS.
+
+The paper's motivation for keeping HDFS (rather than HadoopDB's
+per-node databases) is that the distributed filesystem masks disk and
+node failures on commodity hardware. These helpers let tests and the
+fault-tolerance example exercise that property deterministically.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.hdfs.filesystem import MiniDFS
+
+
+@dataclass
+class FaultInjector:
+    """Deterministic node-failure injector bound to a filesystem."""
+
+    fs: MiniDFS
+    seed: int = 23
+    killed: list[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(self.seed)
+
+    def kill_random_node(self) -> str:
+        """Fail one live datanode chosen at (seeded) random."""
+        live = self.fs.live_nodes()
+        if not live:
+            raise RuntimeError("no live nodes remain to kill")
+        victim = self._rng.choice(live)
+        self.kill_node(victim)
+        return victim
+
+    def kill_node(self, node_id: str) -> None:
+        self.fs.fail_node(node_id)
+        self.killed.append(node_id)
+
+    def kill_nodes(self, count: int) -> list[str]:
+        return [self.kill_random_node() for _ in range(count)]
+
+    def heal(self) -> int:
+        """Re-replicate all degraded blocks; returns new replica count."""
+        return self.fs.re_replicate()
+
+    def recover_node(self, node_id: str) -> None:
+        """Bring a dead node back empty (like swapping in new hardware)."""
+        self.fs.datanode(node_id).recover_empty()
+        if node_id in self.killed:
+            self.killed.remove(node_id)
+
+    def surviving_replica_histogram(self) -> dict[int, int]:
+        """Map replica-count -> number of blocks at that count."""
+        histogram: dict[int, int] = {}
+        for path in self.fs.namenode.all_paths():
+            for info in self.fs.namenode.get_file(path).blocks:
+                alive = sum(
+                    1 for n in info.replicas
+                    if self.fs.datanodes[n].has_replica(info.block_id))
+                histogram[alive] = histogram.get(alive, 0) + 1
+        return histogram

@@ -1,0 +1,289 @@
+"""MiniDFS: the client-facing distributed filesystem facade.
+
+Combines the namenode, the datanodes, the topology, and a pluggable
+placement policy into one object with a Hadoop-`FileSystem`-like API:
+
+>>> from repro.hdfs import MiniDFS
+>>> fs = MiniDFS(num_nodes=4)
+>>> fs.write_file("/data/hello.txt", b"hello world")
+>>> fs.read_file("/data/hello.txt")
+b'hello world'
+
+Data is real (bytes in memory); locality metadata is real (which node
+holds which replica); time is simulated elsewhere.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterable
+
+from repro.common.errors import (
+    BlockCorruptionError,
+    HdfsError,
+    ReplicationError,
+)
+from repro.common.units import MB
+from repro.hdfs.blocks import BlockId, BlockInfo, BlockLocation
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import INode, NameNode
+from repro.hdfs.placement import DefaultPlacementPolicy, PlacementPolicy
+from repro.hdfs.topology import Topology
+
+DEFAULT_BLOCK_SIZE = 4 * MB  # scaled-down analogue of Hadoop's 64/128 MB
+DEFAULT_REPLICATION = 3
+
+
+class HdfsWriter:
+    """Streaming writer that cuts blocks at the file's block size."""
+
+    def __init__(self, fs: "MiniDFS", inode: INode,
+                 writer_node: str | None):
+        self._fs = fs
+        self._inode = inode
+        self._writer_node = writer_node
+        self._buffer = io.BytesIO()
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if self._closed:
+            raise HdfsError("writer already closed")
+        self._buffer.write(data)
+        self._flush_full_blocks()
+
+    def _flush_full_blocks(self) -> None:
+        block_size = self._inode.block_size
+        view = self._buffer.getvalue()
+        cursor = 0
+        while len(view) - cursor >= block_size:
+            self._fs._commit_block(self._inode,
+                                   view[cursor:cursor + block_size],
+                                   self._writer_node)
+            cursor += block_size
+        if cursor:
+            remainder = view[cursor:]
+            self._buffer = io.BytesIO()
+            self._buffer.write(remainder)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        tail = self._buffer.getvalue()
+        if tail or not self._inode.blocks:
+            self._fs._commit_block(self._inode, tail, self._writer_node)
+        self._closed = True
+
+    def __enter__(self) -> "HdfsWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self._closed = True  # abandon partial file on error
+
+
+class MiniDFS:
+    """An in-process simulation of HDFS with replication and locality."""
+
+    def __init__(self, num_nodes: int = 4,
+                 replication: int = DEFAULT_REPLICATION,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 placement: PlacementPolicy | None = None,
+                 nodes_per_rack: int = 20,
+                 node_capacity_bytes: int | None = None):
+        if num_nodes <= 0:
+            raise HdfsError("MiniDFS needs at least one datanode")
+        self.topology = Topology(num_nodes, nodes_per_rack=nodes_per_rack)
+        self.namenode = NameNode()
+        self.placement = placement or DefaultPlacementPolicy()
+        self.default_replication = min(replication, num_nodes)
+        self.default_block_size = block_size
+        self.datanodes: dict[str, DataNode] = {
+            node_id: DataNode(node_id, node_capacity_bytes)
+            for node_id in self.topology.node_ids
+        }
+        #: Total bytes served to clients, by locality ("local"/"remote").
+        self.read_bytes: dict[str, int] = {"local": 0, "remote": 0}
+
+    # -- node sets --------------------------------------------------------- #
+
+    @property
+    def node_ids(self) -> list[str]:
+        return self.topology.node_ids
+
+    def live_nodes(self) -> list[str]:
+        return [nid for nid, dn in sorted(self.datanodes.items())
+                if dn.alive]
+
+    def datanode(self, node_id: str) -> DataNode:
+        try:
+            return self.datanodes[node_id]
+        except KeyError as exc:
+            raise HdfsError(f"unknown node {node_id!r}") from exc
+
+    # -- write path --------------------------------------------------------- #
+
+    def create_writer(self, path: str, block_size: int | None = None,
+                      replication: int | None = None,
+                      overwrite: bool = False,
+                      writer_node: str | None = None) -> HdfsWriter:
+        inode = self.namenode.create_file(
+            path,
+            block_size=block_size or self.default_block_size,
+            replication=replication or self.default_replication,
+            overwrite=overwrite)
+        return HdfsWriter(self, inode, writer_node)
+
+    def write_file(self, path: str, data: bytes,
+                   block_size: int | None = None,
+                   replication: int | None = None,
+                   overwrite: bool = False,
+                   writer_node: str | None = None) -> None:
+        with self.create_writer(path, block_size=block_size,
+                                replication=replication,
+                                overwrite=overwrite,
+                                writer_node=writer_node) as writer:
+            writer.write(data)
+
+    def _commit_block(self, inode: INode, data: bytes,
+                      writer_node: str | None) -> None:
+        block_index = len(inode.blocks)
+        block_id = BlockId(inode.path, block_index)
+        live = self.live_nodes()
+        replication = min(inode.replication, len(live))
+        if replication == 0:
+            raise ReplicationError("no live datanodes")
+        targets = self.placement.choose_targets(
+            block_id, replication, live, self.topology, writer_node)
+        for node_id in targets:
+            self.datanode(node_id).store_replica(block_id, data)
+        self.namenode.add_block(inode.path, len(data), targets)
+
+    # -- read path ---------------------------------------------------------- #
+
+    def read_file(self, path: str, reader_node: str | None = None) -> bytes:
+        """Read a whole file, preferring replicas local to ``reader_node``."""
+        inode = self.namenode.get_file(path)
+        chunks = [self._read_block(info, reader_node)
+                  for info in inode.blocks]
+        return b"".join(chunks)
+
+    def read_range(self, path: str, offset: int, length: int,
+                   reader_node: str | None = None) -> bytes:
+        """Read ``length`` bytes starting at ``offset``."""
+        inode = self.namenode.get_file(path)
+        if offset < 0 or length < 0:
+            raise HdfsError("offset and length must be non-negative")
+        end = min(offset + length, inode.length)
+        out = bytearray()
+        position = 0
+        for info in inode.blocks:
+            block_end = position + info.length
+            if block_end > offset and position < end:
+                data = self._read_block(info, reader_node)
+                lo = max(0, offset - position)
+                hi = min(info.length, end - position)
+                out.extend(data[lo:hi])
+            position = block_end
+            if position >= end:
+                break
+        return bytes(out)
+
+    def _read_block(self, info: BlockInfo, reader_node: str | None) -> bytes:
+        candidates = [n for n in info.replicas
+                      if self.datanodes.get(n) is not None
+                      and self.datanodes[n].has_replica(info.block_id)]
+        if not candidates:
+            raise BlockCorruptionError(
+                f"all replicas of {info.block_id} are unavailable")
+        if reader_node in candidates:
+            chosen, locality = reader_node, "local"
+        else:
+            chosen, locality = candidates[0], "remote"
+        data = self.datanode(chosen).read_replica(info.block_id)
+        self.read_bytes[locality] += len(data)
+        return data
+
+    # -- metadata ------------------------------------------------------------ #
+
+    def exists(self, path: str) -> bool:
+        return self.namenode.exists(path)
+
+    def file_length(self, path: str) -> int:
+        return self.namenode.get_file(path).length
+
+    def list_dir(self, directory: str) -> list[str]:
+        return self.namenode.list_dir(directory)
+
+    def block_locations(self, path: str, offset: int = 0,
+                        length: int | None = None) -> list[BlockLocation]:
+        return self.namenode.block_locations(path, offset, length)
+
+    def set_xattr(self, path: str, key: str, value: str) -> None:
+        self.namenode.get_file(path).xattrs[key] = value
+
+    def get_xattr(self, path: str, key: str,
+                  default: str | None = None) -> str | None:
+        return self.namenode.get_file(path).xattrs.get(key, default)
+
+    def delete(self, path: str, recursive: bool = False) -> None:
+        """Delete a file, or a directory tree with ``recursive=True``."""
+        if self.namenode.exists(path):
+            paths: Iterable[str] = [path]
+        elif recursive:
+            paths = self.namenode.list_dir(path)
+            if not paths:
+                return
+        else:
+            paths = [path]  # will raise FileNotFoundInHdfs below
+        for file_path in list(paths):
+            for block_id in self.namenode.delete(file_path):
+                for node in self.datanodes.values():
+                    node.drop_replica(block_id)
+
+    def total_used_bytes(self) -> int:
+        return sum(dn.used_bytes for dn in self.datanodes.values())
+
+    # -- failure handling ------------------------------------------------------ #
+
+    def fail_node(self, node_id: str) -> None:
+        """Kill a datanode and drop it from every block's replica list."""
+        self.datanode(node_id).fail()
+        for info in self.namenode.blocks_on_node(node_id):
+            if node_id in info.replicas:
+                info.replicas.remove(node_id)
+
+    def re_replicate(self) -> int:
+        """Restore replication for under-replicated blocks.
+
+        Copies each degraded block from a healthy replica to new targets
+        chosen by the placement policy. Returns the number of new replicas
+        created. Raises :class:`BlockCorruptionError` if a block has lost
+        all its replicas.
+        """
+        created = 0
+        live = self.live_nodes()
+        for info in self.namenode.under_replicated():
+            inode = self.namenode.file_of_block(info.block_id)
+            target_count = min(inode.replication, len(live))
+            if info.replication >= target_count:
+                continue
+            sources = [n for n in info.replicas
+                       if self.datanodes[n].has_replica(info.block_id)]
+            if not sources:
+                raise BlockCorruptionError(
+                    f"{info.block_id} lost all replicas")
+            data = self.datanode(sources[0]).read_replica(info.block_id)
+            needed = target_count - info.replication
+            candidates = [n for n in live if n not in info.replicas]
+            chosen = self.placement.choose_targets(
+                info.block_id, min(needed, len(candidates)) or 1,
+                candidates or live, self.topology, None)
+            for node_id in chosen[:needed]:
+                if node_id in info.replicas:
+                    continue
+                self.datanode(node_id).store_replica(info.block_id, data)
+                info.replicas.append(node_id)
+                created += 1
+        return created

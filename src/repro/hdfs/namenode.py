@@ -1,0 +1,140 @@
+"""The namenode: file namespace and block metadata.
+
+Holds the path -> inode mapping and each block's replica set. Does not
+store data; datanodes do. The namenode is deliberately a plain object —
+mini-HDFS is an in-process simulation, not an RPC system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import (
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+)
+from repro.hdfs.blocks import BlockId, BlockInfo, BlockLocation
+
+
+@dataclass
+class INode:
+    """Metadata for one file."""
+
+    path: str
+    block_size: int
+    replication: int
+    blocks: list[BlockInfo] = field(default_factory=list)
+    #: Arbitrary user metadata (schema JSON, format name, row counts).
+    xattrs: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def length(self) -> int:
+        return sum(b.length for b in self.blocks)
+
+
+class NameNode:
+    """Flat-namespace file metadata service with directory listing."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, INode] = {}
+
+    # -- namespace ------------------------------------------------------- #
+
+    @staticmethod
+    def _normalize(path: str) -> str:
+        if not path.startswith("/"):
+            raise HdfsError(f"HDFS paths must be absolute, got {path!r}")
+        while "//" in path:
+            path = path.replace("//", "/")
+        return path.rstrip("/") or "/"
+
+    def create_file(self, path: str, block_size: int, replication: int,
+                    overwrite: bool = False) -> INode:
+        path = self._normalize(path)
+        if path in self._files:
+            if not overwrite:
+                raise FileAlreadyExists(path)
+            del self._files[path]
+        if block_size <= 0:
+            raise HdfsError("block size must be positive")
+        inode = INode(path=path, block_size=block_size,
+                      replication=replication)
+        self._files[path] = inode
+        return inode
+
+    def get_file(self, path: str) -> INode:
+        path = self._normalize(path)
+        try:
+            return self._files[path]
+        except KeyError as exc:
+            raise FileNotFoundInHdfs(path) from exc
+
+    def exists(self, path: str) -> bool:
+        return self._normalize(path) in self._files
+
+    def delete(self, path: str) -> list[BlockId]:
+        """Delete a file; returns its block ids so the caller can free
+        datanode replicas."""
+        inode = self.get_file(path)
+        del self._files[inode.path]
+        return [b.block_id for b in inode.blocks]
+
+    def list_dir(self, directory: str) -> list[str]:
+        """Paths of files directly or transitively under ``directory``."""
+        directory = self._normalize(directory)
+        prefix = directory if directory.endswith("/") else directory + "/"
+        return sorted(p for p in self._files
+                      if p.startswith(prefix) or p == directory)
+
+    def all_paths(self) -> list[str]:
+        return sorted(self._files)
+
+    # -- block metadata --------------------------------------------------- #
+
+    def add_block(self, path: str, length: int,
+                  replicas: list[str]) -> BlockInfo:
+        inode = self.get_file(path)
+        block_id = BlockId(inode.path, len(inode.blocks))
+        info = BlockInfo(block_id=block_id, length=length,
+                         replicas=list(replicas))
+        inode.blocks.append(info)
+        return info
+
+    def block_locations(self, path: str, offset: int = 0,
+                        length: int | None = None) -> list[BlockLocation]:
+        """Hadoop-style ``getFileBlockLocations``."""
+        inode = self.get_file(path)
+        if length is None:
+            length = inode.length - offset
+        end = offset + length
+        out: list[BlockLocation] = []
+        position = 0
+        for info in inode.blocks:
+            block_end = position + info.length
+            if block_end > offset and position < end:
+                out.append(BlockLocation(offset=position, length=info.length,
+                                         hosts=tuple(info.replicas)))
+            position = block_end
+        return out
+
+    def blocks_on_node(self, node_id: str) -> list[BlockInfo]:
+        """Every block with a replica on ``node_id``."""
+        found = []
+        for inode in self._files.values():
+            for info in inode.blocks:
+                if node_id in info.replicas:
+                    found.append(info)
+        return found
+
+    def under_replicated(self) -> list[BlockInfo]:
+        """Blocks whose live replica count is below the file's target."""
+        out = []
+        for inode in self._files.values():
+            for info in inode.blocks:
+                if info.replication < inode.replication:
+                    out.append(info)
+        return out
+
+    def file_of_block(self, block_id: BlockId) -> INode:
+        return self.get_file(block_id.path)

@@ -1,0 +1,122 @@
+"""Pluggable block placement policies.
+
+HDFS 0.21 introduced pluggable block placement (the paper's section 4.1
+depends on it): CIF stores each column of a table in its own file, and a
+co-locating policy guarantees that block *i* of every column file in a
+table lands on the same set of datanodes, so a map task can read all the
+columns of its rows locally.
+
+Policies choose replica targets for a new block given the live datanodes.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+from repro.common.errors import ReplicationError
+from repro.hdfs.blocks import BlockId
+from repro.hdfs.topology import Topology
+
+
+class PlacementPolicy(ABC):
+    """Strategy for picking replica target nodes for a new block."""
+
+    @abstractmethod
+    def choose_targets(self, block_id: BlockId, replication: int,
+                       live_nodes: Sequence[str], topology: Topology,
+                       writer_node: str | None = None) -> list[str]:
+        """Return ``replication`` distinct node ids for the new block."""
+
+    @staticmethod
+    def _check_feasible(replication: int, live_nodes: Sequence[str]) -> None:
+        if replication <= 0:
+            raise ReplicationError("replication must be positive")
+        if len(live_nodes) < replication:
+            raise ReplicationError(
+                f"need {replication} replicas but only "
+                f"{len(live_nodes)} live nodes")
+
+
+class DefaultPlacementPolicy(PlacementPolicy):
+    """HDFS-style placement: writer-local, then off-rack, then random.
+
+    Deterministic given the seed, which keeps tests and benchmarks
+    reproducible.
+    """
+
+    def __init__(self, seed: int = 17):
+        self._rng = random.Random(seed)
+
+    def choose_targets(self, block_id: BlockId, replication: int,
+                       live_nodes: Sequence[str], topology: Topology,
+                       writer_node: str | None = None) -> list[str]:
+        self._check_feasible(replication, live_nodes)
+        live = list(live_nodes)
+        targets: list[str] = []
+        if writer_node in live:
+            targets.append(writer_node)
+        if len(targets) < replication:
+            # Prefer a node on another rack for the second replica.
+            first_rack = topology.rack_of(targets[0]) if targets else None
+            off_rack = [n for n in live
+                        if n not in targets
+                        and (first_rack is None
+                             or topology.rack_of(n) != first_rack)]
+            if off_rack and len(targets) == 1:
+                targets.append(self._rng.choice(off_rack))
+        remaining = [n for n in live if n not in targets]
+        self._rng.shuffle(remaining)
+        targets.extend(remaining[:replication - len(targets)])
+        if len(targets) < replication:
+            raise ReplicationError(
+                f"could not place {replication} replicas of {block_id}")
+        return targets
+
+
+class CoLocatingPlacementPolicy(PlacementPolicy):
+    """Co-locate corresponding blocks of files in the same group.
+
+    A block's *colocation key* is ``(group, block index)`` where the group
+    is derived from the file path (CIF uses the table directory, so
+    ``/tbl/part-0/colA#blk3`` and ``/tbl/part-0/colB#blk3`` share a key).
+    The first file of a group to write block *i* picks targets with the
+    fallback policy; every subsequent file reuses those targets, which is
+    exactly the guarantee CIF needs for locality-aware scheduling.
+    """
+
+    def __init__(self, seed: int = 17):
+        self._fallback = DefaultPlacementPolicy(seed=seed)
+        self._assignments: dict[tuple[str, int], list[str]] = {}
+
+    @staticmethod
+    def group_of(path: str) -> str:
+        """The colocation group of a file: its parent directory."""
+        head, _, _ = path.rpartition("/")
+        return head or "/"
+
+    def choose_targets(self, block_id: BlockId, replication: int,
+                       live_nodes: Sequence[str], topology: Topology,
+                       writer_node: str | None = None) -> list[str]:
+        self._check_feasible(replication, live_nodes)
+        key = (self.group_of(block_id.path), block_id.index)
+        cached = self._assignments.get(key)
+        if cached is not None:
+            live_cached = [n for n in cached if n in set(live_nodes)]
+            if len(live_cached) >= replication:
+                return live_cached[:replication]
+            # Some anchor nodes died: keep survivors, top up with fallback.
+            extra = self._fallback.choose_targets(
+                block_id, replication, live_nodes, topology, writer_node)
+            merged = live_cached + [n for n in extra if n not in live_cached]
+            targets = merged[:replication]
+        else:
+            targets = self._fallback.choose_targets(
+                block_id, replication, live_nodes, topology, writer_node)
+        self._assignments[key] = list(targets)
+        return targets
+
+    def anchor_nodes(self, group: str, block_index: int) -> list[str] | None:
+        """The nodes chosen for a colocation key, if any (for tests)."""
+        return self._assignments.get((group, block_index))

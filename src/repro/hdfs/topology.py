@@ -1,0 +1,56 @@
+"""Cluster topology: node naming and rack awareness.
+
+Mini-HDFS models a flat set of worker nodes optionally grouped into racks.
+The default placement policy uses rack awareness the way HDFS does
+(replica 1 local, replica 2 off-rack, replica 3 on the second replica's
+rack), which matters for realistic failure-domain tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Names ``num_nodes`` workers and assigns them to racks."""
+
+    num_nodes: int
+    nodes_per_rack: int = 20
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("topology needs at least one node")
+        if self.nodes_per_rack <= 0:
+            raise ValueError("nodes_per_rack must be positive")
+
+    @property
+    def node_ids(self) -> list[str]:
+        return [self.node_name(i) for i in range(self.num_nodes)]
+
+    def node_name(self, index: int) -> str:
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(f"node index {index} out of range")
+        return f"node{index:03d}"
+
+    def rack_of(self, node_id: str) -> str:
+        index = self.index_of(node_id)
+        return f"rack{index // self.nodes_per_rack:02d}"
+
+    def index_of(self, node_id: str) -> int:
+        if not node_id.startswith("node"):
+            raise ValueError(f"malformed node id {node_id!r}")
+        try:
+            index = int(node_id[4:])
+        except ValueError as exc:
+            raise ValueError(f"malformed node id {node_id!r}") from exc
+        if not 0 <= index < self.num_nodes:
+            raise ValueError(f"node id {node_id!r} out of range")
+        return index
+
+    def racks(self) -> dict[str, list[str]]:
+        """Map rack name to the node ids it contains."""
+        out: dict[str, list[str]] = {}
+        for node_id in self.node_ids:
+            out.setdefault(self.rack_of(node_id), []).append(node_id)
+        return out

@@ -1,0 +1,34 @@
+"""The Hive baseline: mapjoin and repartition star-join plans."""
+
+from repro.hive.engine import (
+    HiveEngine,
+    HiveStats,
+    PLAN_MAPJOIN,
+    PLAN_REPARTITION,
+    StageReport,
+)
+from repro.hive.groupby import GroupByCombiner, GroupByMapper, GroupByReducer
+from repro.hive.ioformats import RowTableOutputFormat
+from repro.hive.mapjoin import MapJoinMapper, build_broadcast_table
+from repro.hive.repartition import (
+    RepartitionMapper,
+    RepartitionReducer,
+    TaggedUnionInputFormat,
+)
+
+__all__ = [
+    "GroupByCombiner",
+    "GroupByMapper",
+    "GroupByReducer",
+    "HiveEngine",
+    "HiveStats",
+    "MapJoinMapper",
+    "PLAN_MAPJOIN",
+    "PLAN_REPARTITION",
+    "RepartitionMapper",
+    "RepartitionReducer",
+    "RowTableOutputFormat",
+    "StageReport",
+    "TaggedUnionInputFormat",
+    "build_broadcast_table",
+]

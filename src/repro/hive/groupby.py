@@ -1,0 +1,91 @@
+"""Hive's group-by and order-by stages (stages 4 and 5 in the paper's
+Q2.1 plan).
+
+After the join stages, the fully-joined intermediate table is aggregated
+by one more MapReduce job; the final ORDER BY is its own (tiny) job in
+Hive, modeled here as a driver-side sort plus a fixed stage charge.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import json
+
+from repro.core.joinjob import load_query_config
+from repro.mapreduce.api import Mapper, Reducer, TaskContext
+from repro.mapreduce.types import OutputCollector
+
+KEY_ROWS_RATE = "hive.rate.rows.per.s.per.slot"
+#: Set for join-less queries, where the group-by job is also the scan
+#: and must apply the WHERE clause itself.
+KEY_GROUPBY_FACT_PREDICATE = "hive.groupby.fact.predicate"
+
+COUNTER_GROUP = "hive"
+
+
+class GroupByMapper(Mapper):
+    """Emits (group key, aggregate contributions) from joined rows."""
+
+    def __init__(self) -> None:
+        self._group_cols: list[str] = []
+        self._agg_specs: list[tuple[str, Any]] = []
+        self._fact_pred = None
+        self._rows = 0
+        self._rate = 50_000.0
+
+    def initialize(self, context: TaskContext) -> None:
+        query, _, _ = load_query_config(context.conf)
+        self._group_cols = list(query.group_by)
+        self._agg_specs = [(agg.function, agg.expr)
+                           for agg in query.aggregates]
+        raw = context.conf.get(KEY_GROUPBY_FACT_PREDICATE)
+        if raw:
+            from repro.core.expressions import predicate_from_dict
+            self._fact_pred = predicate_from_dict(json.loads(raw))
+        self._rate = context.conf.get_float(KEY_ROWS_RATE, 50_000.0)
+
+    def map(self, key: Any, value: Any, collector: OutputCollector,
+            context: TaskContext) -> None:
+        record = value
+        self._rows += 1
+        get = record.get
+        if self._fact_pred is not None and not self._fact_pred.evaluate(get):
+            return
+        group_key = tuple(get(c) for c in self._group_cols)
+        values = tuple(1 if fn == "count" else expr.evaluate(get)
+                       for fn, expr in self._agg_specs)
+        collector.collect(group_key, values)
+
+    def close(self, collector: OutputCollector,
+              context: TaskContext) -> None:
+        context.charge(self._rows / self._rate)
+        context.count(COUNTER_GROUP, "groupby_rows_in", self._rows)
+
+
+class GroupByReducer(Reducer):
+    """Merges aggregate states per group (also usable as combiner)."""
+
+    def __init__(self) -> None:
+        self._aggregates = None
+
+    def initialize(self, context: TaskContext) -> None:
+        query, _, _ = load_query_config(context.conf)
+        self._aggregates = query.aggregates
+
+    def reduce(self, key: Any, values, collector: OutputCollector,
+               context: TaskContext) -> None:
+        if self._aggregates is None:
+            self.initialize(context)
+        merged = None
+        for value in values:
+            if merged is None:
+                merged = list(value)
+            else:
+                merged = [agg.merge(m, v) for agg, m, v
+                          in zip(self._aggregates, merged, value)]
+        collector.collect(key, tuple(merged or ()))
+
+
+class GroupByCombiner(GroupByReducer):
+    """Partial aggregation on the map side."""

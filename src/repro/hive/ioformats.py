@@ -1,0 +1,82 @@
+"""I/O plumbing for the Hive baseline's multi-stage plans.
+
+Hive materializes every intermediate join result to HDFS between stages
+(one of the overheads the paper charges it for, section 6.3/6.4).
+:class:`RowTableOutputFormat` writes those intermediates as binary
+row-format tables with metadata, so the next stage's job can read them
+with :class:`~repro.storage.rowformat.RowInputFormat`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import StorageError
+from repro.common.schema import Schema
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.outputformat import OutputFormat
+from repro.mapreduce.types import RecordWriter
+from repro.storage import serde
+from repro.storage.tablemeta import FORMAT_ROWS, TableMeta
+
+
+class _RowPartWriter(RecordWriter):
+    """Buffers row tuples and writes one binary part file on close."""
+
+    def __init__(self, fs: MiniDFS, path: str, schema: Schema,
+                 on_close):
+        self._fs = fs
+        self._path = path
+        self._schema = schema
+        self._rows: list[tuple] = []
+        self._on_close = on_close
+        self.records = 0
+        self.bytes_written = 0
+
+    def write(self, key: Any, value: Any) -> None:
+        if not isinstance(value, tuple):
+            raise StorageError(
+                f"RowTableOutputFormat expects tuple values, got "
+                f"{type(value).__name__}")
+        self._rows.append(value)
+        self.records += 1
+
+    def close(self) -> None:
+        data = serde.encode_rows(self._schema, self._rows)
+        self._fs.write_file(self._path, data, overwrite=True)
+        self.bytes_written = len(data)
+        self._on_close(len(self._rows), len(data))
+
+
+class RowTableOutputFormat(OutputFormat):
+    """Writes job output as a row-format table (one part per partition)."""
+
+    def __init__(self, directory: str, schema: Schema, table_name: str):
+        self.directory = directory
+        self.schema = schema
+        self.table_name = table_name
+        self.total_rows = 0
+        self.total_bytes = 0
+        self._max_part_rows = 0
+
+    def _record_part(self, rows: int, nbytes: int) -> None:
+        self.total_rows += rows
+        self.total_bytes += nbytes
+        self._max_part_rows = max(self._max_part_rows, rows)
+
+    def get_writer(self, fs: MiniDFS, conf: JobConf,
+                   partition: int) -> RecordWriter:
+        path = f"{self.directory}/part-{partition:05d}.rows"
+        return _RowPartWriter(fs, path, self.schema, self._record_part)
+
+    def finalize(self, fs: MiniDFS, conf: JobConf) -> None:
+        meta = TableMeta(
+            name=self.table_name, directory=self.directory,
+            schema=self.schema, format=FORMAT_ROWS,
+            num_rows=self.total_rows,
+            # parts have uneven sizes; record the largest so readers'
+            # base-row arithmetic stays conservative (row ids are not
+            # relied on for intermediates).
+            row_group_size=max(1, self._max_part_rows))
+        meta.save(fs)

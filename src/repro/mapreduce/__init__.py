@@ -1,0 +1,87 @@
+"""A Hadoop-like MapReduce engine over mini-HDFS.
+
+Implements the extension points the paper relies on (section 3):
+``InputFormat``/``RecordReader`` splits and readers, pluggable
+``MapRunner``, JVM reuse, the capacity scheduler's memory-based
+admission, the distributed cache, combiners, and counters — plus a
+functional job runner with simulated-time accounting.
+"""
+
+from repro.mapreduce.api import MapRunner, Mapper, Reducer, TaskContext
+from repro.mapreduce.counters import Counters
+from repro.mapreduce.distcache import DistCacheReport, DistributedCache
+from repro.mapreduce.fairshare import (
+    FairShareScheduler,
+    MixOutcome,
+    WorkloadJob,
+    model_concurrent_mix,
+)
+from repro.mapreduce.inputformat import (
+    FileInputFormat,
+    InputFormat,
+    TextInputFormat,
+    WholeFileInputFormat,
+)
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.outputformat import (
+    BinaryOutputFormat,
+    CollectingOutputFormat,
+    OutputFormat,
+    TextOutputFormat,
+)
+from repro.mapreduce.runtime import JobResult, JobRunner, TaskReport
+from repro.mapreduce.scheduler import (
+    CapacityScheduler,
+    FifoScheduler,
+    SchedulePlan,
+    TaskAssignment,
+    TaskScheduler,
+)
+from repro.mapreduce.shuffle import HashPartitioner, Partitioner
+from repro.mapreduce.types import (
+    FileSplit,
+    InputSplit,
+    MultiSplit,
+    OutputCollector,
+    RecordReader,
+    RecordWriter,
+)
+
+__all__ = [
+    "BinaryOutputFormat",
+    "CapacityScheduler",
+    "CollectingOutputFormat",
+    "Counters",
+    "DistCacheReport",
+    "DistributedCache",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "FileInputFormat",
+    "FileSplit",
+    "HashPartitioner",
+    "InputFormat",
+    "InputSplit",
+    "JobConf",
+    "JobResult",
+    "JobRunner",
+    "MapRunner",
+    "Mapper",
+    "MixOutcome",
+    "MultiSplit",
+    "OutputCollector",
+    "OutputFormat",
+    "Partitioner",
+    "RecordReader",
+    "RecordWriter",
+    "Reducer",
+    "SchedulePlan",
+    "TaskAssignment",
+    "TaskContext",
+    "TaskReport",
+    "TaskScheduler",
+    "TextInputFormat",
+    "TextOutputFormat",
+    "WholeFileInputFormat",
+    "WorkloadJob",
+    "model_concurrent_mix",
+]

@@ -1,0 +1,112 @@
+"""User-facing MapReduce programming interfaces.
+
+``Mapper``, ``Reducer``, ``Combiner`` (a reducer run map-side), and
+``MapRunner`` — the extension point Clydesdale uses for its
+multi-threaded join tasks (paper Figure 5).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterable
+
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import OutputCollector, RecordReader
+
+
+class TaskContext:
+    """Per-task execution context handed to mappers and runners.
+
+    ``jvm_state`` is the dict that survives across consecutive tasks on
+    the same node when JVM reuse is enabled — Clydesdale stores its
+    dimension hash tables there as "static" state (paper section 5.1).
+    ``node_id`` identifies where the task runs so mappers can read
+    node-local files (cached dimension tables, distributed-cache copies).
+    ``charge(seconds)`` adds engine-specific simulated cost to the task.
+    """
+
+    def __init__(self, conf: JobConf, node_id: str, task_id: str,
+                 jvm_state: dict, node_local_read, threads: int = 1,
+                 counters=None):
+        self.conf = conf
+        self.node_id = node_id
+        self.task_id = task_id
+        self.jvm_state = jvm_state
+        self.threads = threads
+        self._node_local_read = node_local_read
+        self._counters = counters
+        self.charged_seconds = 0.0
+        self.memory_required_bytes = 0.0
+
+    def count(self, group: str, name: str, amount: int = 1) -> None:
+        """Increment a job counter (no-op when the runtime gave none)."""
+        if self._counters is not None:
+            self._counters.increment(group, name, amount)
+
+    def charge(self, seconds: float) -> None:
+        """Add engine-specific simulated time to this task."""
+        if seconds < 0:
+            raise ValueError("cannot charge negative time")
+        self.charged_seconds += seconds
+
+    def require_memory(self, num_bytes: float) -> None:
+        """Declare this task's peak in-memory footprint.
+
+        The runtime compares the declared footprint against the slot's
+        heap budget and fails the task with a simulated OOM if exceeded —
+        this is how the Hive mapjoin OOMs of Figure 7 are reproduced.
+        """
+        self.memory_required_bytes = max(self.memory_required_bytes,
+                                         float(num_bytes))
+
+    def read_node_local(self, name: str) -> bytes:
+        """Read a file from this node's local (non-HDFS) storage."""
+        return self._node_local_read(self.node_id, name)
+
+
+class Mapper(ABC):
+    """Map function with Hadoop-style lifecycle hooks."""
+
+    def initialize(self, context: TaskContext) -> None:
+        """Called once per task before any ``map`` call."""
+
+    @abstractmethod
+    def map(self, key: Any, value: Any, collector: OutputCollector,
+            context: TaskContext) -> None:
+        ...
+
+    def close(self, collector: OutputCollector,
+              context: TaskContext) -> None:
+        """Called once per task after the last ``map`` call."""
+
+
+class Reducer(ABC):
+    """Reduce function; also usable as a combiner."""
+
+    def initialize(self, context: TaskContext) -> None:
+        """Called once per reduce task before any ``reduce`` call."""
+
+    @abstractmethod
+    def reduce(self, key: Any, values: Iterable[Any],
+               collector: OutputCollector, context: TaskContext) -> None:
+        ...
+
+    def close(self, collector: OutputCollector,
+              context: TaskContext) -> None:
+        """Called once per task after the last ``reduce`` call."""
+
+
+class MapRunner:
+    """Controls how a map task consumes its split (paper section 3).
+
+    The default implementation mirrors Hadoop's: open the reader, apply
+    the map function to every record. Subclasses may spawn threads, unpack
+    multi-splits, or bypass the mapper entirely.
+    """
+
+    def run(self, reader: RecordReader, mapper: Mapper,
+            collector: OutputCollector, context: TaskContext) -> None:
+        mapper.initialize(context)
+        for key, value in reader:
+            mapper.map(key, value, collector, context)
+        mapper.close(collector, context)

@@ -1,0 +1,117 @@
+"""Fair-share scheduling for mixed workloads (paper sections 5.2 and 8).
+
+The paper lists what running Clydesdale on a *shared* cluster requires
+of the scheduler: (1) one join task per node, (2) stable placement so
+hash tables keep being reused, and (3) telling the task how many cores
+it may use so co-scheduled jobs get their share of CPU. Requirement (1)
+is the capacity scheduler; this module adds (3): a scheduler that grants
+each job a slot share, and a makespan model for concurrent job mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.common.errors import SchedulerError
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.scheduler import CapacityScheduler
+from repro.sim.hardware import ClusterSpec
+from repro.sim.scheduler import schedule
+
+#: Runtime hint: how many threads (cores) a granted task may use.
+KEY_GRANTED_THREADS = "scheduler.granted.threads"
+#: Fraction of the cluster's map slots granted to this job.
+KEY_SLOT_SHARE = "scheduler.slot.share"
+
+
+class FairShareScheduler(CapacityScheduler):
+    """Capacity scheduling plus per-job slot shares.
+
+    A job configured with ``scheduler.slot.share = 0.5`` on 6-slot nodes
+    runs with 3 concurrent tasks per node — or, for a memory-exclusive
+    job (Clydesdale's one-task-per-node request), a single task that is
+    *told* to use only 3 threads, leaving the other cores for
+    co-scheduled work (paper 5.2, requirement 3).
+    """
+
+    def __init__(self, share: float = 1.0):
+        if not 0.0 < share <= 1.0:
+            raise SchedulerError(
+                f"slot share must be in (0, 1], got {share}")
+        self.share = share
+
+    def granted_slots(self, cluster: ClusterSpec) -> int:
+        return max(1, int(cluster.node.map_slots * self.share))
+
+    def concurrency(self, conf: JobConf, cluster: ClusterSpec) -> int:
+        base = super().concurrency(conf, cluster)
+        if base == 1:
+            # Memory-exclusive task: stays alone on the node; its CPU
+            # grant travels through the configuration instead.
+            return 1
+        return min(base, self.granted_slots(cluster))
+
+    def plan(self, splits, node_ids, conf: JobConf,
+             cluster: ClusterSpec):
+        conf.set(KEY_SLOT_SHARE, self.share)
+        conf.set(KEY_GRANTED_THREADS, self.granted_slots(cluster))
+        return super().plan(splits, node_ids, conf, cluster)
+
+
+@dataclass(frozen=True)
+class WorkloadJob:
+    """One job in a concurrent mix (for the makespan model)."""
+
+    name: str
+    num_tasks: int
+    task_seconds: float
+    share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.share <= 1.0:
+            raise SchedulerError(
+                f"{self.name}: share must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class MixOutcome:
+    """Modeled outcome of running jobs concurrently vs serially."""
+
+    per_job_seconds: dict[str, float]
+    concurrent_makespan: float
+    serial_makespan: float
+
+    @property
+    def sharing_benefit(self) -> float:
+        """> 1 when sharing finishes the mix sooner than running jobs
+        back-to-back at full width."""
+        if self.concurrent_makespan <= 0:
+            return float("inf")
+        return self.serial_makespan / self.concurrent_makespan
+
+
+def model_concurrent_mix(jobs: Sequence[WorkloadJob],
+                         cluster: ClusterSpec) -> MixOutcome:
+    """Makespan of a job mix under static fair shares.
+
+    Each job runs on ``share x total_map_slots`` slots for its whole
+    duration (static partitioning — the simple policy the paper's
+    capacity scheduler supports); the serial baseline runs each job on
+    the full cluster one after another.
+    """
+    if sum(j.share for j in jobs) > 1.0 + 1e-9:
+        raise SchedulerError("shares exceed the cluster")
+    per_job: dict[str, float] = {}
+    for job in jobs:
+        slots = max(1, int(cluster.total_map_slots * job.share))
+        result = schedule([job.task_seconds] * job.num_tasks, slots)
+        per_job[job.name] = result.makespan
+    serial = sum(
+        schedule([j.task_seconds] * j.num_tasks,
+                 cluster.total_map_slots).makespan
+        for j in jobs)
+    return MixOutcome(per_job_seconds=per_job,
+                      concurrent_makespan=max(per_job.values(),
+                                              default=0.0),
+                      serial_makespan=serial)

@@ -1,0 +1,107 @@
+"""Output formats: where reduce (or map-only) output lands.
+
+``TextOutputFormat`` writes ``key<TAB>value`` lines to
+``<output>/part-r-NNNNN`` files in mini-HDFS; ``CollectingOutputFormat``
+hands results straight back to the driver, which is what the query
+engines use for final answers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import RecordWriter
+
+
+class OutputFormat(ABC):
+    """Creates a :class:`RecordWriter` per reduce partition."""
+
+    @abstractmethod
+    def get_writer(self, fs: MiniDFS, conf: JobConf,
+                   partition: int) -> RecordWriter:
+        ...
+
+    def finalize(self, fs: MiniDFS, conf: JobConf) -> None:
+        """Hook called once after all writers close (commit semantics)."""
+
+
+class _TextWriter(RecordWriter):
+    def __init__(self, fs: MiniDFS, path: str):
+        self._writer = fs.create_writer(path, overwrite=True)
+        self.records = 0
+        self.bytes_written = 0
+
+    def write(self, key: Any, value: Any) -> None:
+        line = f"{key}\t{value}\n".encode("utf-8")
+        self._writer.write(line)
+        self.records += 1
+        self.bytes_written += len(line)
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class TextOutputFormat(OutputFormat):
+    """Tab-separated text files under the job's output directory."""
+
+    def get_writer(self, fs: MiniDFS, conf: JobConf,
+                   partition: int) -> RecordWriter:
+        out_dir = conf.output_path()
+        if not out_dir:
+            raise ValueError("job has no output path configured")
+        return _TextWriter(fs, f"{out_dir}/part-r-{partition:05d}")
+
+
+class _CollectingWriter(RecordWriter):
+    def __init__(self, sink: list):
+        self._sink = sink
+        self.records = 0
+        self.bytes_written = 0
+
+    def write(self, key: Any, value: Any) -> None:
+        self._sink.append((key, value))
+        self.records += 1
+
+
+class CollectingOutputFormat(OutputFormat):
+    """Collects output pairs in memory for the driver to consume."""
+
+    def __init__(self) -> None:
+        self.results: list[tuple[Any, Any]] = []
+
+    def get_writer(self, fs: MiniDFS, conf: JobConf,
+                   partition: int) -> RecordWriter:
+        return _CollectingWriter(self.results)
+
+
+class _BinaryFileWriter(RecordWriter):
+    """Writes raw ``bytes`` values, one file per partition (DFSIO-style)."""
+
+    def __init__(self, fs: MiniDFS, path: str):
+        self._writer = fs.create_writer(path, overwrite=True)
+        self.records = 0
+        self.bytes_written = 0
+
+    def write(self, key: Any, value: Any) -> None:
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("BinaryOutputFormat values must be bytes")
+        self._writer.write(bytes(value))
+        self.records += 1
+        self.bytes_written += len(value)
+
+    def close(self) -> None:
+        self._writer.close()
+
+
+class BinaryOutputFormat(OutputFormat):
+    """Raw byte output, one HDFS file per partition."""
+
+    def get_writer(self, fs: MiniDFS, conf: JobConf,
+                   partition: int) -> RecordWriter:
+        out_dir = conf.output_path()
+        if not out_dir:
+            raise ValueError("job has no output path configured")
+        return _BinaryFileWriter(fs, f"{out_dir}/part-{partition:05d}.bin")

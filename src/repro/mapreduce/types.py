@@ -1,0 +1,142 @@
+"""Core MapReduce interface types: splits, readers, writers, collectors.
+
+These mirror the Hadoop extension points the paper builds on (section 3):
+an ``InputSplit`` is the unit of scheduling, a ``RecordReader`` turns a
+split's bytes into typed key/value pairs, and an ``OutputCollector``
+receives a task's output.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterator, Sequence
+
+
+class InputSplit(ABC):
+    """A non-overlapping partition of the input assigned to one map task."""
+
+    @property
+    @abstractmethod
+    def length(self) -> int:
+        """Bytes covered by this split (drives scheduling and cost)."""
+
+    @abstractmethod
+    def locations(self) -> tuple[str, ...]:
+        """Node ids where this split's data is local."""
+
+
+class FileSplit(InputSplit):
+    """A byte range of one HDFS file."""
+
+    def __init__(self, path: str, start: int, length: int,
+                 hosts: Sequence[str] = ()):
+        self.path = path
+        self.start = start
+        self._length = length
+        self._hosts = tuple(hosts)
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def locations(self) -> tuple[str, ...]:
+        return self._hosts
+
+    def __repr__(self) -> str:
+        return (f"FileSplit({self.path}[{self.start}:"
+                f"{self.start + self._length}])")
+
+
+class MultiSplit(InputSplit):
+    """Several constituent splits packed into one schedulable unit.
+
+    Clydesdale's MultiCIF packs splits so a single multi-threaded map task
+    can own a node's whole share of the fact table while each thread still
+    gets an independent reader (paper section 5.1).
+    """
+
+    def __init__(self, splits: Sequence[InputSplit]):
+        if not splits:
+            raise ValueError("MultiSplit needs at least one split")
+        self.splits = tuple(splits)
+
+    @property
+    def length(self) -> int:
+        return sum(s.length for s in self.splits)
+
+    def locations(self) -> tuple[str, ...]:
+        # Nodes local to *all* constituent splits first, then any local.
+        common: set[str] | None = None
+        union: list[str] = []
+        for split in self.splits:
+            hosts = set(split.locations())
+            common = hosts if common is None else (common & hosts)
+            for host in split.locations():
+                if host not in union:
+                    union.append(host)
+        preferred = [h for h in union if common and h in common]
+        rest = [h for h in union if h not in preferred]
+        return tuple(preferred + rest)
+
+    def __repr__(self) -> str:
+        return f"MultiSplit({len(self.splits)} splits)"
+
+
+class RecordReader(ABC):
+    """Iterates the key/value pairs of one split."""
+
+    @abstractmethod
+    def next(self) -> tuple[Any, Any] | None:
+        """Return the next (key, value) or ``None`` at end of split."""
+
+    def get_multiple_readers(self) -> list["RecordReader"]:
+        """Unpack into independent readers (MultiCIF); default: just self."""
+        return [self]
+
+    @property
+    def bytes_read(self) -> int:
+        """HDFS bytes consumed so far (for counters and cost)."""
+        return 0
+
+    def close(self) -> None:
+        """Release resources; default no-op."""
+
+    def __iter__(self) -> Iterator[tuple[Any, Any]]:
+        while True:
+            pair = self.next()
+            if pair is None:
+                return
+            yield pair
+
+
+class RecordWriter(ABC):
+    """Writes a task's key/value output in some on-disk format."""
+
+    @abstractmethod
+    def write(self, key: Any, value: Any) -> None:
+        ...
+
+    def close(self) -> None:
+        ...
+
+
+class OutputCollector:
+    """Receives (key, value) pairs emitted by a map or reduce function.
+
+    Thread-safe appends are guaranteed by the GIL for list.append; the
+    multi-threaded MapRunner shares one collector across join threads just
+    like the paper's ``MTMapRunner`` shares Hadoop's collector.
+    """
+
+    def __init__(self, sink: Callable[[Any, Any], None] | None = None):
+        self.pairs: list[tuple[Any, Any]] = []
+        self._sink = sink
+
+    def collect(self, key: Any, value: Any) -> None:
+        if self._sink is not None:
+            self._sink(key, value)
+        else:
+            self.pairs.append((key, value))
+
+    def __len__(self) -> int:
+        return len(self.pairs)

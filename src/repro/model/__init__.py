@@ -1,0 +1,31 @@
+"""Analytic SF1000 timing models calibrated to the paper's breakdowns."""
+
+from repro.model.clydesdale import predict_clydesdale
+from repro.model.dfsio import DfsioRow, predict_dfsio
+from repro.model.hive import (
+    PLAN_MAPJOIN,
+    PLAN_REPARTITION,
+    predict_hive_mapjoin,
+    predict_hive_repartition,
+)
+from repro.model.results import ModelResult, StageTime
+from repro.model.stats import (
+    DimensionProfile,
+    QueryProfile,
+    build_profile,
+)
+
+__all__ = [
+    "DfsioRow",
+    "DimensionProfile",
+    "ModelResult",
+    "PLAN_MAPJOIN",
+    "PLAN_REPARTITION",
+    "QueryProfile",
+    "StageTime",
+    "build_profile",
+    "predict_clydesdale",
+    "predict_dfsio",
+    "predict_hive_mapjoin",
+    "predict_hive_repartition",
+]

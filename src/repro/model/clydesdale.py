@@ -1,0 +1,112 @@
+"""Analytic timing for Clydesdale at the modeled (SF1000) scale.
+
+One MapReduce job, one multi-threaded map task per node:
+
+    total = job overhead + task start + hash build + probe phase
+            + aggregation (reduce) + final ORDER BY sort
+
+* hash build: one thread per dimension, so wall time is the largest
+  dimension's scan (the paper's 27 s / 16 s for Q2.1 on A / B);
+* probe phase: max(per-node scan I/O, per-node probe CPU) — Q2.1 is
+  roughly balanced, which is why the paper observes ~67 MB/s/node;
+* feature toggles reproduce the section 6.5 ablation, including the
+  single-threaded mode where every slot builds its own hash tables and
+  per-slot copies create memory pressure on large dimensions.
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import ClydesdaleFeatures
+from repro.model.results import ModelResult, StageTime
+from repro.model.stats import QueryProfile
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.hardware import ClusterSpec
+from repro.sim.scheduler import waves
+
+
+def predict_clydesdale(profile: QueryProfile, cluster: ClusterSpec,
+                       cost_model: CostModel | None = None,
+                       features: ClydesdaleFeatures | None = None,
+                       ) -> ModelResult:
+    """Predict one query's Clydesdale runtime on ``cluster``."""
+    cm = cost_model or DEFAULT_COST_MODEL
+    ft = features or ClydesdaleFeatures()
+    cpu_speed = cluster.cpu_speed
+    stages: list[StageTime] = []
+
+    rows_per_node = profile.fact_rows / cluster.workers
+    scan_bytes = profile.fact_scan_bytes(columnar=ft.columnar)
+    bytes_per_node = scan_bytes / cluster.workers
+    io_s = bytes_per_node / cm.hdfs_scan_bytes_s
+
+    probe_rate = cm.clydesdale_rows_s_per_thread * cpu_speed
+    if not ft.block_iteration:
+        probe_rate /= cm.row_at_a_time_penalty
+    threads = cluster.node.map_slots
+
+    ht_bytes = sum(d.qualifying_entries * cm.clydesdale_hash_bytes_per_entry
+                   for d in profile.dimensions)
+    build_rate = cm.hash_build_rows_s * cpu_speed
+    max_dim_rows = max((d.rows for d in profile.dimensions), default=0)
+    sum_dim_rows = sum(d.rows for d in profile.dimensions)
+
+    stages.append(StageTime("job_overhead", cm.job_overhead_s))
+
+    if ft.multithreaded:
+        # One map task per node; dimension builds run one thread per
+        # dimension; hash tables shared by all join threads and (with JVM
+        # reuse) by consecutive tasks, so exactly one build per node.
+        # With one multi-split per node there is a single map wave, so
+        # JVM reuse (which only matters from the second task on) does not
+        # change the build count here — it matters for multi-query runs.
+        build_s = max_dim_rows / build_rate
+        cpu_s = rows_per_node / (probe_rate * threads)
+        probe_s = max(io_s, cpu_s)
+        stages.append(StageTime("task_start", cm.task_start_cost(False)))
+        stages.append(StageTime(
+            "hash_build", build_s,
+            {"ht_bytes": ht_bytes, "copies_per_node": 1.0}))
+        stages.append(StageTime(
+            "probe", probe_s,
+            {"io_s": io_s, "cpu_s": cpu_s,
+             "scan_bytes_per_node": bytes_per_node}))
+    else:
+        # Section 6.5 ablation: standard single-threaded tasks, one per
+        # slot, each building its own hash tables (no sharing, no reuse).
+        build_s = sum_dim_rows / build_rate  # sequential within a task
+        num_splits = max(1, int(scan_bytes / cm.model_split_bytes))
+        num_waves = waves(num_splits, cluster.total_map_slots)
+        overhead_s = num_waves * cm.task_overhead_s
+        pressure = (threads * ht_bytes) / cluster.heap_budget_per_node
+        penalty = 1.0 + cm.memory_pressure_penalty_k * max(
+            0.0, pressure - cm.memory_pressure_threshold)
+        cpu_s = rows_per_node / (probe_rate * threads) * penalty
+        probe_s = max(io_s, cpu_s)
+        stages.append(StageTime("task_waves_overhead", overhead_s,
+                                {"waves": float(num_waves)}))
+        stages.append(StageTime(
+            "hash_build", build_s,
+            {"ht_bytes": ht_bytes,
+             "copies_per_node": float(threads)}))
+        stages.append(StageTime(
+            "probe", probe_s,
+            {"io_s": io_s, "cpu_s": cpu_s, "memory_penalty": penalty}))
+
+    # Aggregation: combiners shrink map output to ~groups per task, so
+    # the reduce side is small; charge a modest fixed + per-group cost.
+    groups = max(1, profile.output_groups)
+    reduce_s = (cm.task_start_cost(False)
+                + groups / (cm.hive_reduce_rows_s * cpu_speed))
+    stages.append(StageTime("aggregate", reduce_s))
+    if profile.query.order_by:
+        stages.append(StageTime(
+            "final_sort", groups / cm.final_sort_rows_s))
+
+    total = sum(s.seconds for s in stages)
+    return ModelResult(
+        engine="clydesdale",
+        query_name=profile.query.name,
+        cluster=cluster.name,
+        seconds=total,
+        stages=stages,
+    )

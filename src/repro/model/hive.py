@@ -1,0 +1,235 @@
+"""Analytic timing for Hive's two plans at the modeled (SF1000) scale.
+
+Both plans join one dimension per stage and write intermediates to HDFS:
+
+* **mapjoin** — master hash build + distributed-cache broadcast, then a
+  map-only wave over the probe side; every task re-loads the hash table
+  (no JVM reuse) and every slot holds its own copy (OOM when
+  ``slots x table`` exceeds the node heap — Figure 7's failures);
+* **repartition** — both sides tagged and shuffled; the reduce side
+  (one reduce slot per node) merges ~the whole fact table per stage,
+  which is why the paper's Q2.1 stage 1 takes 9,720 s on 8 reducers.
+
+Split counts at the modeled scale come from the *full* RCFile table size
+(RCFile prunes column I/O but not splits — the paper's 4,887 stage-1
+tasks), then Hadoop's wave arithmetic over the cluster's slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.results import ModelResult, StageTime
+from repro.model.stats import DimensionProfile, QueryProfile
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.hardware import ClusterSpec
+from repro.sim.scheduler import waves
+
+PLAN_MAPJOIN = "hive-mapjoin"
+PLAN_REPARTITION = "hive-repartition"
+
+
+@dataclass
+class _StageState:
+    """Rows/bytes flowing into the next stage."""
+
+    rows: float
+    row_bytes: float  # binary intermediate width per row
+    is_fact_table: bool  # True only for stage 1 (RCFile input)
+
+
+def _intermediate_width(profile: QueryProfile,
+                        upto: int) -> float:
+    """Bytes/row of the intermediate after joining ``upto`` dimensions."""
+    width = sum(profile.fact_binary_widths[c]
+                for c in profile.fact_scan_columns())
+    for dim_profile in profile.dimensions[:upto]:
+        width += profile.aux_width(dim_profile.name, binary=True)
+    return width
+
+
+def _ht_bytes(dim_profile: DimensionProfile, cm: CostModel) -> float:
+    return dim_profile.qualifying_entries * cm.hive_hash_bytes_per_entry
+
+
+def predict_hive_mapjoin(profile: QueryProfile, cluster: ClusterSpec,
+                         cost_model: CostModel | None = None,
+                         ) -> ModelResult:
+    """Predict the mapjoin plan; marks OOM when hash copies blow a node."""
+    cm = cost_model or DEFAULT_COST_MODEL
+    cpu_speed = cluster.cpu_speed
+    slots = cluster.node.map_slots
+    total_slots = cluster.total_map_slots
+    stages: list[StageTime] = []
+
+    state = _StageState(rows=profile.fact_rows, row_bytes=0.0,
+                        is_fact_table=True)
+
+    for index, dim_profile in enumerate(profile.dimensions, start=1):
+        name = f"stage{index}:mapjoin:{dim_profile.name}"
+        ht = _ht_bytes(dim_profile, cm)
+        if slots * ht > cluster.heap_budget_per_node:
+            return ModelResult(
+                engine=PLAN_MAPJOIN, query_name=profile.query.name,
+                cluster=cluster.name, seconds=None, oom=True,
+                failed_stage=name, stages=stages)
+
+        master_s = (dim_profile.rows / (cm.hash_build_rows_s * cpu_speed)
+                    + cm.distcache_cost(ht, cluster))
+
+        if state.is_fact_table:
+            # Splits come from the FULL RCFile table; I/O reads only the
+            # selected column sections.
+            table_bytes = profile.fact_rcfile_bytes()
+            selected_bytes = profile.fact_rcfile_bytes(
+                profile.fact_scan_columns())
+            num_splits = max(1, int(table_bytes / cm.model_split_bytes))
+            rows_in = profile.fact_rows
+        else:
+            stage_bytes = state.rows * state.row_bytes
+            selected_bytes = stage_bytes
+            num_splits = max(1, int(stage_bytes / cm.model_split_bytes))
+            rows_in = state.rows
+
+        rows_per_task = rows_in / num_splits
+        io_per_task = (selected_bytes / num_splits) \
+            / (cm.hdfs_scan_bytes_s / slots)
+        probe_rate = cm.probe_rate_with_cache_penalty(
+            cm.hive_rows_s_per_slot * cpu_speed, ht)
+        cpu_per_task = rows_per_task / probe_rate
+
+        sel = dim_profile.selectivity * (
+            profile.fact_pred_selectivity if state.is_fact_table else 1.0)
+        rows_out = rows_in * sel
+        out_width = _intermediate_width(profile, index)
+        write_per_task = (rows_out / num_splits) * out_width \
+            / (cm.hdfs_write_bytes_s / slots)
+
+        per_task = (cm.task_start_cost(False)
+                    + cm.hash_reload_cost(ht)
+                    + max(io_per_task, cpu_per_task)
+                    + write_per_task)
+        num_waves = waves(num_splits, total_slots)
+        stage_s = cm.job_overhead_s + master_s + num_waves * per_task
+        stages.append(StageTime(name, stage_s, {
+            "tasks": float(num_splits), "waves": float(num_waves),
+            "per_task_s": per_task, "ht_bytes": ht,
+            "reload_s": cm.hash_reload_cost(ht),
+            "rows_in": rows_in, "rows_out": rows_out}))
+
+        state = _StageState(rows=rows_out, row_bytes=out_width,
+                            is_fact_table=False)
+
+    _append_groupby_orderby(profile, cluster, cm, state, stages)
+    return ModelResult(
+        engine=PLAN_MAPJOIN, query_name=profile.query.name,
+        cluster=cluster.name,
+        seconds=sum(s.seconds for s in stages), stages=stages)
+
+
+def predict_hive_repartition(profile: QueryProfile, cluster: ClusterSpec,
+                             cost_model: CostModel | None = None,
+                             ) -> ModelResult:
+    """Predict the repartition (common/sort-merge) plan."""
+    cm = cost_model or DEFAULT_COST_MODEL
+    cpu_speed = cluster.cpu_speed
+    slots = cluster.node.map_slots
+    total_slots = cluster.total_map_slots
+    reducers = max(1, cluster.total_reduce_slots)
+    stages: list[StageTime] = []
+
+    state = _StageState(rows=profile.fact_rows, row_bytes=0.0,
+                        is_fact_table=True)
+
+    for index, dim_profile in enumerate(profile.dimensions, start=1):
+        name = f"stage{index}:repartition:{dim_profile.name}"
+        if state.is_fact_table:
+            table_bytes = profile.fact_rcfile_bytes()
+            num_splits = max(1, int(table_bytes / cm.model_split_bytes))
+            rows_in = profile.fact_rows
+            fact_width = sum(profile.fact_binary_widths[c]
+                             for c in profile.fact_scan_columns())
+        else:
+            stage_bytes = state.rows * state.row_bytes
+            num_splits = max(1, int(stage_bytes / cm.model_split_bytes))
+            rows_in = state.rows
+            fact_width = state.row_bytes
+
+        # Map side: tag + emit both tables (fact side dominates).
+        map_rows = rows_in + dim_profile.rows
+        rows_per_task = map_rows / num_splits
+        cpu_per_task = rows_per_task / (cm.hive_rows_s_per_slot * cpu_speed)
+        sort_per_task = rows_per_task / (cm.shuffle_sort_rows_s * cpu_speed)
+        per_task = cm.task_start_cost(False) + cpu_per_task + sort_per_task
+        num_waves = waves(num_splits, total_slots)
+        map_s = num_waves * per_task
+
+        # Shuffle: every fact row crosses the network, plus the
+        # qualifying dimension entries.
+        aux_width = profile.aux_width(dim_profile.name, binary=True)
+        shuffle_bytes = (rows_in * (fact_width + 8)
+                         + dim_profile.qualifying_entries * (aux_width + 8))
+        shuffle_s = shuffle_bytes / (cluster.network_bandwidth
+                                     * cluster.workers)
+
+        # Reduce side: merge-join of ~the whole fact side per stage.
+        # Binary intermediates (stage 2+) skip the RCFile SerDe cost.
+        reduce_rate = cm.hive_reduce_rows_s * cpu_speed
+        if not state.is_fact_table:
+            reduce_rate *= cm.hive_reduce_binary_speedup
+        reduce_rows = rows_in + dim_profile.qualifying_entries
+        reduce_s = reduce_rows / (reduce_rate * reducers)
+
+        sel = dim_profile.selectivity * (
+            profile.fact_pred_selectivity if state.is_fact_table else 1.0)
+        rows_out = rows_in * sel
+        out_width = _intermediate_width(profile, index)
+        write_s = rows_out * out_width / (cm.hdfs_write_bytes_s
+                                          * cluster.workers)
+
+        # Hadoop overlaps the shuffle with the map phase, and the reduce
+        # merge streams behind it; the stage is bounded by the slowest of
+        # the three, not their sum.
+        stage_s = (cm.job_overhead_s + max(map_s, shuffle_s, reduce_s)
+                   + write_s)
+        stages.append(StageTime(name, stage_s, {
+            "map_s": map_s, "shuffle_s": shuffle_s, "reduce_s": reduce_s,
+            "write_s": write_s, "rows_in": rows_in, "rows_out": rows_out}))
+        state = _StageState(rows=rows_out, row_bytes=out_width,
+                            is_fact_table=False)
+
+    _append_groupby_orderby(profile, cluster, cm, state, stages)
+    return ModelResult(
+        engine=PLAN_REPARTITION, query_name=profile.query.name,
+        cluster=cluster.name,
+        seconds=sum(s.seconds for s in stages), stages=stages)
+
+
+def _append_groupby_orderby(profile: QueryProfile, cluster: ClusterSpec,
+                            cm: CostModel, state: _StageState,
+                            stages: list[StageTime]) -> None:
+    """Hive's final group-by MR job and order-by job (stages 4 and 5)."""
+    cpu_speed = cluster.cpu_speed
+    reducers = max(1, cluster.total_reduce_slots)
+    rows = state.rows
+    stage_bytes = rows * max(state.row_bytes, 1.0)
+    num_splits = max(1, int(stage_bytes / cm.model_split_bytes))
+    num_waves = waves(num_splits, cluster.total_map_slots)
+    per_task = (cm.task_start_cost(False)
+                + (rows / num_splits) / (cm.hive_rows_s_per_slot
+                                         * cpu_speed))
+    map_s = num_waves * per_task
+    shuffle_s = stage_bytes / (cluster.network_bandwidth * cluster.workers)
+    # Hive's plain plan sends every joined row to the reducers (no
+    # map-side aggregation), matching the paper's 720 s stage 4.
+    reduce_s = rows / (cm.hive_reduce_rows_s * cpu_speed * reducers)
+    stage_index = len(profile.dimensions) + 1
+    stages.append(StageTime(
+        f"stage{stage_index}:groupby",
+        cm.job_overhead_s + map_s + shuffle_s + reduce_s,
+        {"rows_in": rows}))
+    if profile.query.order_by:
+        groups = max(1, profile.output_groups)
+        stages.append(StageTime(
+            f"stage{stage_index + 1}:orderby",
+            cm.job_overhead_s + groups / cm.final_sort_rows_s))

@@ -1,0 +1,260 @@
+"""Query statistics for the analytic SF1000 timing model.
+
+A :class:`QueryProfile` holds everything the timing formulas need about
+one query at a modeled scale factor: table cardinalities, predicate
+selectivities, and column byte-widths for each storage encoding. All of
+it is *measured*, not asserted — selectivities are evaluated exactly
+against reference-scale generated dimension tables (these distributions
+are scale-free), fact-predicate selectivity against a generated fact
+sample, and byte-widths against generated values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.common.schema import Schema
+from repro.core.query import StarQuery
+from repro.ssb.datagen import (
+    SSBGenerator,
+    customer_count,
+    lineorder_count,
+    part_count,
+    supplier_count,
+)
+from repro.ssb.schema import SCHEMAS
+
+#: Dimension tables are profiled at this scale factor — large enough for
+#: the rarest SSB predicate (one brand in a thousand) to be measured with
+#: a few hundred matching rows.
+REFERENCE_SF = 1.0
+FACT_SAMPLE_ROWS = 60_000
+
+
+@dataclass(frozen=True)
+class _ReferenceTables:
+    """Reference-scale generated tables plus measured byte widths."""
+
+    dims: dict  # table -> list of rows
+    fact_sample: list
+    binary_widths: dict  # table -> {column: avg bytes, binary encoding}
+    text_widths: dict    # table -> {column: avg bytes, RCFile text encoding}
+
+
+def _binary_width(dtype, values) -> float:
+    if dtype.fixed_width is not None:
+        return float(dtype.fixed_width)
+    if not values:
+        return 16.0
+    return 4.0 + sum(len(str(v).encode("utf-8"))
+                     for v in values) / len(values)
+
+
+def _text_width(values) -> float:
+    if not values:
+        return 12.0
+    return 4.0 + sum(len(str(v).encode("utf-8"))
+                     for v in values) / len(values)
+
+
+@lru_cache(maxsize=4)
+def _reference_tables(seed: int = 42) -> _ReferenceTables:
+    gen = SSBGenerator(scale_factor=REFERENCE_SF, seed=seed)
+    dims = {
+        "customer": gen.gen_customer(),
+        "supplier": gen.gen_supplier(),
+        "part": gen.gen_part(),
+        "date": gen.gen_date(),
+    }
+    date_keys = [row[0] for row in dims["date"]]
+    sample_gen = SSBGenerator(
+        scale_factor=FACT_SAMPLE_ROWS / 6_000_000, seed=seed)
+    fact_sample = list(sample_gen.iter_lineorder(
+        customer_count(REFERENCE_SF), supplier_count(REFERENCE_SF),
+        part_count(REFERENCE_SF), date_keys))
+
+    binary_widths: dict = {}
+    text_widths: dict = {}
+    for table, rows in list(dims.items()) + [("lineorder", fact_sample)]:
+        schema = SCHEMAS[table]
+        sample = rows[:5_000]
+        binary_widths[table] = {}
+        text_widths[table] = {}
+        for index, column in enumerate(schema.columns):
+            values = [row[index] for row in sample]
+            binary_widths[table][column.name] = _binary_width(
+                column.dtype, values)
+            text_widths[table][column.name] = _text_width(values)
+    return _ReferenceTables(dims=dims, fact_sample=fact_sample,
+                            binary_widths=binary_widths,
+                            text_widths=text_widths)
+
+
+def _predicate_selectivity(schema: Schema, rows, predicate) -> float:
+    """Exact fraction of ``rows`` passing ``predicate``."""
+    if not rows:
+        return 0.0
+    pred_cols = {name: schema.index_of(name)
+                 for name in predicate.columns()}
+    if not pred_cols:
+        return 1.0
+    hits = 0
+    for row in rows:
+        get = lambda name, _row=row: _row[pred_cols[name]]
+        if predicate.evaluate(get):
+            hits += 1
+    return hits / len(rows)
+
+
+@dataclass
+class DimensionProfile:
+    """One joined dimension's modeled statistics."""
+
+    name: str
+    rows: int                 # cardinality at the modeled SF
+    selectivity: float        # fraction passing the dimension predicate
+    aux_columns: list[str] = field(default_factory=list)
+
+    @property
+    def qualifying_entries(self) -> int:
+        return int(round(self.rows * self.selectivity))
+
+
+@dataclass
+class QueryProfile:
+    """Everything the timing model needs about one query at one SF."""
+
+    query: StarQuery
+    scale_factor: float
+    fact_rows: int
+    fact_pred_selectivity: float
+    dimensions: list[DimensionProfile]
+    #: avg binary bytes/value per fact column (CIF encoding).
+    fact_binary_widths: dict[str, float]
+    #: avg text bytes/value per fact column (RCFile encoding).
+    fact_text_widths: dict[str, float]
+    dim_binary_widths: dict[str, dict[str, float]]
+    dim_text_widths: dict[str, dict[str, float]]
+    #: measured group count from a small-scale execution (optional).
+    output_groups: int = 0
+
+    # -- derived ----------------------------------------------------------- #
+
+    def dim(self, name: str) -> DimensionProfile:
+        for profile in self.dimensions:
+            if profile.name == name:
+                return profile
+        raise KeyError(name)
+
+    @property
+    def join_selectivity(self) -> float:
+        """Fraction of fact rows surviving all probes and the fact
+        predicate (FKs are uniform, so selectivities multiply)."""
+        fraction = self.fact_pred_selectivity
+        for dim_profile in self.dimensions:
+            fraction *= dim_profile.selectivity
+        return fraction
+
+    def fact_scan_columns(self) -> list[str]:
+        columns = self.query.fact_columns()
+        fact_names = SCHEMAS["lineorder"].names
+        for name in self.query.group_by:
+            if name in fact_names and name not in columns:
+                columns.append(name)
+        return columns
+
+    def fact_scan_bytes(self, columnar: bool = True) -> float:
+        """Bytes the Clydesdale scan reads at the modeled SF (binary)."""
+        names = (self.fact_scan_columns() if columnar
+                 else list(SCHEMAS["lineorder"].names))
+        width = sum(self.fact_binary_widths[n] for n in names)
+        return self.fact_rows * width
+
+    def fact_rcfile_bytes(self, columns: list[str] | None = None) -> float:
+        """Bytes of the RCFile fact table (text encoding) for ``columns``
+        (all columns when None — the full table size)."""
+        names = columns or list(SCHEMAS["lineorder"].names)
+        width = sum(self.fact_text_widths[n] for n in names)
+        return self.fact_rows * width
+
+    def aux_width(self, dim_name: str, binary: bool = True) -> float:
+        dim_profile = self.dim(dim_name)
+        widths = (self.dim_binary_widths if binary
+                  else self.dim_text_widths)[dim_name]
+        return sum(widths[c] for c in dim_profile.aux_columns)
+
+
+def _estimate_output_groups(query: StarQuery, ref: _ReferenceTables,
+                            fact_rows: int) -> int:
+    """Estimate result-group cardinality from qualifying distinct values.
+
+    Group-by columns are independent across dimensions in SSB, so the
+    group count is the product of each column's distinct values among the
+    rows passing that table's predicate (capped by the matched row
+    count implicitly — SSB groups are small).
+    """
+    total = 1
+    for column in query.group_by:
+        for table, rows in list(ref.dims.items()) + [
+                ("lineorder", ref.fact_sample)]:
+            schema = SCHEMAS[table]
+            if column not in schema:
+                continue
+            index = schema.index_of(column)
+            if table == "lineorder":
+                predicate = query.fact_predicate
+            else:
+                try:
+                    predicate = query.join_for(table).predicate
+                except Exception:
+                    continue  # dimension not joined; column is elsewhere
+            pred_cols = {name: schema.index_of(name)
+                         for name in predicate.columns()}
+            distinct = set()
+            for row in rows:
+                get = lambda name, _row=row: _row[pred_cols[name]]
+                if not pred_cols or predicate.evaluate(get):
+                    distinct.add(row[index])
+            total *= max(1, len(distinct))
+            break
+    return max(1, min(total, fact_rows))
+
+
+def build_profile(query: StarQuery, scale_factor: float,
+                  seed: int = 42,
+                  output_groups: int = 0) -> QueryProfile:
+    """Measure a query's statistics and scale them to ``scale_factor``."""
+    ref = _reference_tables(seed)
+    counts = {
+        "customer": customer_count(scale_factor),
+        "supplier": supplier_count(scale_factor),
+        "part": part_count(scale_factor),
+        "date": len(ref.dims["date"]),
+    }
+    dims = []
+    for join in query.joins:
+        schema = SCHEMAS[join.dimension]
+        selectivity = _predicate_selectivity(
+            schema, ref.dims[join.dimension], join.predicate)
+        aux = query.aux_columns(join.dimension, schema.names)
+        dims.append(DimensionProfile(
+            name=join.dimension, rows=counts[join.dimension],
+            selectivity=selectivity, aux_columns=aux))
+    fact_sel = _predicate_selectivity(
+        SCHEMAS["lineorder"], ref.fact_sample, query.fact_predicate)
+    fact_rows = lineorder_count(scale_factor)
+    if output_groups <= 0:
+        output_groups = _estimate_output_groups(query, ref, fact_rows)
+    return QueryProfile(
+        query=query,
+        scale_factor=scale_factor,
+        fact_rows=fact_rows,
+        fact_pred_selectivity=fact_sel,
+        dimensions=dims,
+        fact_binary_widths=ref.binary_widths["lineorder"],
+        fact_text_widths=ref.text_widths["lineorder"],
+        dim_binary_widths={d.name: ref.binary_widths[d.name] for d in dims},
+        dim_text_widths={d.name: ref.text_widths[d.name] for d in dims},
+        output_groups=output_groups,
+    )

@@ -1,0 +1,5 @@
+"""Naive in-memory reference engine for cross-checking query results."""
+
+from repro.reference.engine import ReferenceEngine
+
+__all__ = ["ReferenceEngine"]

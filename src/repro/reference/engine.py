@@ -1,0 +1,95 @@
+"""A naive single-process reference engine for correctness checks.
+
+Executes a :class:`~repro.core.query.StarQuery` with plain Python dict
+joins over in-memory tables — no MapReduce, no storage formats. Both
+Clydesdale and the Hive baseline must match its answers exactly; tests
+enforce that for all thirteen SSB queries and for randomly generated
+queries (hypothesis).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.common.errors import QueryError
+from repro.common.schema import Schema
+from repro.core.query import StarQuery
+from repro.core.result import QueryResult, apply_order_by
+
+
+class ReferenceEngine:
+    """Evaluates star queries over in-memory tables."""
+
+    def __init__(self, schemas: Mapping[str, Schema],
+                 tables: Mapping[str, Sequence[tuple]]):
+        self.schemas = dict(schemas)
+        self.tables = {name: list(rows) for name, rows in tables.items()}
+        for name in self.tables:
+            if name not in self.schemas:
+                raise QueryError(f"table {name!r} has no schema")
+
+    @classmethod
+    def from_ssb(cls, data) -> "ReferenceEngine":
+        from repro.ssb.schema import SCHEMAS
+        return cls(SCHEMAS, data.tables())
+
+    def execute(self, query: StarQuery) -> QueryResult:
+        fact_schema = self.schemas[query.fact_table]
+        fact_rows = self.tables[query.fact_table]
+        fact_index = {n: i for i, n in enumerate(fact_schema.names)}
+
+        # Filtered dimension lookups: pk -> full row (as name->value
+        # dict). Snowflake branches are denormalized with the same
+        # helper the engines use.
+        from repro.core.hashtable import flatten_dimension
+        dim_lookup: list[tuple[str, dict[Any, dict[str, Any]]]] = []
+        for join in query.joins:
+            lookup = flatten_dimension(join, self.schemas, self.tables)
+            dim_lookup.append((join.fact_fk, lookup))
+
+        groups: dict[tuple, list[Any]] = {}
+        group_cols = query.group_by
+        aggregates = query.aggregates
+        for row in fact_rows:
+            def get(name: str, _row=row) -> Any:
+                return _row[fact_index[name]]
+
+            if not query.fact_predicate.evaluate(get):
+                continue
+            joined: dict[str, Any] = {}
+            miss = False
+            for fk, lookup in dim_lookup:
+                match = lookup.get(row[fact_index[fk]])
+                if match is None:
+                    miss = True
+                    break
+                joined.update(match)
+            if miss:
+                continue
+
+            def get_any(name: str, _row=row, _joined=joined) -> Any:
+                index = fact_index.get(name)
+                if index is not None:
+                    return _row[index]
+                return _joined[name]
+
+            key = tuple(get_any(c) for c in group_cols)
+            state = groups.get(key)
+            if state is None:
+                state = [agg.initial() for agg in aggregates]
+                groups[key] = state
+            for position, agg in enumerate(aggregates):
+                value = (1 if agg.function == "count"
+                         else agg.expr.evaluate(get_any))
+                if agg.function == "count":
+                    state[position] += 1
+                elif agg.function == "sum":
+                    state[position] += value
+                else:
+                    state[position] = agg.accumulate(state[position], value)
+
+        columns = list(group_cols) + [a.alias for a in aggregates]
+        rows = [key + tuple(state) for key, state in groups.items()]
+        ordered = apply_order_by(rows, columns, query.order_by, query.limit)
+        return QueryResult(query_name=query.name, columns=columns,
+                           rows=ordered)

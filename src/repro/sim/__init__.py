@@ -1,0 +1,36 @@
+"""Simulated cluster hardware, cost model, and slot scheduling."""
+
+from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
+from repro.sim.hardware import (
+    ClusterSpec,
+    DiskSpec,
+    NodeSpec,
+    cluster_a,
+    cluster_b,
+    tiny_cluster,
+)
+from repro.sim.scheduler import (
+    ScheduleResult,
+    SpeculativeResult,
+    schedule,
+    schedule_per_node,
+    schedule_with_speculation,
+    waves,
+)
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "ClusterSpec",
+    "CostModel",
+    "DiskSpec",
+    "NodeSpec",
+    "ScheduleResult",
+    "cluster_a",
+    "cluster_b",
+    "SpeculativeResult",
+    "schedule",
+    "schedule_per_node",
+    "schedule_with_speculation",
+    "tiny_cluster",
+    "waves",
+]

@@ -1,0 +1,286 @@
+"""The thirteen Star Schema Benchmark queries (flights 1-4).
+
+Each query is expressed as a :class:`~repro.core.query.StarQuery` that
+both engines execute. Flight 1 filters on the fact table itself
+(discount/quantity bands) and aggregates discounted revenue; flights 2-4
+join progressively more dimensions with group-by/order-by, matching the
+paper's description in section 6.2 and the SQL it prints for Q2.1/Q3.1.
+"""
+
+from __future__ import annotations
+
+from repro.core.expressions import (
+    And,
+    Between,
+    Col,
+    Comparison,
+    InList,
+)
+from repro.core.query import Aggregate, DimensionJoin, OrderKey, StarQuery
+
+ASIA_CITIES = ("UNITED KI1", "UNITED KI5")
+
+
+def q1_1() -> StarQuery:
+    return StarQuery(
+        name="Q1.1",
+        fact_table="lineorder",
+        joins=[DimensionJoin("date", "lo_orderdate", "d_datekey",
+                             Comparison("d_year", "=", 1993))],
+        fact_predicate=And([Between("lo_discount", 1, 3),
+                            Comparison("lo_quantity", "<", 25)]),
+        aggregates=[Aggregate("sum",
+                              Col("lo_extendedprice") * Col("lo_discount"),
+                              alias="revenue")],
+    )
+
+
+def q1_2() -> StarQuery:
+    return StarQuery(
+        name="Q1.2",
+        fact_table="lineorder",
+        joins=[DimensionJoin("date", "lo_orderdate", "d_datekey",
+                             Comparison("d_yearmonthnum", "=", 199401))],
+        fact_predicate=And([Between("lo_discount", 4, 6),
+                            Between("lo_quantity", 26, 35)]),
+        aggregates=[Aggregate("sum",
+                              Col("lo_extendedprice") * Col("lo_discount"),
+                              alias="revenue")],
+    )
+
+
+def q1_3() -> StarQuery:
+    return StarQuery(
+        name="Q1.3",
+        fact_table="lineorder",
+        joins=[DimensionJoin("date", "lo_orderdate", "d_datekey",
+                             And([Comparison("d_weeknuminyear", "=", 6),
+                                  Comparison("d_year", "=", 1994)]))],
+        fact_predicate=And([Between("lo_discount", 5, 7),
+                            Between("lo_quantity", 36, 40)]),
+        aggregates=[Aggregate("sum",
+                              Col("lo_extendedprice") * Col("lo_discount"),
+                              alias="revenue")],
+    )
+
+
+def q2_1() -> StarQuery:
+    """The paper's worked example (section 6.3)."""
+    return StarQuery(
+        name="Q2.1",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("date", "lo_orderdate", "d_datekey"),
+            DimensionJoin("part", "lo_partkey", "p_partkey",
+                          Comparison("p_category", "=", "MFGR#12")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_region", "=", "AMERICA")),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["d_year", "p_brand1"],
+        order_by=[OrderKey("d_year"), OrderKey("p_brand1")],
+    )
+
+
+def q2_2() -> StarQuery:
+    return StarQuery(
+        name="Q2.2",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("date", "lo_orderdate", "d_datekey"),
+            DimensionJoin("part", "lo_partkey", "p_partkey",
+                          Between("p_brand1", "MFGR#2221", "MFGR#2228")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_region", "=", "ASIA")),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["d_year", "p_brand1"],
+        order_by=[OrderKey("d_year"), OrderKey("p_brand1")],
+    )
+
+
+def q2_3() -> StarQuery:
+    return StarQuery(
+        name="Q2.3",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("date", "lo_orderdate", "d_datekey"),
+            DimensionJoin("part", "lo_partkey", "p_partkey",
+                          Comparison("p_brand1", "=", "MFGR#2239")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_region", "=", "EUROPE")),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["d_year", "p_brand1"],
+        order_by=[OrderKey("d_year"), OrderKey("p_brand1")],
+    )
+
+
+def q3_1() -> StarQuery:
+    """The SQL the paper prints in section 4.2."""
+    return StarQuery(
+        name="Q3.1",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          Comparison("c_region", "=", "ASIA")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_region", "=", "ASIA")),
+            DimensionJoin("date", "lo_orderdate", "d_datekey",
+                          Between("d_year", 1992, 1997)),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["c_nation", "s_nation", "d_year"],
+        order_by=[OrderKey("d_year"),
+                  OrderKey("revenue", descending=True)],
+    )
+
+
+def q3_2() -> StarQuery:
+    return StarQuery(
+        name="Q3.2",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          Comparison("c_nation", "=", "UNITED STATES")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_nation", "=", "UNITED STATES")),
+            DimensionJoin("date", "lo_orderdate", "d_datekey",
+                          Between("d_year", 1992, 1997)),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["c_city", "s_city", "d_year"],
+        order_by=[OrderKey("d_year"),
+                  OrderKey("revenue", descending=True)],
+    )
+
+
+def q3_3() -> StarQuery:
+    return StarQuery(
+        name="Q3.3",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          InList("c_city", list(ASIA_CITIES))),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          InList("s_city", list(ASIA_CITIES))),
+            DimensionJoin("date", "lo_orderdate", "d_datekey",
+                          Between("d_year", 1992, 1997)),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["c_city", "s_city", "d_year"],
+        order_by=[OrderKey("d_year"),
+                  OrderKey("revenue", descending=True)],
+    )
+
+
+def q3_4() -> StarQuery:
+    return StarQuery(
+        name="Q3.4",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          InList("c_city", list(ASIA_CITIES))),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          InList("s_city", list(ASIA_CITIES))),
+            DimensionJoin("date", "lo_orderdate", "d_datekey",
+                          Comparison("d_yearmonth", "=", "Dec1997")),
+        ],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="revenue")],
+        group_by=["c_city", "s_city", "d_year"],
+        order_by=[OrderKey("d_year"),
+                  OrderKey("revenue", descending=True)],
+    )
+
+
+def q4_1() -> StarQuery:
+    return StarQuery(
+        name="Q4.1",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          Comparison("c_region", "=", "AMERICA")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_region", "=", "AMERICA")),
+            DimensionJoin("part", "lo_partkey", "p_partkey",
+                          InList("p_mfgr", ["MFGR#1", "MFGR#2"])),
+            DimensionJoin("date", "lo_orderdate", "d_datekey"),
+        ],
+        aggregates=[Aggregate("sum",
+                              Col("lo_revenue") - Col("lo_supplycost"),
+                              alias="profit")],
+        group_by=["d_year", "c_nation"],
+        order_by=[OrderKey("d_year"), OrderKey("c_nation")],
+    )
+
+
+def q4_2() -> StarQuery:
+    return StarQuery(
+        name="Q4.2",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          Comparison("c_region", "=", "AMERICA")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_region", "=", "AMERICA")),
+            DimensionJoin("part", "lo_partkey", "p_partkey",
+                          InList("p_mfgr", ["MFGR#1", "MFGR#2"])),
+            DimensionJoin("date", "lo_orderdate", "d_datekey",
+                          InList("d_year", [1997, 1998])),
+        ],
+        aggregates=[Aggregate("sum",
+                              Col("lo_revenue") - Col("lo_supplycost"),
+                              alias="profit")],
+        group_by=["d_year", "s_nation", "p_category"],
+        order_by=[OrderKey("d_year"), OrderKey("s_nation"),
+                  OrderKey("p_category")],
+    )
+
+
+def q4_3() -> StarQuery:
+    return StarQuery(
+        name="Q4.3",
+        fact_table="lineorder",
+        joins=[
+            DimensionJoin("customer", "lo_custkey", "c_custkey",
+                          Comparison("c_region", "=", "AMERICA")),
+            DimensionJoin("supplier", "lo_suppkey", "s_suppkey",
+                          Comparison("s_nation", "=", "UNITED STATES")),
+            DimensionJoin("part", "lo_partkey", "p_partkey",
+                          Comparison("p_category", "=", "MFGR#14")),
+            DimensionJoin("date", "lo_orderdate", "d_datekey",
+                          InList("d_year", [1997, 1998])),
+        ],
+        aggregates=[Aggregate("sum",
+                              Col("lo_revenue") - Col("lo_supplycost"),
+                              alias="profit")],
+        group_by=["d_year", "s_city", "p_brand1"],
+        order_by=[OrderKey("d_year"), OrderKey("s_city"),
+                  OrderKey("p_brand1")],
+    )
+
+
+_BUILDERS = (q1_1, q1_2, q1_3, q2_1, q2_2, q2_3, q3_1, q3_2, q3_3, q3_4,
+             q4_1, q4_2, q4_3)
+
+QUERY_NAMES = tuple(b().name for b in _BUILDERS)
+
+FLIGHTS: dict[int, tuple[str, ...]] = {
+    1: ("Q1.1", "Q1.2", "Q1.3"),
+    2: ("Q2.1", "Q2.2", "Q2.3"),
+    3: ("Q3.1", "Q3.2", "Q3.3", "Q3.4"),
+    4: ("Q4.1", "Q4.2", "Q4.3"),
+}
+
+
+def ssb_queries() -> dict[str, StarQuery]:
+    """All thirteen SSB queries keyed by name ("Q1.1" .. "Q4.3")."""
+    return {builder().name: builder() for builder in _BUILDERS}
+
+
+def flight_of(query_name: str) -> int:
+    """The query flight (1-4) a query belongs to."""
+    for flight, names in FLIGHTS.items():
+        if query_name in names:
+            return flight
+    raise KeyError(query_name)

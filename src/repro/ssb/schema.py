@@ -1,0 +1,104 @@
+"""Star Schema Benchmark table schemas (O'Neil et al., as used in the
+paper's Figure 1 and section 6.2).
+
+``lineorder`` is the fact table; ``customer``, ``supplier``, ``part`` and
+``date`` are the dimensions. Money amounts are integer cents-free dollar
+values as in the SSB spec.
+"""
+
+from __future__ import annotations
+
+from repro.common.schema import Schema
+from repro.common.types import DataType
+
+FACT_TABLE = "lineorder"
+DIMENSIONS = ("customer", "supplier", "part", "date")
+
+LINEORDER = Schema([
+    ("lo_orderkey", DataType.INT64),
+    ("lo_linenumber", DataType.INT32),
+    ("lo_custkey", DataType.INT32),
+    ("lo_partkey", DataType.INT32),
+    ("lo_suppkey", DataType.INT32),
+    ("lo_orderdate", DataType.INT32),
+    ("lo_orderpriority", DataType.STRING),
+    ("lo_shippriority", DataType.INT32),
+    ("lo_quantity", DataType.INT32),
+    ("lo_extendedprice", DataType.INT64),
+    ("lo_ordtotalprice", DataType.INT64),
+    ("lo_discount", DataType.INT32),
+    ("lo_revenue", DataType.INT64),
+    ("lo_supplycost", DataType.INT64),
+    ("lo_tax", DataType.INT32),
+    ("lo_commitdate", DataType.INT32),
+    ("lo_shipmode", DataType.STRING),
+])
+
+CUSTOMER = Schema([
+    ("c_custkey", DataType.INT32),
+    ("c_name", DataType.STRING),
+    ("c_address", DataType.STRING),
+    ("c_city", DataType.STRING),
+    ("c_nation", DataType.STRING),
+    ("c_region", DataType.STRING),
+    ("c_phone", DataType.STRING),
+    ("c_mktsegment", DataType.STRING),
+])
+
+SUPPLIER = Schema([
+    ("s_suppkey", DataType.INT32),
+    ("s_name", DataType.STRING),
+    ("s_address", DataType.STRING),
+    ("s_city", DataType.STRING),
+    ("s_nation", DataType.STRING),
+    ("s_region", DataType.STRING),
+    ("s_phone", DataType.STRING),
+])
+
+PART = Schema([
+    ("p_partkey", DataType.INT32),
+    ("p_name", DataType.STRING),
+    ("p_mfgr", DataType.STRING),
+    ("p_category", DataType.STRING),
+    ("p_brand1", DataType.STRING),
+    ("p_color", DataType.STRING),
+    ("p_type", DataType.STRING),
+    ("p_size", DataType.INT32),
+    ("p_container", DataType.STRING),
+])
+
+DATE = Schema([
+    ("d_datekey", DataType.INT32),
+    ("d_date", DataType.STRING),
+    ("d_dayofweek", DataType.STRING),
+    ("d_month", DataType.STRING),
+    ("d_year", DataType.INT32),
+    ("d_yearmonthnum", DataType.INT32),
+    ("d_yearmonth", DataType.STRING),
+    ("d_daynuminweek", DataType.INT32),
+    ("d_daynuminmonth", DataType.INT32),
+    ("d_daynuminyear", DataType.INT32),
+    ("d_monthnuminyear", DataType.INT32),
+    ("d_weeknuminyear", DataType.INT32),
+    ("d_sellingseason", DataType.STRING),
+    ("d_lastdayinweekfl", DataType.INT32),
+    ("d_lastdayinmonthfl", DataType.INT32),
+    ("d_holidayfl", DataType.INT32),
+    ("d_weekdayfl", DataType.INT32),
+])
+
+SCHEMAS: dict[str, Schema] = {
+    "lineorder": LINEORDER,
+    "customer": CUSTOMER,
+    "supplier": SUPPLIER,
+    "part": PART,
+    "date": DATE,
+}
+
+#: fact FK column -> (dimension table, dimension PK column)
+FOREIGN_KEYS: dict[str, tuple[str, str]] = {
+    "lo_custkey": ("customer", "c_custkey"),
+    "lo_suppkey": ("supplier", "s_suppkey"),
+    "lo_partkey": ("part", "p_partkey"),
+    "lo_orderdate": ("date", "d_datekey"),
+}

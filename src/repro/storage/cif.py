@@ -1,0 +1,314 @@
+"""CIF — the ColumnInputFormat (paper section 4.1) and B-CIF (section 5.3).
+
+The fact table is stored column-per-file inside per-row-group
+directories::
+
+    /tables/lineorder/rg-00000/lo_custkey.bin
+    /tables/lineorder/rg-00000/lo_revenue.bin
+    /tables/lineorder/rg-00001/lo_custkey.bin
+    ...
+
+Written under a :class:`~repro.hdfs.placement.CoLocatingPlacementPolicy`,
+every column file of a row group lands on the same datanodes, so a map
+task scheduled on one of them reads all its columns locally. Queries push
+their column list into the format (``cif.columns``) and only those files
+are read — unused columns cost zero I/O.
+
+B-CIF layers *block iteration* on the same data: the record reader
+returns a :class:`RowBlock` (a batch of column vectors) per call instead
+of one row, amortizing per-record framework overhead.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Sequence
+
+from repro.common.errors import StorageError
+from repro.common.record import Record
+from repro.common.schema import Schema
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.inputformat import InputFormat
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import InputSplit, RecordReader
+from repro.storage.dictionary import decode_cif_column, encode_cif_column
+from repro.storage.tablemeta import FORMAT_CIF, TableMeta
+
+KEY_CIF_COLUMNS = "cif.columns"
+KEY_BLOCK_ITERATION = "cif.block.iteration"
+KEY_BLOCK_ROWS = "cif.block.rows"
+
+DEFAULT_ROW_GROUP_SIZE = 50_000
+DEFAULT_BLOCK_ROWS = 1024
+
+
+def row_group_dir(directory: str, group: int) -> str:
+    return f"{directory}/rg-{group:05d}"
+
+
+def column_path(directory: str, group: int, column: str) -> str:
+    return f"{row_group_dir(directory, group)}/{column}.bin"
+
+
+def write_cif_table(fs: MiniDFS, name: str, directory: str, schema: Schema,
+                    rows: Sequence[Sequence], row_group_size: int =
+                    DEFAULT_ROW_GROUP_SIZE,
+                    dictionary: bool = True) -> TableMeta:
+    """Write a table in CIF layout and persist its metadata.
+
+    For the co-location guarantee, the filesystem should be configured
+    with :class:`~repro.hdfs.placement.CoLocatingPlacementPolicy`; the
+    format works (without the locality guarantee) under any policy.
+    """
+    if row_group_size <= 0:
+        raise StorageError("row_group_size must be positive")
+    groups: list[dict] = []
+    for start in range(0, max(1, len(rows)), row_group_size):
+        chunk = rows[start:start + row_group_size]
+        group = start // row_group_size
+        write_row_group(fs, directory, schema, group, chunk,
+                        dictionary=dictionary)
+        groups.append({"id": group, "rows": len(chunk)})
+    meta = TableMeta(name=name, directory=directory, schema=schema,
+                     format=FORMAT_CIF, num_rows=len(rows),
+                     row_group_size=row_group_size,
+                     extras={"num_groups": len(groups), "groups": groups,
+                             "dictionary": dictionary})
+    meta.save(fs)
+    return meta
+
+
+def write_row_group(fs: MiniDFS, directory: str, schema: Schema,
+                    group: int, chunk: Sequence[Sequence],
+                    dictionary: bool = True) -> None:
+    """Write one row group's column files (used by writes and roll-in).
+
+    String columns are dictionary-encoded when that is smaller (paper
+    section 8's storage-organization direction); see
+    :mod:`repro.storage.dictionary`.
+    """
+    for col_index, column in enumerate(schema.columns):
+        values = [row[col_index] for row in chunk]
+        data = encode_cif_column(column.dtype, values,
+                                 dictionary=dictionary)
+        fs.write_file(column_path(directory, group, column.name), data,
+                      overwrite=True)
+
+
+def group_descriptors(meta: TableMeta) -> list[dict]:
+    """The table's row groups as ``{"id", "rows"}`` descriptors.
+
+    Tables written before roll-in support (or hand-built) fall back to
+    uniform groups derived from ``row_group_size``.
+    """
+    groups = meta.extras.get("groups")
+    if groups:
+        return list(groups)
+    out = []
+    for group in range(meta.num_row_groups()):
+        base = group * meta.row_group_size
+        out.append({"id": group,
+                    "rows": min(meta.row_group_size,
+                                meta.num_rows - base)})
+    return out
+
+
+class RowBlock:
+    """A batch of rows in columnar form — what B-CIF readers return."""
+
+    __slots__ = ("schema", "base_row", "columns", "num_rows")
+
+    def __init__(self, schema: Schema, base_row: int,
+                 columns: dict[str, list]):
+        self.schema = schema
+        self.base_row = base_row
+        self.columns = columns
+        lengths = {len(v) for v in columns.values()}
+        if len(lengths) > 1:
+            raise StorageError(f"ragged RowBlock: lengths {lengths}")
+        self.num_rows = lengths.pop() if lengths else 0
+
+    def column(self, name: str) -> list:
+        try:
+            return self.columns[name]
+        except KeyError as exc:
+            raise StorageError(
+                f"RowBlock has no column {name!r}; have "
+                f"{sorted(self.columns)}") from exc
+
+    def row(self, index: int) -> tuple:
+        return tuple(self.columns[n][index] for n in self.schema.names)
+
+    def iter_rows(self) -> Iterator[tuple]:
+        names = self.schema.names
+        cols = [self.columns[n] for n in names]
+        return zip(*cols) if cols else iter(())
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+
+class CIFSplit(InputSplit):
+    """One fact-table row group (the CIF unit of scheduling)."""
+
+    def __init__(self, directory: str, group: int, base_row: int,
+                 num_rows: int, columns: tuple[str, ...], length: int,
+                 hosts: tuple[str, ...]):
+        self.directory = directory
+        self.group = group
+        self.base_row = base_row
+        self.num_rows = num_rows
+        self.columns = columns
+        self._length = length
+        self._hosts = hosts
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def locations(self) -> tuple[str, ...]:
+        return self._hosts
+
+    def __repr__(self) -> str:
+        return (f"CIFSplit({self.directory} rg-{self.group:05d}, "
+                f"{self.num_rows} rows, cols={list(self.columns)})")
+
+
+class _CIFReaderBase(RecordReader):
+    """Shared column-loading machinery for row and block readers."""
+
+    def __init__(self, fs: MiniDFS, split: CIFSplit, schema: Schema,
+                 reader_node: str | None):
+        self._split = split
+        self._schema = schema.project(list(split.columns))
+        self._bytes = 0
+        self._columns: dict[str, list] = {}
+        for name in split.columns:
+            path = column_path(split.directory, split.group, name)
+            data = fs.read_file(path, reader_node=reader_node)
+            self._bytes += len(data)
+            self._columns[name] = decode_cif_column(
+                schema.column(name).dtype, data)
+        lengths = {len(v) for v in self._columns.values()}
+        if len(lengths) > 1:
+            raise StorageError(
+                f"row group {split.group} has ragged columns: {lengths}")
+        self._num_rows = lengths.pop() if lengths else 0
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes
+
+    @property
+    def projected_schema(self) -> Schema:
+        return self._schema
+
+
+class CIFRecordReader(_CIFReaderBase):
+    """Row-at-a-time iteration: yields (global row id, Record)."""
+
+    def __init__(self, fs: MiniDFS, split: CIFSplit, schema: Schema,
+                 reader_node: str | None):
+        super().__init__(fs, split, schema, reader_node)
+        self._cursor = 0
+        self._col_lists = [self._columns[n] for n in self._schema.names]
+
+    def next(self):
+        if self._cursor >= self._num_rows:
+            return None
+        i = self._cursor
+        record = Record(self._schema,
+                        tuple(col[i] for col in self._col_lists))
+        self._cursor += 1
+        return self._split.base_row + i, record
+
+
+class BCIFRecordReader(_CIFReaderBase):
+    """Block iteration: yields (base row id, RowBlock) batches."""
+
+    def __init__(self, fs: MiniDFS, split: CIFSplit, schema: Schema,
+                 reader_node: str | None, block_rows: int):
+        super().__init__(fs, split, schema, reader_node)
+        if block_rows <= 0:
+            raise StorageError("block_rows must be positive")
+        self._block_rows = block_rows
+        self._cursor = 0
+
+    def next(self):
+        if self._cursor >= self._num_rows:
+            return None
+        start = self._cursor
+        end = min(start + self._block_rows, self._num_rows)
+        block = RowBlock(
+            self._schema, self._split.base_row + start,
+            {name: values[start:end]
+             for name, values in self._columns.items()})
+        self._cursor = end
+        return self._split.base_row + start, block
+
+
+class ColumnInputFormat(InputFormat):
+    """CIF: splits per row group, column projection pushed into I/O.
+
+    Configuration keys:
+
+    * ``cif.columns`` — JSON list of column names to read (default: all);
+    * ``cif.block.iteration`` — return :class:`RowBlock` batches (B-CIF);
+    * ``cif.block.rows`` — batch size for block iteration.
+    """
+
+    def get_splits(self, fs: MiniDFS, conf: JobConf) -> list[InputSplit]:
+        splits: list[InputSplit] = []
+        for directory in conf.input_paths():
+            meta = TableMeta.load(fs, directory)
+            if meta.format != FORMAT_CIF:
+                raise StorageError(
+                    f"{directory} is {meta.format}, not CIF")
+            columns = self._projected_columns(conf, meta.schema)
+            base = 0
+            for descriptor in group_descriptors(meta):
+                group = descriptor["id"]
+                num_rows = descriptor["rows"]
+                length = 0
+                hosts: tuple[str, ...] = ()
+                for name in columns:
+                    path = column_path(directory, group, name)
+                    length += fs.file_length(path)
+                    if not hosts:
+                        locations = fs.block_locations(path)
+                        hosts = locations[0].hosts if locations else ()
+                splits.append(CIFSplit(
+                    directory=directory, group=group, base_row=base,
+                    num_rows=num_rows, columns=columns, length=length,
+                    hosts=hosts))
+                base += num_rows
+        return splits
+
+    def get_record_reader(self, fs: MiniDFS, split: InputSplit,
+                          conf: JobConf,
+                          reader_node: str | None = None) -> RecordReader:
+        if not isinstance(split, CIFSplit):
+            raise StorageError(
+                f"ColumnInputFormat cannot read {type(split).__name__}")
+        meta = TableMeta.load(fs, split.directory)
+        if conf.get_bool(KEY_BLOCK_ITERATION, False):
+            return BCIFRecordReader(
+                fs, split, meta.schema, reader_node,
+                conf.get_int(KEY_BLOCK_ROWS, DEFAULT_BLOCK_ROWS))
+        return CIFRecordReader(fs, split, meta.schema, reader_node)
+
+    @staticmethod
+    def _projected_columns(conf: JobConf,
+                           schema: Schema) -> tuple[str, ...]:
+        raw = conf.get(KEY_CIF_COLUMNS)
+        if raw is None:
+            return schema.names
+        names = json.loads(raw)
+        for name in names:
+            schema.column(name)  # validate early
+        return tuple(names)
+
+    @staticmethod
+    def set_projection(conf: JobConf, columns: Sequence[str]) -> None:
+        """Push the query's column list into the format (paper 4.2)."""
+        conf.set(KEY_CIF_COLUMNS, json.dumps(list(columns)))

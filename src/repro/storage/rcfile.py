@@ -1,0 +1,235 @@
+"""RCFile — the PAX-style hybrid columnar format Hive uses (paper 6.2).
+
+Each part file is a sequence of *row groups*; within a row group all
+values are stored column-wise in contiguous sections, so a reader can
+skip the byte ranges of unneeded columns. Faithful to Hive's default
+LazySimpleSerDe, values are stored as *text* and parsed on read — one of
+the reasons Hive's per-record CPU cost is high and why the SF1000 RCFile
+fact table (558 GB) is larger than Clydesdale's binary MultiCIF (334 GB).
+
+Row-group offsets are recorded in the table metadata (standing in for
+RCFile's sync markers) and each row group is one input split.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Sequence
+
+from repro.common.errors import StorageError
+from repro.common.record import Record
+from repro.common.schema import Schema
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.inputformat import InputFormat
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import InputSplit, RecordReader
+from repro.storage.tablemeta import FORMAT_RCFILE, TableMeta
+
+KEY_RCFILE_COLUMNS = "rcfile.columns"
+
+DEFAULT_ROW_GROUP_SIZE = 25_000
+DEFAULT_GROUPS_PER_FILE = 8
+
+_U32 = struct.Struct("<I")
+
+
+def _encode_text_column(values: Sequence) -> bytes:
+    parts = []
+    for value in values:
+        raw = str(value).encode("utf-8")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def _decode_text_column(data: bytes, count: int) -> list[str]:
+    values = []
+    offset = 0
+    for _ in range(count):
+        if offset + 4 > len(data):
+            raise StorageError("RCFile column section truncated")
+        length = _U32.unpack_from(data, offset)[0]
+        offset += 4
+        values.append(data[offset:offset + length].decode("utf-8"))
+        offset += length
+    return values
+
+
+def write_rcfile_table(fs: MiniDFS, name: str, directory: str,
+                       schema: Schema, rows: Sequence[Sequence],
+                       row_group_size: int = DEFAULT_ROW_GROUP_SIZE,
+                       groups_per_file: int = DEFAULT_GROUPS_PER_FILE,
+                       ) -> TableMeta:
+    """Write ``rows`` in RCFile layout with row-group index metadata."""
+    if row_group_size <= 0 or groups_per_file <= 0:
+        raise StorageError("row_group_size/groups_per_file must be positive")
+    group_index: list[dict] = []
+    num_cols = len(schema)
+    file_number = 0
+    writer = None
+    file_offset = 0
+    groups_in_file = 0
+    path = ""
+    try:
+        for start in range(0, max(1, len(rows)), row_group_size):
+            if writer is None or groups_in_file >= groups_per_file:
+                if writer is not None:
+                    writer.close()
+                path = f"{directory}/part-{file_number:05d}.rc"
+                writer = fs.create_writer(path, overwrite=True)
+                file_number += 1
+                file_offset = 0
+                groups_in_file = 0
+            chunk = rows[start:start + row_group_size]
+            sections = [
+                _encode_text_column([row[c] for row in chunk])
+                for c in range(num_cols)
+            ]
+            header = _U32.pack(len(chunk)) + _U32.pack(num_cols) + b"".join(
+                _U32.pack(len(s)) for s in sections)
+            blob = header + b"".join(sections)
+            writer.write(blob)
+            group_index.append({
+                "file": path, "offset": file_offset, "length": len(blob),
+                "row_count": len(chunk), "base_row": start,
+            })
+            file_offset += len(blob)
+            groups_in_file += 1
+    finally:
+        if writer is not None:
+            writer.close()
+    meta = TableMeta(name=name, directory=directory, schema=schema,
+                     format=FORMAT_RCFILE, num_rows=len(rows),
+                     row_group_size=row_group_size,
+                     extras={"groups": group_index})
+    meta.save(fs)
+    return meta
+
+
+class RCFileSplit(InputSplit):
+    """One RCFile row group."""
+
+    def __init__(self, path: str, offset: int, length: int, row_count: int,
+                 base_row: int, hosts: tuple[str, ...]):
+        self.path = path
+        self.offset = offset
+        self._length = length
+        self.row_count = row_count
+        self.base_row = base_row
+        self._hosts = hosts
+
+    @property
+    def length(self) -> int:
+        return self._length
+
+    def locations(self) -> tuple[str, ...]:
+        return self._hosts
+
+    def __repr__(self) -> str:
+        return f"RCFileSplit({self.path}@{self.offset}, {self.row_count})"
+
+
+class RCFileRecordReader(RecordReader):
+    """Reads selected column sections of one row group, skipping others.
+
+    PAX-style I/O elision: the header and only the *selected* column
+    sections are fetched (``bytes_read`` reflects that); values are then
+    lazily parsed from text to the schema's types, which is the
+    SerDe CPU cost Hive pays per record.
+    """
+
+    def __init__(self, fs: MiniDFS, split: RCFileSplit, schema: Schema,
+                 columns: tuple[str, ...], reader_node: str | None):
+        self._split = split
+        self._schema = schema.project(list(columns))
+        header_len = 8 + 4 * len(schema)
+        header = fs.read_range(split.path, split.offset, header_len,
+                               reader_node=reader_node)
+        if len(header) < header_len:
+            raise StorageError(f"truncated RCFile header in {split.path}")
+        row_count = _U32.unpack_from(header, 0)[0]
+        num_cols = _U32.unpack_from(header, 4)[0]
+        if num_cols != len(schema):
+            raise StorageError(
+                f"RCFile group has {num_cols} columns, schema has "
+                f"{len(schema)}")
+        section_lengths = [
+            _U32.unpack_from(header, 8 + 4 * i)[0] for i in range(num_cols)]
+        self._bytes = header_len
+        self._columns: dict[str, list] = {}
+        section_offset = split.offset + header_len
+        wanted = set(columns)
+        for col, section_len in zip(schema.columns, section_lengths):
+            if col.name in wanted:
+                data = fs.read_range(split.path, section_offset,
+                                     section_len, reader_node=reader_node)
+                self._bytes += len(data)
+                self._columns[col.name] = [
+                    col.dtype.coerce(v)
+                    for v in _decode_text_column(data, row_count)]
+            section_offset += section_len
+        self._num_rows = row_count
+        self._cursor = 0
+        self._col_lists = [self._columns[n] for n in self._schema.names]
+
+    @property
+    def bytes_read(self) -> int:
+        return self._bytes
+
+    def next(self):
+        if self._cursor >= self._num_rows:
+            return None
+        i = self._cursor
+        record = Record(self._schema,
+                        tuple(col[i] for col in self._col_lists))
+        self._cursor += 1
+        return self._split.base_row + i, record
+
+
+class RCFileInputFormat(InputFormat):
+    """Split per row group; projection via ``rcfile.columns`` (JSON)."""
+
+    def get_splits(self, fs: MiniDFS, conf: JobConf) -> list[InputSplit]:
+        splits: list[InputSplit] = []
+        for directory in conf.input_paths():
+            meta = TableMeta.load(fs, directory)
+            if meta.format != FORMAT_RCFILE:
+                raise StorageError(f"{directory} is {meta.format}, "
+                                   f"not RCFile")
+            for group in meta.extras.get("groups", []):
+                locations = fs.block_locations(
+                    group["file"], group["offset"], group["length"])
+                hosts = locations[0].hosts if locations else ()
+                splits.append(RCFileSplit(
+                    path=group["file"], offset=group["offset"],
+                    length=group["length"], row_count=group["row_count"],
+                    base_row=group["base_row"], hosts=hosts))
+        return splits
+
+    def get_record_reader(self, fs: MiniDFS, split: InputSplit,
+                          conf: JobConf,
+                          reader_node: str | None = None) -> RecordReader:
+        if not isinstance(split, RCFileSplit):
+            raise StorageError(
+                f"RCFileInputFormat cannot read {type(split).__name__}")
+        directory = split.path.rsplit("/", 1)[0]
+        meta = TableMeta.load(fs, directory)
+        columns = self._projected_columns(conf, meta.schema)
+        return RCFileRecordReader(fs, split, meta.schema, columns,
+                                  reader_node)
+
+    @staticmethod
+    def _projected_columns(conf: JobConf,
+                           schema: Schema) -> tuple[str, ...]:
+        raw = conf.get(KEY_RCFILE_COLUMNS)
+        if raw is None:
+            return schema.names
+        names = json.loads(raw)
+        for name in names:
+            schema.column(name)
+        return tuple(names)
+
+    @staticmethod
+    def set_projection(conf: JobConf, columns: Sequence[str]) -> None:
+        conf.set(KEY_RCFILE_COLUMNS, json.dumps(list(columns)))

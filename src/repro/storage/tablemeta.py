@@ -1,0 +1,102 @@
+"""Table metadata stored alongside data in mini-HDFS.
+
+Every table directory carries a ``.meta`` file (JSON) describing the
+schema, the storage format, row counts, and format-specific details such
+as CIF row-group size or RCFile row-group offsets — a miniature Hive
+metastore kept inside the filesystem.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.common.errors import StorageError
+from repro.common.schema import Schema
+from repro.hdfs.filesystem import MiniDFS
+
+META_FILE = ".meta"
+
+FORMAT_TEXT = "text"
+FORMAT_ROWS = "rows"
+FORMAT_CIF = "cif"
+FORMAT_RCFILE = "rcfile"
+
+KNOWN_FORMATS = (FORMAT_TEXT, FORMAT_ROWS, FORMAT_CIF, FORMAT_RCFILE)
+
+
+@dataclass
+class TableMeta:
+    """Descriptor for one stored table."""
+
+    name: str
+    directory: str
+    schema: Schema
+    format: str
+    num_rows: int = 0
+    row_group_size: int = 0
+    #: Format-specific extras (e.g. RCFile row-group offsets per file).
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.format not in KNOWN_FORMATS:
+            raise StorageError(f"unknown table format {self.format!r}")
+
+    @property
+    def meta_path(self) -> str:
+        return f"{self.directory}/{META_FILE}"
+
+    def num_row_groups(self) -> int:
+        if self.row_group_size <= 0:
+            return 1 if self.num_rows else 0
+        return -(-self.num_rows // self.row_group_size)
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "name": self.name,
+            "directory": self.directory,
+            "schema": self.schema.to_dict(),
+            "format": self.format,
+            "num_rows": self.num_rows,
+            "row_group_size": self.row_group_size,
+            "extras": self.extras,
+        }, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, raw: str) -> "TableMeta":
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise StorageError("corrupt table metadata") from exc
+        return cls(
+            name=data["name"],
+            directory=data["directory"],
+            schema=Schema.from_dict(data["schema"]),
+            format=data["format"],
+            num_rows=data["num_rows"],
+            row_group_size=data["row_group_size"],
+            extras=data.get("extras", {}),
+        )
+
+    def save(self, fs: MiniDFS) -> None:
+        fs.write_file(self.meta_path, self.to_json().encode("utf-8"),
+                      overwrite=True)
+
+    @classmethod
+    def load(cls, fs: MiniDFS, directory: str) -> "TableMeta":
+        path = f"{directory.rstrip('/')}/{META_FILE}"
+        if not fs.exists(path):
+            raise StorageError(f"no table metadata at {path}")
+        return cls.from_json(fs.read_file(path).decode("utf-8"))
+
+
+def data_files(fs: MiniDFS, meta: TableMeta) -> list[str]:
+    """All non-metadata files in the table directory (sorted)."""
+    return [p for p in fs.list_dir(meta.directory)
+            if not p.rsplit("/", 1)[-1].startswith(".")]
+
+
+def table_bytes(fs: MiniDFS, meta: TableMeta) -> int:
+    """Total on-disk bytes of the table's data files (one replica)."""
+    return sum(fs.file_length(p) for p in data_files(fs, meta))

@@ -1,0 +1,43 @@
+"""Shared fixtures: generated SSB data and ready-made engines.
+
+Session-scoped so the (deterministic) data generation and loading run
+once for the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import ClydesdaleEngine
+from repro.hive.engine import HiveEngine
+from repro.reference.engine import ReferenceEngine
+from repro.ssb.datagen import SSBGenerator
+from repro.ssb.queries import ssb_queries
+
+SMALL_SF = 0.002
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def ssb_data():
+    return SSBGenerator(scale_factor=SMALL_SF, seed=SEED).generate()
+
+
+@pytest.fixture(scope="session")
+def clydesdale(ssb_data):
+    return ClydesdaleEngine.with_ssb_data(data=ssb_data, num_nodes=4)
+
+
+@pytest.fixture(scope="session")
+def hive(ssb_data):
+    return HiveEngine.with_ssb_data(data=ssb_data, num_nodes=4)
+
+
+@pytest.fixture(scope="session")
+def reference(ssb_data):
+    return ReferenceEngine.from_ssb(ssb_data)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    return ssb_queries()

@@ -1,0 +1,241 @@
+"""Tests for the benchmark harness: figures, tables, reporting, DFSIO."""
+
+import pytest
+
+from repro.bench import paper_reference as paper
+from repro.bench.dfsio import run_dfsio
+from repro.bench.figures import (
+    fig7,
+    fig8,
+    fig9,
+    flight_averages,
+    q21_breakdown,
+    render_ablation_figure,
+    render_q21,
+    render_speedup_figure,
+    render_table1,
+    summarize_speedups,
+    table1,
+    table1_functional,
+)
+from repro.bench.report import fmt_speedup, render_bars, render_table
+from repro.hdfs.filesystem import MiniDFS
+from repro.sim.costs import DEFAULT_COST_MODEL
+from repro.sim.hardware import tiny_cluster
+
+
+@pytest.fixture(scope="module")
+def fig7_rows():
+    return fig7()
+
+
+@pytest.fixture(scope="module")
+def fig8_rows():
+    return fig8()
+
+
+class TestFig7:
+    def test_thirteen_rows(self, fig7_rows):
+        assert len(fig7_rows) == 13
+
+    def test_speedup_envelope_overlaps_paper(self, fig7_rows):
+        summary = summarize_speedups(fig7_rows)
+        lo, hi = paper.FIG7_SPEEDUP_RANGE
+        # Bands must overlap the paper's envelope and the average must be
+        # the same order of magnitude ("tens of x").
+        assert summary["max"] > lo
+        assert summary["min"] < hi
+        assert 15 < summary["avg"] < 60
+
+    def test_oom_set_matches_paper(self, fig7_rows):
+        summary = summarize_speedups(fig7_rows)
+        assert set(summary["oom"]) == set(paper.FIG7_MAPJOIN_OOM)
+
+    def test_clydesdale_wins_every_query(self, fig7_rows):
+        for row in fig7_rows:
+            assert row.speedup_repartition > 3
+            if row.speedup_mapjoin is not None:
+                assert row.speedup_mapjoin > 3
+
+    def test_render(self, fig7_rows):
+        text = render_speedup_figure(fig7_rows, "Figure 7")
+        assert "Q2.1" in text and "OOM" in text and "average" in text
+
+
+class TestFig8:
+    def test_all_queries_complete_on_b(self, fig8_rows):
+        assert summarize_speedups(fig8_rows)["oom"] == ()
+
+    def test_b_speedups_smaller_than_a(self, fig7_rows, fig8_rows):
+        avg_a = summarize_speedups(fig7_rows)["avg"]
+        avg_b = summarize_speedups(fig8_rows)["avg"]
+        assert avg_b < avg_a
+
+    def test_b_absolute_times_smaller(self, fig7_rows, fig8_rows):
+        for row_a, row_b in zip(fig7_rows, fig8_rows):
+            assert row_b.clydesdale_s < row_a.clydesdale_s
+            assert row_b.repartition_s < row_a.repartition_s
+
+    def test_envelope_vs_paper(self, fig8_rows):
+        summary = summarize_speedups(fig8_rows)
+        lo, hi = paper.FIG8_SPEEDUP_RANGE
+        assert summary["max"] > lo
+        assert summary["min"] < hi
+        assert 5 < summary["avg"] < 30
+
+
+class TestFig9:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return fig9()
+
+    def test_flight_averages_structure(self, rows):
+        averages = flight_averages(rows)
+        assert set(averages) == {1, 2, 3, 4}
+
+    def test_multithreading_flight_gradient(self, rows):
+        averages = flight_averages(rows)
+        assert averages[4]["no_multithreading"] > \
+            averages[1]["no_multithreading"]
+
+    def test_columnar_flights_2_vs_4(self, rows):
+        averages = flight_averages(rows)
+        assert averages[2]["no_columnar"] > averages[4]["no_columnar"]
+
+    def test_render(self, rows):
+        text = render_ablation_figure(rows)
+        assert "paper" in text and "-columnar" in text
+
+
+class TestTable1:
+    def test_two_clusters(self):
+        rows = table1()
+        assert [r["cluster"] for r in rows] == ["cluster-A", "cluster-B"]
+
+    def test_raw_bandwidths(self):
+        rows = table1()
+        assert rows[0]["raw_read_mb_s"] == pytest.approx(560.0)
+        assert rows[1]["raw_read_mb_s"] == pytest.approx(280.0)
+
+    def test_render(self):
+        text = render_table1(table1())
+        assert "Table 1" in text and "560" in text
+
+    def test_functional_dfsio_runs(self):
+        result = table1_functional(num_nodes=3)
+        assert result.read_throughput_mb_s() > 0
+        assert result.write_throughput_mb_s() > 0
+        assert result.local_read_fraction == 1.0
+
+    def test_dfsio_read_faster_than_write(self):
+        fs = MiniDFS(num_nodes=3)
+        result = run_dfsio(fs, tiny_cluster(workers=3),
+                           DEFAULT_COST_MODEL, files=6,
+                           bytes_per_file=4 * 1024 * 1024)
+        # Writes pay 3x replication; reads are local.
+        assert result.read_throughput_mb_s() > \
+            result.write_throughput_mb_s()
+
+
+class TestQ21Breakdown:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return q21_breakdown()
+
+    def test_contains_all_engines(self, breakdown):
+        assert breakdown["clydesdale"].completed
+        assert breakdown["mapjoin"].completed
+        assert breakdown["repartition"].completed
+
+    def test_mapjoin_cheaper_than_repartition_for_q21(self, breakdown):
+        assert breakdown["mapjoin"].seconds < \
+            breakdown["repartition"].seconds
+
+    def test_render_mentions_paper_numbers(self, breakdown):
+        text = render_q21(breakdown)
+        assert "paper 215" in text
+        assert "stage1" in text
+
+
+class TestReportHelpers:
+    def test_render_table_alignment(self):
+        text = render_table(["col", "n"], [["a", 1], ["bb", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert len(lines) == 4
+
+    def test_render_table_title(self):
+        text = render_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_render_bars_handles_oom(self):
+        text = render_bars(["q"], {"hive": [None], "clyde": [10.0]})
+        assert "OOM" in text and "#" in text
+
+    def test_fmt_speedup(self):
+        assert fmt_speedup(None) == "--"
+        assert fmt_speedup(38.04) == "38.0x"
+
+
+class TestCli:
+    def test_cli_fig9(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out
+
+    def test_cli_table1(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["table1"]) == 0
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_cli_rejects_unknown(self):
+        from repro.bench.__main__ import main
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestCliHeavyTargets:
+    def test_cli_fig7(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out and "OOM" in out
+
+    def test_cli_fig8(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["fig8"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+    def test_cli_q21(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["q21"]) == 0
+        assert "paper 215" in capsys.readouterr().out
+
+    def test_cli_calibration(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["calibration"]) == 0
+        out = capsys.readouterr().out
+        assert "OFF" not in out and "hash_build_rows_s" in out
+
+    def test_cli_validate_small(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["validate", "--scale-factor", "0.001"]) == 0
+        out = capsys.readouterr().out
+        assert "all engines agree" in out
+
+
+class TestMarkdownReport:
+    def test_report_renders(self):
+        from repro.bench.narrative import render_markdown_report
+        report = render_markdown_report()
+        assert "# Clydesdale reproduction" in report
+        assert "Calibration: all constants consistent" in report
+        assert "Figure 7" in report and "Figure 8" in report
+        assert "Q3.1 | 550" in report or "| Q3.1 |" in report
+        assert "OOM" in report
+
+    def test_cli_report(self, capsys):
+        from repro.bench.__main__ import main
+        assert main(["report"]) == 0
+        assert "## Table 1" in capsys.readouterr().out

@@ -1,0 +1,56 @@
+"""The calibration contract: every cost-model constant must stay
+consistent with its paper-anchored derivation."""
+
+import pytest
+
+from repro.model.calibration import (
+    Derivation,
+    calibration_report,
+    derivations,
+    verify_calibration,
+)
+from repro.sim.costs import DEFAULT_COST_MODEL
+
+
+class TestCalibration:
+    def test_shipped_model_fully_calibrated(self):
+        assert verify_calibration() == []
+
+    def test_every_derivation_has_evidence(self):
+        for derivation in derivations():
+            assert derivation.evidence
+            assert derivation.arithmetic
+            assert derivation.derived_value != 0 or \
+                derivation.shipped_value == 0
+
+    def test_detects_drift(self):
+        """Perturbing a constant past its tolerance must be caught."""
+        drifted = DEFAULT_COST_MODEL.with_overrides(
+            hash_build_rows_s=DEFAULT_COST_MODEL.hash_build_rows_s * 3)
+        assert "hash_build_rows_s" in verify_calibration(drifted)
+
+    def test_within_tolerance_accepted(self):
+        nudged = DEFAULT_COST_MODEL.with_overrides(
+            hive_rows_s_per_slot=DEFAULT_COST_MODEL.hive_rows_s_per_slot
+            * 1.05)
+        assert "hive_rows_s_per_slot" not in verify_calibration(nudged)
+
+    def test_report_renders_all_constants(self):
+        report = calibration_report()
+        for derivation in derivations():
+            assert derivation.constant in report
+        assert "OFF" not in report
+
+    def test_derivation_consistency_math(self):
+        exact = Derivation("x", "e", "a", 100.0, 100.0)
+        assert exact.consistent
+        near = Derivation("x", "e", "a", 100.0, 110.0, tolerance=0.15)
+        assert near.consistent
+        far = Derivation("x", "e", "a", 100.0, 130.0, tolerance=0.15)
+        assert not far.consistent
+
+    def test_hive_slot_rate_matches_paper_task_arithmetic(self):
+        """The paper's 4,887 tasks x ~25 s over ~6e9 rows pins the Hive
+        per-slot rate near 49k rows/s."""
+        rate = DEFAULT_COST_MODEL.hive_rows_s_per_slot
+        assert rate == pytest.approx((6e9 / 4887) / 25.0, rel=0.15)

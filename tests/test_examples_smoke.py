@@ -1,0 +1,28 @@
+"""Every shipped example must run to completion (they double as
+integration tests of the public API)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    # Examples read an optional scale factor from argv; pin a small one.
+    monkeypatch.setattr(sys, "argv", [script, "0.002"])
+    runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script} produced no output"
+
+
+def test_expected_examples_present():
+    assert {"quickstart.py", "ssb_star_joins.py",
+            "build_your_own_star.py", "mapreduce_classics.py",
+            "fault_tolerance.py", "rolling_warehouse.py",
+            "snowflake_retail.py"} <= set(EXAMPLES)

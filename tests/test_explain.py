@@ -1,0 +1,94 @@
+"""Tests for the EXPLAIN facility."""
+
+import pytest
+
+from repro.core.explain import explain_clydesdale, explain_hive
+from repro.core.planner import ClydesdaleFeatures
+from repro.sim.costs import DEFAULT_COST_MODEL
+from repro.sim.hardware import tiny_cluster
+from repro.ssb.queries import ssb_queries
+
+
+@pytest.fixture(scope="module")
+def catalog(clydesdale_module):
+    return clydesdale_module.catalog
+
+
+@pytest.fixture(scope="module")
+def clydesdale_module():
+    from repro.core.engine import ClydesdaleEngine
+    from repro.ssb.datagen import SSBGenerator
+    data = SSBGenerator(scale_factor=0.002, seed=42).generate()
+    return ClydesdaleEngine.with_ssb_data(data=data, num_nodes=4)
+
+
+class TestExplainClydesdale:
+    def test_q21_plan_elements(self, catalog):
+        text = explain_clydesdale(ssb_queries()["Q2.1"], catalog)
+        assert "CLYDESDALE PLAN" in text
+        assert "B-CIF blocks" in text
+        assert "lo_orderdate" in text and "lo_revenue" in text
+        assert "hash build: part" in text
+        assert "p_category = 'MFGR#12'" in text
+        assert "1 map task per node" in text
+        assert "single-process sort" in text
+
+    def test_every_ssb_query_explains(self, catalog):
+        for name, query in ssb_queries().items():
+            text = explain_clydesdale(query, catalog)
+            assert name in text
+
+    def test_features_change_plan_text(self, catalog):
+        query = ssb_queries()["Q1.1"]
+        no_col = explain_clydesdale(
+            query, catalog,
+            features=ClydesdaleFeatures(columnar=False))
+        assert "ALL" in no_col
+        single = explain_clydesdale(
+            query, catalog,
+            features=ClydesdaleFeatures(multithreaded=False))
+        assert "single-threaded" in single
+
+    def test_multipass_announced_when_memory_tight(self, catalog):
+        query = ssb_queries()["Q3.1"]
+        text = explain_clydesdale(
+            query, catalog,
+            cluster=tiny_cluster(workers=4, map_slots=2, memory_gb=1),
+            cost_model=DEFAULT_COST_MODEL.with_overrides(
+                clydesdale_hash_bytes_per_entry=360_000.0))
+        assert "MULTI-PASS" in text
+
+    def test_snowflake_branch_rendered(self, catalog):
+        from repro.core.expressions import Col
+        from repro.core.query import (Aggregate, DimensionJoin,
+                                      StarQuery)
+        query = StarQuery(
+            name="snow", fact_table="lineorder",
+            joins=[DimensionJoin(
+                "customer", "lo_custkey", "c_custkey",
+                snowflake=[DimensionJoin("supplier", "c_custkey",
+                                         "s_suppkey")])],
+            aggregates=[Aggregate("sum", Col("lo_revenue"), alias="r")])
+        text = explain_clydesdale(query, catalog)
+        assert "denormalize via" in text
+
+
+class TestExplainHive:
+    def test_mapjoin_plan(self, catalog, clydesdale_module):
+        text = explain_hive(ssb_queries()["Q2.1"], catalog)
+        assert "HIVE MAPJOIN PLAN" in text
+        assert text.count("write intermediate to HDFS") == 3
+        assert "one copy per map SLOT" in text
+        assert "group-by MapReduce job" in text
+        assert "order-by job" in text
+
+    def test_repartition_plan(self, catalog):
+        text = explain_hive(ssb_queries()["Q3.1"], catalog,
+                            plan="repartition")
+        assert "sort-merge join" in text
+        assert "reducers" in text
+
+    def test_stage_count_matches_joins(self, catalog):
+        text = explain_hive(ssb_queries()["Q4.1"], catalog)
+        assert "stage 5: group-by" in text
+        assert "stage 6: order-by" in text

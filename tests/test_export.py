@@ -1,0 +1,75 @@
+"""Tests for the results exporter."""
+
+import csv
+import json
+
+import pytest
+
+from repro.bench.export import (
+    ablation_rows_to_records,
+    export_all,
+    q21_to_records,
+    speedup_rows_to_records,
+)
+from repro.bench.figures import fig7, fig9, q21_breakdown
+
+
+@pytest.fixture(scope="module")
+def out_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("results")
+    export_all(directory)
+    return directory
+
+
+class TestRecordShaping:
+    def test_speedup_records(self):
+        records = speedup_rows_to_records(fig7())
+        assert len(records) == 13
+        oom = [r for r in records if r["mapjoin_oom"]]
+        assert {r["query"] for r in oom} == {"Q3.1", "Q4.1", "Q4.2",
+                                             "Q4.3"}
+        for record in oom:
+            assert record["hive_mapjoin_s"] is None
+
+    def test_ablation_records(self):
+        records = ablation_rows_to_records(fig9())
+        assert all(r["no_columnar_x"] > 1.0 for r in records)
+
+    def test_q21_records(self):
+        records = q21_to_records(q21_breakdown())
+        engines = {r["engine"] for r in records}
+        assert engines == {"clydesdale", "mapjoin", "repartition"}
+
+
+class TestFiles:
+    def test_all_files_written(self, out_dir):
+        names = {p.name for p in out_dir.iterdir()}
+        for stem in ("fig7_cluster_a", "fig8_cluster_b", "fig9_ablation",
+                     "table1_dfsio", "q21_breakdown"):
+            assert f"{stem}.csv" in names
+            assert f"{stem}.json" in names
+        assert "summary.json" in names
+
+    def test_csv_parses_back(self, out_dir):
+        with open(out_dir / "fig7_cluster_a.csv") as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 13
+        assert rows[0]["query"] == "Q1.1"
+        assert float(rows[0]["clydesdale_s"]) > 0
+
+    def test_json_matches_csv_row_count(self, out_dir):
+        data = json.loads((out_dir / "fig8_cluster_b.json").read_text())
+        assert len(data) == 13
+
+    def test_summary_content(self, out_dir):
+        summary = json.loads((out_dir / "summary.json").read_text())
+        assert summary["fig7"]["mapjoin_oom"] == ["Q3.1", "Q4.1", "Q4.2",
+                                                  "Q4.3"]
+        assert summary["fig8"]["mapjoin_oom"] == []
+        assert summary["fig7"]["avg_speedup"] > \
+            summary["fig8"]["avg_speedup"]
+
+    def test_cli_export(self, tmp_path, capsys):
+        from repro.bench.__main__ import main
+        assert main(["export", "--out-dir", str(tmp_path)]) == 0
+        assert (tmp_path / "summary.json").exists()

@@ -1,0 +1,191 @@
+"""Unit tests for mini-HDFS: topology, datanode, namenode."""
+
+import pytest
+
+from repro.common.errors import (
+    BlockCorruptionError,
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    HdfsError,
+)
+from repro.hdfs.blocks import BlockId
+from repro.hdfs.datanode import DataNode
+from repro.hdfs.namenode import NameNode
+from repro.hdfs.topology import Topology
+
+
+class TestTopology:
+    def test_node_names(self):
+        topo = Topology(3)
+        assert topo.node_ids == ["node000", "node001", "node002"]
+
+    def test_rack_assignment(self):
+        topo = Topology(45, nodes_per_rack=20)
+        assert topo.rack_of("node000") == "rack00"
+        assert topo.rack_of("node020") == "rack01"
+        assert topo.rack_of("node044") == "rack02"
+
+    def test_racks_grouping(self):
+        racks = Topology(25, nodes_per_rack=10).racks()
+        assert len(racks) == 3
+        assert len(racks["rack00"]) == 10
+
+    def test_index_roundtrip(self):
+        topo = Topology(5)
+        assert topo.index_of(topo.node_name(3)) == 3
+
+    def test_rejects_bad_node_id(self):
+        topo = Topology(5)
+        with pytest.raises(ValueError):
+            topo.index_of("host7")
+        with pytest.raises(ValueError):
+            topo.index_of("node999")
+
+    def test_rejects_empty_topology(self):
+        with pytest.raises(ValueError):
+            Topology(0)
+
+
+class TestDataNode:
+    def test_store_and_read(self):
+        node = DataNode("node000")
+        block = BlockId("/f", 0)
+        node.store_replica(block, b"data")
+        assert node.read_replica(block) == b"data"
+        assert node.has_replica(block)
+
+    def test_missing_replica_raises(self):
+        node = DataNode("node000")
+        with pytest.raises(BlockCorruptionError):
+            node.read_replica(BlockId("/f", 0))
+
+    def test_capacity_enforced(self):
+        node = DataNode("node000", capacity_bytes=5)
+        node.store_replica(BlockId("/f", 0), b"1234")
+        with pytest.raises(HdfsError):
+            node.store_replica(BlockId("/f", 1), b"5678")
+
+    def test_dead_node_rejects_everything(self):
+        node = DataNode("node000")
+        block = BlockId("/f", 0)
+        node.store_replica(block, b"x")
+        node.fail()
+        assert not node.has_replica(block)
+        with pytest.raises(HdfsError):
+            node.read_replica(block)
+        with pytest.raises(HdfsError):
+            node.store_replica(BlockId("/f", 1), b"y")
+
+    def test_recover_empty_clears_state(self):
+        node = DataNode("node000")
+        node.store_replica(BlockId("/f", 0), b"x")
+        node.scratch_write("local", b"y")
+        node.fail()
+        node.recover_empty()
+        assert node.alive
+        assert not node.has_replica(BlockId("/f", 0))
+        assert not node.scratch_has("local")
+
+    def test_scratch_storage(self):
+        node = DataNode("node000")
+        node.scratch_write("dim", b"rows")
+        assert node.scratch_read("dim") == b"rows"
+        assert node.scratch_names() == ["dim"]
+        with pytest.raises(HdfsError):
+            node.scratch_read("missing")
+
+    def test_used_bytes(self):
+        node = DataNode("node000")
+        node.store_replica(BlockId("/f", 0), b"abc")
+        node.store_replica(BlockId("/f", 1), b"de")
+        assert node.used_bytes == 5
+
+    def test_drop_replica_idempotent(self):
+        node = DataNode("node000")
+        node.drop_replica(BlockId("/f", 0))  # no error
+
+
+class TestNameNode:
+    def test_create_and_get(self):
+        nn = NameNode()
+        nn.create_file("/a/b", block_size=10, replication=2)
+        assert nn.get_file("/a/b").block_size == 10
+
+    def test_path_normalization(self):
+        nn = NameNode()
+        nn.create_file("/a//b/", block_size=10, replication=1)
+        assert nn.exists("/a/b")
+
+    def test_relative_path_rejected(self):
+        with pytest.raises(HdfsError):
+            NameNode().create_file("a/b", block_size=10, replication=1)
+
+    def test_duplicate_create_rejected(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=1)
+        with pytest.raises(FileAlreadyExists):
+            nn.create_file("/f", block_size=10, replication=1)
+
+    def test_overwrite_allowed(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=1)
+        nn.add_block("/f", 5, ["node000"])
+        nn.create_file("/f", block_size=20, replication=1, overwrite=True)
+        assert nn.get_file("/f").blocks == []
+
+    def test_missing_file_raises(self):
+        with pytest.raises(FileNotFoundInHdfs):
+            NameNode().get_file("/nope")
+
+    def test_add_block_assigns_indexes(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=2)
+        info0 = nn.add_block("/f", 10, ["node000", "node001"])
+        info1 = nn.add_block("/f", 4, ["node001", "node002"])
+        assert info0.block_id == BlockId("/f", 0)
+        assert info1.block_id == BlockId("/f", 1)
+        assert nn.get_file("/f").length == 14
+
+    def test_block_locations_ranges(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=1)
+        nn.add_block("/f", 10, ["node000"])
+        nn.add_block("/f", 10, ["node001"])
+        nn.add_block("/f", 3, ["node002"])
+        all_locs = nn.block_locations("/f")
+        assert [(l.offset, l.length) for l in all_locs] == [
+            (0, 10), (10, 10), (20, 3)]
+        # Range intersecting only the middle block:
+        mid = nn.block_locations("/f", offset=12, length=5)
+        assert len(mid) == 1 and mid[0].hosts == ("node001",)
+
+    def test_list_dir(self):
+        nn = NameNode()
+        nn.create_file("/t/x", block_size=1, replication=1)
+        nn.create_file("/t/y", block_size=1, replication=1)
+        nn.create_file("/other", block_size=1, replication=1)
+        assert nn.list_dir("/t") == ["/t/x", "/t/y"]
+
+    def test_delete_returns_blocks(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=1)
+        nn.add_block("/f", 10, ["node000"])
+        blocks = nn.delete("/f")
+        assert blocks == [BlockId("/f", 0)]
+        assert not nn.exists("/f")
+
+    def test_under_replicated_detection(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=3)
+        info = nn.add_block("/f", 10, ["node000", "node001", "node002"])
+        assert nn.under_replicated() == []
+        info.replicas.remove("node001")
+        assert nn.under_replicated() == [info]
+
+    def test_blocks_on_node(self):
+        nn = NameNode()
+        nn.create_file("/f", block_size=10, replication=2)
+        nn.add_block("/f", 10, ["node000", "node001"])
+        nn.add_block("/f", 10, ["node002", "node003"])
+        assert len(nn.blocks_on_node("node000")) == 1
+        assert len(nn.blocks_on_node("node009")) == 0

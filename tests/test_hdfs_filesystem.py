@@ -1,0 +1,240 @@
+"""Tests for MiniDFS: write/read paths, placement, failures, healing."""
+
+import pytest
+
+from repro.common.errors import (
+    BlockCorruptionError,
+    FileAlreadyExists,
+    FileNotFoundInHdfs,
+    ReplicationError,
+)
+from repro.hdfs.blocks import BlockId
+from repro.hdfs.faults import FaultInjector
+from repro.hdfs.filesystem import MiniDFS
+from repro.hdfs.placement import (
+    CoLocatingPlacementPolicy,
+    DefaultPlacementPolicy,
+)
+from repro.hdfs.topology import Topology
+
+
+@pytest.fixture
+def fs():
+    return MiniDFS(num_nodes=5, block_size=8, replication=3)
+
+
+class TestWriteRead:
+    def test_roundtrip_small(self, fs):
+        fs.write_file("/d/f", b"hello")
+        assert fs.read_file("/d/f") == b"hello"
+
+    def test_roundtrip_multi_block(self, fs):
+        data = bytes(range(256)) * 4
+        fs.write_file("/d/f", data)
+        assert fs.read_file("/d/f") == data
+        # 1024 bytes at block size 8 -> 128 blocks
+        assert len(fs.namenode.get_file("/d/f").blocks) == 128
+
+    def test_empty_file(self, fs):
+        fs.write_file("/d/empty", b"")
+        assert fs.read_file("/d/empty") == b""
+        assert fs.file_length("/d/empty") == 0
+
+    def test_read_range(self, fs):
+        data = b"0123456789" * 5
+        fs.write_file("/d/f", data)
+        assert fs.read_range("/d/f", 7, 11) == data[7:18]
+        assert fs.read_range("/d/f", 45, 100) == data[45:]
+
+    def test_read_range_negative_rejected(self, fs):
+        fs.write_file("/d/f", b"abc")
+        with pytest.raises(Exception):
+            fs.read_range("/d/f", -1, 2)
+
+    def test_overwrite_flag(self, fs):
+        fs.write_file("/f", b"one")
+        with pytest.raises(FileAlreadyExists):
+            fs.write_file("/f", b"two")
+        fs.write_file("/f", b"two", overwrite=True)
+        assert fs.read_file("/f") == b"two"
+
+    def test_missing_file(self, fs):
+        with pytest.raises(FileNotFoundInHdfs):
+            fs.read_file("/nope")
+
+    def test_streaming_writer(self, fs):
+        with fs.create_writer("/s") as writer:
+            for chunk in (b"aaa", b"bbbbbb", b"c"):
+                writer.write(chunk)
+        assert fs.read_file("/s") == b"aaabbbbbbc"
+
+    def test_writer_abandons_on_error(self, fs):
+        try:
+            with fs.create_writer("/failed") as writer:
+                writer.write(b"partial")
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        # The file exists in the namespace but was never finalized with
+        # the tail block.
+        assert fs.file_length("/failed") == 0
+
+
+class TestReplication:
+    def test_replication_count(self, fs):
+        fs.write_file("/f", b"x" * 20)
+        for info in fs.namenode.get_file("/f").blocks:
+            assert info.replication == 3
+            assert len(set(info.replicas)) == 3
+
+    def test_replication_capped_by_nodes(self):
+        small = MiniDFS(num_nodes=2, replication=3)
+        small.write_file("/f", b"x")
+        assert small.namenode.get_file("/f").blocks[0].replication == 2
+
+    def test_locality_accounting(self, fs):
+        fs.write_file("/f", b"y" * 30)
+        hosts = fs.block_locations("/f")[0].hosts
+        fs.read_file("/f", reader_node=hosts[0])
+        assert fs.read_bytes["local"] > 0
+
+    def test_writer_node_gets_first_replica(self, fs):
+        fs.write_file("/f", b"z" * 8, writer_node="node002")
+        assert fs.block_locations("/f")[0].hosts[0] == "node002"
+
+    def test_total_used_bytes_triple(self, fs):
+        fs.write_file("/f", b"x" * 16)
+        assert fs.total_used_bytes() == 16 * 3
+
+
+class TestDelete:
+    def test_delete_frees_replicas(self, fs):
+        fs.write_file("/d/f", b"x" * 16)
+        used = fs.total_used_bytes()
+        assert used > 0
+        fs.delete("/d/f")
+        assert fs.total_used_bytes() == 0
+        assert not fs.exists("/d/f")
+
+    def test_recursive_delete(self, fs):
+        fs.write_file("/d/a", b"1")
+        fs.write_file("/d/b", b"2")
+        fs.delete("/d", recursive=True)
+        assert fs.list_dir("/d") == []
+
+    def test_xattrs(self, fs):
+        fs.write_file("/f", b"x")
+        fs.set_xattr("/f", "schema", "{}")
+        assert fs.get_xattr("/f", "schema") == "{}"
+        assert fs.get_xattr("/f", "missing", "d") == "d"
+
+
+class TestPlacementPolicies:
+    def test_default_policy_deterministic(self):
+        topo = Topology(6)
+        live = topo.node_ids
+        p1 = DefaultPlacementPolicy(seed=5)
+        p2 = DefaultPlacementPolicy(seed=5)
+        b = BlockId("/f", 0)
+        assert p1.choose_targets(b, 3, live, topo) == \
+            p2.choose_targets(b, 3, live, topo)
+
+    def test_default_policy_distinct_targets(self):
+        topo = Topology(6)
+        policy = DefaultPlacementPolicy()
+        targets = policy.choose_targets(BlockId("/f", 0), 3,
+                                        topo.node_ids, topo)
+        assert len(set(targets)) == 3
+
+    def test_infeasible_replication(self):
+        topo = Topology(2)
+        with pytest.raises(ReplicationError):
+            DefaultPlacementPolicy().choose_targets(
+                BlockId("/f", 0), 3, topo.node_ids, topo)
+
+    def test_colocation_same_group_same_targets(self):
+        topo = Topology(8)
+        policy = CoLocatingPlacementPolicy()
+        live = topo.node_ids
+        t1 = policy.choose_targets(BlockId("/tbl/rg-0/a.bin", 0), 3,
+                                   live, topo)
+        t2 = policy.choose_targets(BlockId("/tbl/rg-0/b.bin", 0), 3,
+                                   live, topo)
+        assert t1 == t2
+
+    def test_colocation_different_groups_independent(self):
+        topo = Topology(8)
+        policy = CoLocatingPlacementPolicy()
+        live = topo.node_ids
+        t1 = policy.choose_targets(BlockId("/tbl/rg-0/a.bin", 0), 3,
+                                   live, topo)
+        t3 = policy.choose_targets(BlockId("/tbl/rg-1/a.bin", 0), 3,
+                                   live, topo)
+        # Different row groups may land elsewhere (and usually do).
+        assert policy.anchor_nodes("/tbl/rg-0", 0) == t1
+        assert policy.anchor_nodes("/tbl/rg-1", 0) == t3
+
+    def test_colocation_survives_node_loss(self):
+        topo = Topology(6)
+        policy = CoLocatingPlacementPolicy()
+        live = topo.node_ids
+        t1 = policy.choose_targets(BlockId("/t/rg-0/a.bin", 0), 3,
+                                   live, topo)
+        remaining = [n for n in live if n != t1[0]]
+        t2 = policy.choose_targets(BlockId("/t/rg-0/b.bin", 0), 3,
+                                   remaining, topo)
+        assert t1[0] not in t2
+        assert len(set(t2)) == 3
+
+
+class TestFaultsAndHealing:
+    def test_failed_node_drops_from_replicas(self, fs):
+        fs.write_file("/f", b"x" * 16)
+        victim = fs.block_locations("/f")[0].hosts[0]
+        fs.fail_node(victim)
+        for info in fs.namenode.get_file("/f").blocks:
+            assert victim not in info.replicas
+
+    def test_read_survives_single_failure(self, fs):
+        fs.write_file("/f", b"q" * 40)
+        fs.fail_node(fs.block_locations("/f")[0].hosts[0])
+        assert fs.read_file("/f") == b"q" * 40
+
+    def test_re_replication_restores_factor(self, fs):
+        fs.write_file("/f", b"r" * 24)
+        injector = FaultInjector(fs)
+        injector.kill_random_node()
+        created = injector.heal()
+        assert created >= 0
+        for info in fs.namenode.get_file("/f").blocks:
+            assert info.replication == 3
+
+    def test_histogram_after_kill(self, fs):
+        fs.write_file("/f", b"s" * 24)
+        injector = FaultInjector(fs)
+        injector.kill_random_node()
+        histogram = injector.surviving_replica_histogram()
+        assert sum(histogram.values()) == len(
+            fs.namenode.get_file("/f").blocks)
+
+    def test_data_lost_when_all_replicas_die(self):
+        fs = MiniDFS(num_nodes=3, replication=2, block_size=8)
+        fs.write_file("/f", b"t" * 8)
+        for host in list(fs.block_locations("/f")[0].hosts):
+            fs.fail_node(host)
+        with pytest.raises(BlockCorruptionError):
+            fs.read_file("/f")
+
+    def test_recover_node_comes_back_empty(self, fs):
+        fs.write_file("/f", b"u" * 8)
+        injector = FaultInjector(fs)
+        victim = injector.kill_random_node()
+        injector.recover_node(victim)
+        assert victim in fs.live_nodes()
+        assert fs.datanode(victim).used_bytes == 0
+
+    def test_kill_nodes_multiple(self, fs):
+        injector = FaultInjector(fs)
+        victims = injector.kill_nodes(2)
+        assert len(victims) == 2
+        assert len(fs.live_nodes()) == 3

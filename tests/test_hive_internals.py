@@ -1,0 +1,133 @@
+"""Unit tests for Hive baseline internals: broadcast-table building,
+mapjoin mapper mechanics, tagged-union input, repartition reducer."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.common.schema import Schema
+from repro.common.types import DataType
+from repro.core.expressions import Comparison, TruePredicate
+from repro.hdfs.filesystem import MiniDFS
+from repro.hive.mapjoin import build_broadcast_table
+from repro.hive.repartition import (
+    RepartitionReducer,
+    TAG_DIM,
+    TAG_FACT,
+    TaggedUnionInputFormat,
+)
+from repro.mapreduce.api import TaskContext
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import OutputCollector
+
+DIM_SCHEMA = Schema([("pk", DataType.INT32),
+                     ("region", DataType.STRING),
+                     ("nation", DataType.STRING)])
+DIM_ROWS = [(1, "ASIA", "CHINA"), (2, "ASIA", "JAPAN"),
+            (3, "EUROPE", "FRANCE")]
+
+
+class TestBroadcastTable:
+    def test_build_writes_pickled_payload(self):
+        fs = MiniDFS(num_nodes=2)
+        entries, nbytes = build_broadcast_table(
+            fs, DIM_SCHEMA, DIM_ROWS, "pk", TruePredicate(),
+            ["nation"], "/tmp/ht.bin")
+        assert entries == 3
+        payload = pickle.loads(fs.read_file("/tmp/ht.bin"))
+        assert payload["fk_aux"][2] == ("JAPAN",)
+        assert payload["aux_columns"] == ["nation"]
+        assert nbytes == fs.file_length("/tmp/ht.bin")
+
+    def test_predicate_pushed_into_build(self):
+        fs = MiniDFS(num_nodes=2)
+        entries, _ = build_broadcast_table(
+            fs, DIM_SCHEMA, DIM_ROWS, "pk",
+            Comparison("region", "=", "ASIA"), ["nation"],
+            "/tmp/ht2.bin")
+        assert entries == 2
+        payload = pickle.loads(fs.read_file("/tmp/ht2.bin"))
+        assert 3 not in payload["fk_aux"]
+
+    def test_empty_aux(self):
+        fs = MiniDFS(num_nodes=2)
+        entries, _ = build_broadcast_table(
+            fs, DIM_SCHEMA, DIM_ROWS, "pk", TruePredicate(), [],
+            "/tmp/ht3.bin")
+        payload = pickle.loads(fs.read_file("/tmp/ht3.bin"))
+        assert payload["fk_aux"][1] == ()
+        assert entries == 3
+
+
+class TestTaggedUnion:
+    def test_splits_carry_tags(self):
+        from repro.storage.rowformat import RowInputFormat, \
+            write_row_table
+        fs = MiniDFS(num_nodes=3)
+        write_row_table(fs, "a", "/a", DIM_SCHEMA, DIM_ROWS)
+        write_row_table(fs, "b", "/b", DIM_SCHEMA, DIM_ROWS[:2])
+        union = TaggedUnionInputFormat(
+            RowInputFormat(), ["/a"], RowInputFormat(), ["/b"])
+        conf = JobConf("j").set_input_paths("/ignored")
+        splits = union.get_splits(fs, conf)
+        tags = sorted(s.tag for s in splits)
+        assert tags == [TAG_FACT, TAG_DIM]
+
+    def test_readers_wrap_values_with_tags(self):
+        from repro.storage.rowformat import RowInputFormat, \
+            write_row_table
+        fs = MiniDFS(num_nodes=3)
+        write_row_table(fs, "a", "/a", DIM_SCHEMA, DIM_ROWS)
+        write_row_table(fs, "b", "/b", DIM_SCHEMA, DIM_ROWS)
+        union = TaggedUnionInputFormat(
+            RowInputFormat(), ["/a"], RowInputFormat(), ["/b"])
+        conf = JobConf("j").set_input_paths("/ignored")
+        for split in union.get_splits(fs, conf):
+            reader = union.get_record_reader(fs, split, conf)
+            _, (tag, record) = reader.next()
+            assert tag == split.tag
+            assert record.get("pk") == 1
+
+    def test_per_side_overrides(self):
+        from repro.storage.rowformat import RowInputFormat
+        union = TaggedUnionInputFormat(
+            RowInputFormat(), ["/a"], RowInputFormat(), ["/b"],
+            fact_overrides={"key": "fact-value"},
+            dim_overrides={"key": "dim-value"})
+        conf = JobConf("j")
+        fact_conf = union._sub_conf(conf, ["/a"],
+                                    union._fact_overrides)
+        dim_conf = union._sub_conf(conf, ["/b"], union._dim_overrides)
+        assert fact_conf.get("key") == "fact-value"
+        assert dim_conf.get("key") == "dim-value"
+
+
+class TestRepartitionReducer:
+    def make_context(self):
+        return TaskContext(conf=JobConf("j"), node_id="r0",
+                           task_id="r-0", jvm_state={},
+                           node_local_read=lambda n, f: b"")
+
+    def test_joins_fact_rows_with_dim_aux(self):
+        reducer = RepartitionReducer()
+        collector = OutputCollector()
+        values = [(TAG_FACT, (10, 20)), (TAG_DIM, ("ASIA",)),
+                  (TAG_FACT, (30, 40))]
+        reducer.reduce(7, values, collector, self.make_context())
+        assert sorted(collector.pairs) == [
+            (7, (10, 20, "ASIA")), (7, (30, 40, "ASIA"))]
+
+    def test_no_dim_row_drops_facts(self):
+        reducer = RepartitionReducer()
+        collector = OutputCollector()
+        reducer.reduce(7, [(TAG_FACT, (1,))], collector,
+                       self.make_context())
+        assert collector.pairs == []
+
+    def test_dim_only_key_emits_nothing(self):
+        reducer = RepartitionReducer()
+        collector = OutputCollector()
+        reducer.reduce(7, [(TAG_DIM, ("X",))], collector,
+                       self.make_context())
+        assert collector.pairs == []

@@ -1,0 +1,217 @@
+"""Unit tests for the star-join job internals: the MTMapRunner, hash
+table sharing via JVM state, block/row probe equivalence, and the
+aggregate reducer/combiner machinery."""
+
+import threading
+
+import pytest
+
+from repro.common.errors import MapReduceError
+from repro.core.joinjob import (
+    MTMapRunner,
+    StarJoinMapper,
+    StarJoinReducer,
+    configure_query,
+)
+from repro.core.planner import ClydesdaleFeatures
+from repro.core.query import Aggregate, DimensionJoin, StarQuery
+from repro.core.expressions import Col, Comparison
+from repro.mapreduce.api import Mapper, TaskContext
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import OutputCollector, RecordReader
+from repro.ssb.schema import SCHEMAS
+
+
+class _ListReader(RecordReader):
+    """Reader over an in-memory list, optionally a multi-reader."""
+
+    def __init__(self, pairs, children=None):
+        self._pairs = list(pairs)
+        self._children = children
+
+    def get_multiple_readers(self):
+        return self._children if self._children else [self]
+
+    def next(self):
+        return self._pairs.pop(0) if self._pairs else None
+
+
+class _RecordingMapper(Mapper):
+    def __init__(self):
+        self.seen = []
+        self.threads_used = set()
+        self.initialized = 0
+        self.closed = 0
+        self._lock = threading.Lock()
+
+    def initialize(self, context):
+        self.initialized += 1
+
+    def map(self, key, value, collector, context):
+        with self._lock:
+            self.seen.append(value)
+            self.threads_used.add(threading.current_thread().name)
+        collector.collect(key, value)
+
+    def close(self, collector, context):
+        self.closed += 1
+
+
+class _ExplodingMapper(Mapper):
+    def map(self, key, value, collector, context):
+        raise ValueError("boom in thread")
+
+
+def make_context(conf=None, threads=4):
+    return TaskContext(conf=conf or JobConf("t"), node_id="node000",
+                       task_id="m-0", jvm_state={},
+                       node_local_read=lambda n, f: b"", threads=threads)
+
+
+class TestMTMapRunner:
+    def test_consumes_all_readers(self):
+        children = [_ListReader([(i, i * 10)]) for i in range(5)]
+        reader = _ListReader([], children=children)
+        mapper = _RecordingMapper()
+        collector = OutputCollector()
+        MTMapRunner().run(reader, mapper, collector, make_context())
+        assert sorted(mapper.seen) == [0, 10, 20, 30, 40]
+        assert len(collector) == 5
+        assert mapper.initialized == 1
+        assert mapper.closed == 1
+
+    def test_uses_multiple_threads(self):
+        children = [_ListReader([(i, i)] * 50) for i in range(8)]
+        reader = _ListReader([], children=children)
+        mapper = _RecordingMapper()
+        MTMapRunner().run(reader, mapper, OutputCollector(),
+                          make_context(threads=4))
+        assert len(mapper.seen) == 400
+        assert 1 <= len(mapper.threads_used) <= 4
+
+    def test_thread_count_capped_by_readers(self):
+        children = [_ListReader([(1, 1)])]
+        reader = _ListReader([], children=children)
+        mapper = _RecordingMapper()
+        MTMapRunner().run(reader, mapper, OutputCollector(),
+                          make_context(threads=16))
+        assert len(mapper.threads_used) == 1
+
+    def test_errors_propagate(self):
+        children = [_ListReader([(1, 1)])]
+        reader = _ListReader([], children=children)
+        with pytest.raises(MapReduceError):
+            MTMapRunner().run(reader, _ExplodingMapper(),
+                              OutputCollector(), make_context())
+
+
+def _query():
+    return StarQuery(
+        name="unit", fact_table="lineorder",
+        joins=[DimensionJoin("date", "lo_orderdate", "d_datekey",
+                             Comparison("d_year", "=", 1994))],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="r"),
+                    Aggregate("count", Col("lo_revenue"), alias="n")],
+        group_by=["d_year"])
+
+
+def _configured_context(dim_rows):
+    from repro.storage import serde
+    conf = JobConf("t")
+    configure_query(conf, _query(), SCHEMAS["lineorder"],
+                    {"date": SCHEMAS["date"]})
+    blob = serde.encode_rows(SCHEMAS["date"], dim_rows)
+    return TaskContext(
+        conf=conf, node_id="node000", task_id="m-0", jvm_state={},
+        node_local_read=lambda n, f: blob, threads=2)
+
+
+def _date_rows():
+    from repro.ssb.datagen import SSBGenerator
+    return SSBGenerator(scale_factor=0.001).gen_date()
+
+
+class TestStarJoinMapperInternals:
+    def test_hash_tables_cached_in_jvm_state(self):
+        rows = _date_rows()
+        context = _configured_context(rows)
+        mapper = StarJoinMapper()
+        mapper.initialize(context)
+        first = mapper.hash_tables
+        mapper2 = StarJoinMapper()
+        mapper2.initialize(context)  # same jvm_state dict
+        assert mapper2.hash_tables[0] is first[0]  # tables shared
+
+    def test_build_charges_time_once(self):
+        rows = _date_rows()
+        context = _configured_context(rows)
+        StarJoinMapper().initialize(context)
+        charged_after_first = context.charged_seconds
+        assert charged_after_first > 0
+        StarJoinMapper().initialize(context)
+        assert context.charged_seconds == charged_after_first
+
+    def test_early_out_skips_probe(self):
+        rows = _date_rows()
+        context = _configured_context(rows)
+        mapper = StarJoinMapper()
+        mapper.initialize(context)
+        collector = OutputCollector()
+        # A 1994 date key passes; a 1995 key must miss (predicate).
+        hit = {"lo_orderdate": 19940310, "lo_revenue": 100}
+        miss = {"lo_orderdate": 19950310, "lo_revenue": 100}
+        assert mapper.process_record(hit.__getitem__, collector)
+        assert not mapper.process_record(miss.__getitem__, collector)
+        assert len(collector) == 1
+        key, values = collector.pairs[0]
+        assert key == (1994,)
+        assert values == (100, 1)
+
+    def test_block_and_row_modes_equivalent(self):
+        from repro.storage.cif import RowBlock
+        rows = _date_rows()
+        mapper_rows = StarJoinMapper()
+        context1 = _configured_context(rows)
+        mapper_rows.initialize(context1)
+        mapper_blocks = StarJoinMapper()
+        context2 = _configured_context(rows)
+        mapper_blocks.initialize(context2)
+
+        fact = [(19940101 + i % 3, 50 + i) for i in range(30)]
+        schema = SCHEMAS["lineorder"].project(
+            ["lo_orderdate", "lo_revenue"])
+        out_rows = OutputCollector()
+        from repro.common.record import Record
+        for i, (dk, rev) in enumerate(fact):
+            mapper_rows.map(i, Record(schema, (dk, rev)), out_rows,
+                            context1)
+        out_blocks = OutputCollector()
+        block = RowBlock(schema, 0, {
+            "lo_orderdate": [dk for dk, _ in fact],
+            "lo_revenue": [rev for _, rev in fact]})
+        mapper_blocks.map(0, block, out_blocks, context2)
+        assert sorted(out_rows.pairs) == sorted(out_blocks.pairs)
+
+
+class TestStarJoinReducer:
+    def test_merges_positionwise(self):
+        conf = JobConf("t")
+        configure_query(conf, _query(), SCHEMAS["lineorder"],
+                        {"date": SCHEMAS["date"]})
+        context = make_context(conf=conf)
+        reducer = StarJoinReducer()
+        reducer.initialize(context)
+        collector = OutputCollector()
+        reducer.reduce((1994,), [(100, 1), (50, 2), (7, 1)], collector,
+                       context)
+        assert collector.pairs == [((1994,), (157, 4))]
+
+    def test_lazy_initialize(self):
+        conf = JobConf("t")
+        configure_query(conf, _query(), SCHEMAS["lineorder"],
+                        {"date": SCHEMAS["date"]})
+        context = make_context(conf=conf)
+        reducer = StarJoinReducer()  # no explicit initialize
+        collector = OutputCollector()
+        reducer.reduce((1994,), [(5, 1)], collector, context)
+        assert collector.pairs == [((1994,), (5, 1))]

@@ -1,0 +1,87 @@
+"""Late tuple reconstruction (paper 5.3 future work, implemented
+opt-in): correctness equivalence and the phase-separation behaviour."""
+
+import pytest
+
+from repro.core.engine import ClydesdaleEngine
+from repro.core.planner import ClydesdaleFeatures
+from repro.ssb.queries import QUERY_NAMES, ssb_queries
+
+LATE = ClydesdaleFeatures(late_materialization=True)
+
+
+@pytest.fixture(scope="module")
+def engine(ssb_data):
+    return ClydesdaleEngine.with_ssb_data(data=ssb_data, num_nodes=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name", ["Q1.1", "Q2.1", "Q3.1", "Q4.2"])
+    def test_matches_eager_path(self, engine, reference, queries, name):
+        query = queries[name]
+        late = engine.execute(query, features=LATE)
+        expected = reference.execute(query)
+        assert late.rows == expected.rows
+
+    def test_all_queries_agree(self, engine, queries, reference):
+        for name in QUERY_NAMES:
+            late = engine.execute(queries[name], features=LATE)
+            eager = engine.execute(queries[name])
+            assert late.rows == eager.rows, name
+
+    def test_counters_identical(self, engine, queries):
+        engine.execute(queries["Q2.1"], features=LATE)
+        late_stats = engine.last_stats
+        engine.execute(queries["Q2.1"])
+        eager_stats = engine.last_stats
+        assert late_stats.rows_probed == eager_stats.rows_probed
+        assert late_stats.rows_matched == eager_stats.rows_matched
+
+    def test_requires_block_iteration(self, engine, queries, reference):
+        """With block iteration off the flag is inert (row-at-a-time has
+        no separate materialization phase) — results still correct."""
+        features = ClydesdaleFeatures(block_iteration=False,
+                                      late_materialization=True)
+        got = engine.execute(queries["Q1.2"], features=features)
+        assert got.rows == reference.execute(queries["Q1.2"]).rows
+
+
+class TestMapperPhases:
+    def test_selective_block_skips_materialization(self):
+        """On a block where no row survives, phase 2 never runs: the
+        aggregate functions are not called."""
+        from repro.common.schema import Schema
+        from repro.core.joinjob import StarJoinMapper
+        from repro.mapreduce.types import OutputCollector
+        from repro.storage.cif import RowBlock
+        from repro.ssb.schema import SCHEMAS
+        import tests.test_joinjob_internals as helpers
+
+        rows = helpers._date_rows()
+        context = helpers._configured_context(rows)
+        context.conf.set("clydesdale.late.materialization", True)
+        mapper = StarJoinMapper()
+        mapper.initialize(context)
+
+        calls = []
+        original = mapper._agg_fns[0]
+        mapper._agg_fns[0] = lambda get: calls.append(1) or original(get)
+
+        schema = SCHEMAS["lineorder"].project(
+            ["lo_orderdate", "lo_revenue"])
+        # All keys from 1995: the d_year = 1994 hash has no entries.
+        block = RowBlock(schema, 0, {
+            "lo_orderdate": [19950101] * 50,
+            "lo_revenue": [1] * 50})
+        collector = OutputCollector()
+        mapper.map(0, block, collector, context)
+        assert collector.pairs == []
+        assert calls == []  # nothing materialized
+
+        # Mixed block: only survivors are materialized.
+        block2 = RowBlock(schema, 0, {
+            "lo_orderdate": [19940101] * 3 + [19950101] * 47,
+            "lo_revenue": [1] * 50})
+        mapper.map(0, block2, collector, context)
+        assert len(collector.pairs) == 3
+        assert len(calls) == 3

@@ -1,0 +1,204 @@
+"""End-to-end MapReduce engine tests: classic jobs on mini-HDFS."""
+
+import pytest
+
+from repro.common.errors import JobFailedError
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.api import Mapper, Reducer
+from repro.mapreduce.inputformat import TextInputFormat
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.outputformat import (
+    CollectingOutputFormat,
+    TextOutputFormat,
+)
+from repro.mapreduce.runtime import JobRunner
+from repro.sim.hardware import tiny_cluster
+
+TEXT = ("the quick brown fox\n"
+        "jumps over the lazy dog\n"
+        "the dog sleeps\n") * 5
+
+
+class WordCountMapper(Mapper):
+    def map(self, key, value, collector, context):
+        for word in value.split():
+            collector.collect(word, 1)
+
+
+class SumReducer(Reducer):
+    def reduce(self, key, values, collector, context):
+        collector.collect(key, sum(values))
+
+
+class GrepMapper(Mapper):
+    """Emits lines containing the pattern from the configuration."""
+
+    def initialize(self, context):
+        self.pattern = context.conf.require("grep.pattern")
+
+    def map(self, key, value, collector, context):
+        if self.pattern in value:
+            collector.collect(key, value)
+
+
+class IdentityMapper(Mapper):
+    def map(self, key, value, collector, context):
+        collector.collect(value, key)
+
+
+class FirstValueReducer(Reducer):
+    def reduce(self, key, values, collector, context):
+        for value in values:
+            collector.collect(key, value)
+
+
+class FailingMapper(Mapper):
+    def map(self, key, value, collector, context):
+        raise RuntimeError("intentional failure")
+
+
+@pytest.fixture
+def fs():
+    filesystem = MiniDFS(num_nodes=4, block_size=64)
+    filesystem.write_file("/in/doc.txt", TEXT.encode())
+    return filesystem
+
+
+def make_job(name, mapper, reducer=None, combiner=None, reduces=2):
+    job = JobConf(name)
+    job.set_input_paths("/in")
+    job.input_format = TextInputFormat()
+    job.mapper_class = mapper
+    job.reducer_class = reducer
+    job.combiner_class = combiner
+    job.set_num_reduce_tasks(reduces if reducer else 0)
+    job.output_format = CollectingOutputFormat()
+    return job
+
+
+class TestWordCount:
+    def test_counts_correct(self, fs):
+        job = make_job("wc", WordCountMapper, SumReducer)
+        JobRunner(fs).run(job)
+        counts = dict(job.output_format.results)
+        assert counts["the"] == 15
+        assert counts["dog"] == 10
+        assert counts["fox"] == 5
+
+    def test_combiner_reduces_shuffle_volume(self, fs):
+        plain = make_job("wc", WordCountMapper, SumReducer)
+        combined = make_job("wc2", WordCountMapper, SumReducer,
+                            combiner=SumReducer)
+        runner = JobRunner(fs)
+        result_plain = runner.run(plain)
+        result_combined = runner.run(combined)
+        assert dict(plain.output_format.results) == \
+            dict(combined.output_format.results)
+        assert (result_combined.counters.get("shuffle", "records")
+                < result_plain.counters.get("shuffle", "records"))
+
+    def test_block_size_invariance(self):
+        baseline = None
+        for block_size in (16, 47, 128, 4096):
+            fs = MiniDFS(num_nodes=3, block_size=block_size)
+            fs.write_file("/in/doc.txt", TEXT.encode())
+            job = make_job("wc", WordCountMapper, SumReducer)
+            JobRunner(fs).run(job)
+            counts = dict(job.output_format.results)
+            if baseline is None:
+                baseline = counts
+            assert counts == baseline
+
+
+class TestGrep:
+    def test_grep_finds_lines(self, fs):
+        job = make_job("grep", GrepMapper, reduces=0)
+        job.set("grep.pattern", "lazy")
+        JobRunner(fs).run(job)
+        lines = [v for _, v in job.output_format.results]
+        assert lines and all("lazy" in line for line in lines)
+        assert len(lines) == 5
+
+
+class TestSort:
+    def test_shuffle_sorts_keys(self, fs):
+        job = make_job("sort", IdentityMapper, FirstValueReducer,
+                       reduces=1)
+        JobRunner(fs).run(job)
+        keys = [k for k, _ in job.output_format.results]
+        assert keys == sorted(keys)
+
+
+class TestRuntimeBehaviour:
+    def test_simulated_time_positive_and_decomposed(self, fs):
+        job = make_job("wc", WordCountMapper, SumReducer)
+        result = JobRunner(fs).run(job)
+        assert result.simulated_seconds > 0
+        for phase in ("job_overhead", "map_phase", "reduce_phase"):
+            assert phase in result.breakdown
+
+    def test_counters_track_bytes_and_records(self, fs):
+        job = make_job("wc", WordCountMapper, SumReducer)
+        result = JobRunner(fs).run(job)
+        assert result.counters.get("hdfs", "bytes_read") >= len(TEXT)
+        assert result.counters.get("map", "output_records") > 0
+        assert result.counters.get("reduce", "output_records") == \
+            len(job.output_format.results)
+
+    def test_failing_mapper_fails_job(self, fs):
+        job = make_job("bad", FailingMapper, reduces=0)
+        with pytest.raises(JobFailedError):
+            JobRunner(fs).run(job)
+
+    def test_empty_input_fails(self):
+        # Hadoop rejects jobs with no input at submission time.
+        from repro.common.errors import StorageError
+        fs = MiniDFS(num_nodes=2)
+        job = make_job("wc", WordCountMapper, SumReducer)
+        with pytest.raises((JobFailedError, StorageError)):
+            JobRunner(fs).run(job)
+
+    def test_text_output_format_writes_parts(self, fs):
+        job = make_job("wc", WordCountMapper, SumReducer)
+        job.output_format = TextOutputFormat()
+        job.set_output_path("/out")
+        JobRunner(fs).run(job)
+        parts = fs.list_dir("/out")
+        assert len(parts) == 2
+        merged = b"".join(fs.read_file(p) for p in parts).decode()
+        assert "the\t15" in merged
+
+    def test_map_only_job_writes_map_output(self, fs):
+        job = make_job("grep", GrepMapper, reduces=0)
+        job.set("grep.pattern", "fox")
+        result = JobRunner(fs).run(job)
+        assert result.reduce_tasks == []
+        assert len(job.output_format.results) == 5
+
+    def test_locality_all_local_with_replication(self, fs):
+        job = make_job("wc", WordCountMapper, SumReducer)
+        result = JobRunner(fs).run(job)
+        assert result.plan.data_local_fraction == 1.0
+
+    def test_cluster_slots_bound_map_phase(self, fs):
+        """More slots -> shorter simulated map phase for many tasks."""
+        job1 = make_job("wc", WordCountMapper, SumReducer)
+        narrow = JobRunner(fs, tiny_cluster(workers=4, map_slots=1))
+        result_narrow = narrow.run(job1)
+        job2 = make_job("wc", WordCountMapper, SumReducer)
+        wide = JobRunner(fs, tiny_cluster(workers=4, map_slots=8))
+        result_wide = wide.run(job2)
+        assert (result_wide.breakdown["map_phase"]
+                <= result_narrow.breakdown["map_phase"])
+
+    def test_jvm_reuse_reduces_task_cost(self, fs):
+        job = make_job("wc", WordCountMapper, SumReducer)
+        job.enable_jvm_reuse()
+        result = JobRunner(fs).run(job)
+        reused = [t for t in result.map_tasks if t.jvm_reused]
+        fresh = [t for t in result.map_tasks if not t.jvm_reused]
+        # First task per node pays the JVM start; subsequent ones do not.
+        assert len(fresh) <= 4
+        if reused and fresh:
+            assert min(t.duration_s for t in fresh) > \
+                min(t.duration_s for t in reused) - 1e-9

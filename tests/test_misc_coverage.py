@@ -1,0 +1,175 @@
+"""Coverage for corners the main suites don't reach: output formats,
+whole-file input, catalog behaviour, DFSIO math, execution-stat edges,
+locality after failures, and capacity-constrained writes."""
+
+import pytest
+
+from repro.bench.dfsio import DfsioResult
+from repro.common.errors import HdfsError, ReplicationError, StorageError
+from repro.hdfs.filesystem import MiniDFS
+from repro.hdfs.placement import CoLocatingPlacementPolicy
+from repro.mapreduce.inputformat import WholeFileInputFormat
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.outputformat import (
+    BinaryOutputFormat,
+    TextOutputFormat,
+)
+
+
+class TestOutputFormats:
+    def test_text_output_requires_path(self):
+        fs = MiniDFS(num_nodes=2)
+        job = JobConf("j")
+        with pytest.raises(ValueError):
+            TextOutputFormat().get_writer(fs, job, 0)
+
+    def test_text_output_content(self):
+        fs = MiniDFS(num_nodes=2)
+        job = JobConf("j").set_output_path("/out")
+        writer = TextOutputFormat().get_writer(fs, job, 3)
+        writer.write("k", 42)
+        writer.write("x", "y")
+        writer.close()
+        content = fs.read_file("/out/part-r-00003").decode()
+        assert content == "k\t42\nx\ty\n"
+        assert writer.records == 2
+        assert writer.bytes_written == len(content)
+
+    def test_binary_output_roundtrip(self):
+        fs = MiniDFS(num_nodes=2)
+        job = JobConf("j").set_output_path("/out")
+        writer = BinaryOutputFormat().get_writer(fs, job, 0)
+        writer.write(None, b"\x00\x01")
+        writer.write(None, bytearray(b"\x02"))
+        writer.close()
+        assert fs.read_file("/out/part-00000.bin") == b"\x00\x01\x02"
+
+    def test_binary_output_rejects_non_bytes(self):
+        fs = MiniDFS(num_nodes=2)
+        job = JobConf("j").set_output_path("/out")
+        writer = BinaryOutputFormat().get_writer(fs, job, 0)
+        with pytest.raises(TypeError):
+            writer.write(None, "not-bytes")
+
+
+class TestWholeFileInput:
+    def test_one_split_per_file(self):
+        fs = MiniDFS(num_nodes=3, block_size=4)
+        fs.write_file("/in/a", b"0123456789")
+        fs.write_file("/in/b", b"xy")
+        conf = JobConf("j").set_input_paths("/in")
+        fmt = WholeFileInputFormat()
+        splits = fmt.get_splits(fs, conf)
+        assert len(splits) == 2
+        reader = fmt.get_record_reader(fs, splits[0], conf)
+        path, data = reader.next()
+        assert path == "/in/a" and data == b"0123456789"
+        assert reader.next() is None
+        assert reader.bytes_read == 10
+
+
+class TestDfsioResultMath:
+    def test_throughputs(self):
+        result = DfsioResult(files=4, bytes_per_file=1024 * 1024,
+                             write_seconds=2.0, read_seconds=1.0,
+                             local_read_fraction=1.0)
+        assert result.total_bytes == 4 * 1024 * 1024
+        assert result.read_throughput_mb_s() == pytest.approx(4.0)
+        assert result.write_throughput_mb_s() == pytest.approx(2.0)
+
+    def test_zero_seconds_guarded(self):
+        result = DfsioResult(files=1, bytes_per_file=1,
+                             write_seconds=0.0, read_seconds=0.0,
+                             local_read_fraction=0.0)
+        assert result.read_throughput_mb_s() == 0.0
+        assert result.write_throughput_mb_s() == 0.0
+
+
+class TestExecutionStatsEdges:
+    def test_zero_division_guards(self):
+        from repro.core.engine import ExecutionStats
+        from repro.mapreduce.counters import Counters
+        from repro.mapreduce.runtime import JobResult
+        from repro.mapreduce.scheduler import SchedulePlan
+        empty = JobResult(job_name="x", counters=Counters(),
+                          map_tasks=[], reduce_tasks=[],
+                          simulated_seconds=0.0, breakdown={},
+                          plan=SchedulePlan())
+        stats = ExecutionStats.from_job("q", empty)
+        assert stats.selectivity("anything") == 0.0
+        assert stats.join_selectivity() == 0.0
+
+
+class TestCapacityLimits:
+    def test_write_fails_when_disks_full(self):
+        fs = MiniDFS(num_nodes=3, replication=3, block_size=64,
+                     node_capacity_bytes=128)
+        fs.write_file("/a", b"x" * 128)  # 128 x3 replicas: full nodes
+        with pytest.raises(HdfsError):
+            fs.write_file("/b", b"y" * 128)
+
+    def test_replication_error_when_too_few_nodes_alive(self):
+        fs = MiniDFS(num_nodes=2, replication=2, block_size=16)
+        fs.fail_node("node000")
+        fs.fail_node("node001")
+        with pytest.raises(ReplicationError):
+            fs.write_file("/f", b"data")
+
+
+class TestLocalityAfterFailure:
+    def test_cif_scan_survives_anchor_loss(self):
+        from repro.common.schema import Schema
+        from repro.common.types import DataType
+        from repro.storage.cif import ColumnInputFormat, write_cif_table
+
+        schema = Schema([("k", DataType.INT64), ("v", DataType.STRING)])
+        rows = [(i, f"s{i}") for i in range(400)]
+        fs = MiniDFS(num_nodes=5,
+                     placement=CoLocatingPlacementPolicy(),
+                     block_size=2048)
+        write_cif_table(fs, "t", "/t", schema, rows, row_group_size=100)
+        conf = JobConf("scan").set_input_paths("/t")
+        fmt = ColumnInputFormat()
+        anchor = fmt.get_splits(fs, conf)[0].locations()[0]
+        fs.fail_node(anchor)
+        got = []
+        for split in fmt.get_splits(fs, conf):
+            reader = fmt.get_record_reader(fs, split, conf)
+            got.extend(tuple(r.values) for _, r in reader)
+        assert sorted(got) == rows
+
+    def test_splits_drop_dead_hosts(self):
+        from repro.common.schema import Schema
+        from repro.common.types import DataType
+        from repro.storage.cif import ColumnInputFormat, write_cif_table
+
+        schema = Schema([("k", DataType.INT32)])
+        fs = MiniDFS(num_nodes=4,
+                     placement=CoLocatingPlacementPolicy())
+        write_cif_table(fs, "t", "/t", schema, [(i,) for i in range(50)])
+        conf = JobConf("scan").set_input_paths("/t")
+        splits_before = ColumnInputFormat().get_splits(fs, conf)
+        victim = splits_before[0].locations()[0]
+        fs.fail_node(victim)
+        splits_after = ColumnInputFormat().get_splits(fs, conf)
+        assert victim not in splits_after[0].locations()
+
+
+class TestStorageErrorPaths:
+    def test_cif_read_missing_table(self):
+        from repro.storage.cif import ColumnInputFormat
+        fs = MiniDFS(num_nodes=2)
+        conf = JobConf("scan").set_input_paths("/nope")
+        with pytest.raises(StorageError):
+            ColumnInputFormat().get_splits(fs, conf)
+
+    def test_rowtable_output_rejects_non_tuples(self):
+        from repro.common.schema import Schema
+        from repro.common.types import DataType
+        from repro.hive.ioformats import RowTableOutputFormat
+        fs = MiniDFS(num_nodes=2)
+        schema = Schema([("a", DataType.INT32)])
+        fmt = RowTableOutputFormat("/o", schema, "t")
+        writer = fmt.get_writer(fs, JobConf("j"), 0)
+        with pytest.raises(StorageError):
+            writer.write(None, [1])

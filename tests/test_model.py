@@ -1,0 +1,238 @@
+"""Tests for the analytic SF1000 models: profiles, Clydesdale, Hive,
+DFSIO — including the paper-shape assertions that define reproduction
+success."""
+
+import pytest
+
+from repro.bench import paper_reference as paper
+from repro.core.planner import ClydesdaleFeatures
+from repro.model.clydesdale import predict_clydesdale
+from repro.model.dfsio import predict_dfsio
+from repro.model.hive import predict_hive_mapjoin, predict_hive_repartition
+from repro.model.stats import build_profile
+from repro.sim.hardware import cluster_a, cluster_b
+from repro.ssb.queries import ssb_queries
+
+SF = 1000.0
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {name: build_profile(q, SF)
+            for name, q in ssb_queries().items()}
+
+
+class TestQueryProfiles:
+    def test_fact_rows_at_sf1000(self, profiles):
+        assert profiles["Q1.1"].fact_rows == 6_000_000_000
+
+    def test_region_selectivity_exact(self, profiles):
+        supplier = profiles["Q2.1"].dim("supplier")
+        # 5 of 25 nations are in AMERICA; measured on 2,000 suppliers.
+        assert supplier.selectivity == pytest.approx(0.2, abs=0.03)
+
+    def test_date_selectivity_year(self, profiles):
+        date = profiles["Q1.1"].dim("date")
+        assert date.selectivity == pytest.approx(365 / 2557, abs=0.001)
+
+    def test_part_category_selectivity(self, profiles):
+        part = profiles["Q2.1"].dim("part")
+        assert part.selectivity == pytest.approx(1 / 25, rel=0.25)
+
+    def test_fact_predicate_selectivity_q11(self, profiles):
+        # discount in 1..3 (3/11) and quantity < 25 (24/50)
+        expected = (3 / 11) * (24 / 50)
+        assert profiles["Q1.1"].fact_pred_selectivity == pytest.approx(
+            expected, rel=0.08)
+
+    def test_scan_bytes_columnar_much_smaller(self, profiles):
+        profile = profiles["Q2.1"]
+        assert profile.fact_scan_bytes(columnar=True) * 3 < \
+            profile.fact_scan_bytes(columnar=False)
+
+    def test_rcfile_bytes_bigger_than_binary(self, profiles):
+        profile = profiles["Q2.1"]
+        assert profile.fact_rcfile_bytes() > \
+            profile.fact_scan_bytes(columnar=False)
+
+    def test_group_estimates(self, profiles):
+        assert profiles["Q2.1"].output_groups == 280  # 40 brands x 7 years
+        assert profiles["Q3.1"].output_groups == 150  # 5 x 5 x 6
+        assert profiles["Q1.1"].output_groups == 1
+
+    def test_join_selectivity_product(self, profiles):
+        profile = profiles["Q2.1"]
+        expected = (profile.dim("date").selectivity
+                    * profile.dim("part").selectivity
+                    * profile.dim("supplier").selectivity)
+        assert profile.join_selectivity == pytest.approx(expected)
+
+
+class TestClydesdaleModel:
+    def test_q21_total_near_paper(self, profiles):
+        result = predict_clydesdale(profiles["Q2.1"], cluster_a())
+        assert result.seconds == pytest.approx(
+            paper.Q21_CLYDESDALE_TOTAL, rel=0.25)
+
+    def test_q21_build_near_paper(self, profiles):
+        result = predict_clydesdale(profiles["Q2.1"], cluster_a())
+        build = result.breakdown()["hash_build"]
+        assert build == pytest.approx(paper.Q21_CLYDESDALE_BUILD, rel=0.15)
+
+    def test_q21_probe_near_paper(self, profiles):
+        result = predict_clydesdale(profiles["Q2.1"], cluster_a())
+        probe = result.breakdown()["probe"]
+        assert probe == pytest.approx(paper.Q21_CLYDESDALE_PROBE, rel=0.25)
+
+    def test_q21_cluster_b_build_and_probe(self, profiles):
+        result = predict_clydesdale(profiles["Q2.1"], cluster_b())
+        assert result.breakdown()["hash_build"] == pytest.approx(
+            paper.Q21_B_BUILD_S, rel=0.2)
+        assert result.breakdown()["probe"] == pytest.approx(
+            paper.Q21_B_PROBE_S, rel=0.6)
+
+    def test_b_faster_than_a_everywhere(self, profiles):
+        for name, profile in profiles.items():
+            a = predict_clydesdale(profile, cluster_a()).seconds
+            b = predict_clydesdale(profile, cluster_b()).seconds
+            assert b < a, name
+
+    def test_never_oom(self, profiles):
+        for profile in profiles.values():
+            assert predict_clydesdale(profile, cluster_a()).completed
+
+
+class TestHiveModel:
+    def test_mapjoin_oom_set_matches_paper_on_a(self, profiles):
+        oom = {name for name, p in profiles.items()
+               if predict_hive_mapjoin(p, cluster_a()).oom}
+        assert oom == set(paper.FIG7_MAPJOIN_OOM)
+
+    def test_mapjoin_completes_everywhere_on_b(self, profiles):
+        for name, profile in profiles.items():
+            assert predict_hive_mapjoin(profile, cluster_b()).completed, \
+                name
+
+    def test_oom_failure_names_stage(self, profiles):
+        result = predict_hive_mapjoin(profiles["Q3.1"], cluster_a())
+        assert result.oom
+        assert result.seconds is None
+        assert "customer" in result.failed_stage
+
+    def test_repartition_always_completes(self, profiles):
+        for cluster in (cluster_a(), cluster_b()):
+            for profile in profiles.values():
+                assert predict_hive_repartition(profile,
+                                                cluster).completed
+
+    def test_q21_repartition_total_near_paper(self, profiles):
+        result = predict_hive_repartition(profiles["Q2.1"], cluster_a())
+        assert result.seconds == pytest.approx(
+            paper.Q21_REPARTITION_TOTAL, rel=0.25)
+
+    def test_q21_repartition_stage1_near_paper(self, profiles):
+        result = predict_hive_repartition(profiles["Q2.1"], cluster_a())
+        stage1 = result.stages[0].seconds
+        assert stage1 == pytest.approx(
+            paper.Q21_REPARTITION_STAGES["stage1 (date)"], rel=0.25)
+
+    def test_mapjoin_stage1_wave_structure(self, profiles):
+        """~100 waves of ~25 s tasks, like the paper's 4,887 tasks."""
+        result = predict_hive_mapjoin(profiles["Q2.1"], cluster_a())
+        stage1 = result.stages[0]
+        assert 3_000 < stage1.detail["tasks"] < 9_000
+        assert 15 < stage1.detail["per_task_s"] < 45
+
+    def test_hive_slower_than_clydesdale_everywhere(self, profiles):
+        for cluster in (cluster_a(), cluster_b()):
+            for name, profile in profiles.items():
+                clyde = predict_clydesdale(profile, cluster).seconds
+                repart = predict_hive_repartition(profile,
+                                                  cluster).seconds
+                assert repart > 3 * clyde, (name, cluster.name)
+
+    def test_more_dimensions_do_not_speed_hive_up(self, profiles):
+        """Flight 4 (4 joins) must cost repartition more than flight 1
+        (1 join) — more stages, more shuffles."""
+        f1 = predict_hive_repartition(profiles["Q1.1"],
+                                      cluster_a()).seconds
+        f4 = predict_hive_repartition(profiles["Q4.1"],
+                                      cluster_a()).seconds
+        assert f4 > f1
+
+
+class TestDfsioModel:
+    def test_cluster_a_raw_matches_paper(self):
+        row = predict_dfsio(cluster_a())
+        assert row.raw_read_mb_s == pytest.approx(
+            paper.CLUSTER_A_RAW_MB_S)
+
+    def test_cluster_b_raw_matches_paper(self):
+        row = predict_dfsio(cluster_b())
+        assert row.raw_read_mb_s == pytest.approx(
+            paper.CLUSTER_B_RAW_MB_S)
+
+    def test_hdfs_delivers_fraction_of_raw(self):
+        for cluster in (cluster_a(), cluster_b()):
+            row = predict_dfsio(cluster)
+            assert row.dfsio_read_mb_s < row.raw_read_mb_s
+            assert row.query_scan_mb_s <= row.dfsio_read_mb_s
+            assert 0.2 < row.read_fraction_of_raw < 0.8
+
+
+class TestAblationModel:
+    @pytest.fixture(scope="class")
+    def ablation(self, profiles):
+        cluster = cluster_a()
+        out = {}
+        for name, profile in profiles.items():
+            base = predict_clydesdale(profile, cluster).seconds
+            out[name] = {
+                "no_block": predict_clydesdale(
+                    profile, cluster,
+                    features=ClydesdaleFeatures(
+                        block_iteration=False)).seconds / base,
+                "no_col": predict_clydesdale(
+                    profile, cluster,
+                    features=ClydesdaleFeatures(
+                        columnar=False)).seconds / base,
+                "no_mt": predict_clydesdale(
+                    profile, cluster,
+                    features=ClydesdaleFeatures(
+                        multithreaded=False)).seconds / base,
+            }
+        return out
+
+    def test_every_ablation_slows_down(self, ablation):
+        for name, factors in ablation.items():
+            for factor in factors.values():
+                assert factor > 1.0, name
+
+    def test_block_iteration_average(self, ablation):
+        avg = sum(f["no_block"] for f in ablation.values()) / len(ablation)
+        assert avg == pytest.approx(paper.FIG9_BLOCK_ITERATION_AVG,
+                                    abs=0.25)
+
+    def test_columnar_flight_pattern(self, ablation):
+        """Fewer-column flights suffer more from losing projection."""
+        flight2 = sum(ablation[q]["no_col"]
+                      for q in ("Q2.1", "Q2.2", "Q2.3")) / 3
+        flight4 = sum(ablation[q]["no_col"]
+                      for q in ("Q4.1", "Q4.2", "Q4.3")) / 3
+        assert flight2 > flight4
+        assert flight2 == pytest.approx(paper.FIG9_COLUMNAR_FLIGHT2,
+                                        rel=0.25)
+        assert flight4 == pytest.approx(paper.FIG9_COLUMNAR_FLIGHT4,
+                                        rel=0.25)
+
+    def test_multithreading_flight_pattern(self, ablation):
+        """Bigger dimension tables hurt single-threaded mode more."""
+        flight1 = sum(ablation[q]["no_mt"]
+                      for q in ("Q1.1", "Q1.2", "Q1.3")) / 3
+        flight4 = sum(ablation[q]["no_mt"]
+                      for q in ("Q4.1", "Q4.2", "Q4.3")) / 3
+        assert flight1 == pytest.approx(
+            paper.FIG9_MULTITHREADING_FLIGHT1, abs=0.3)
+        assert flight4 == pytest.approx(
+            paper.FIG9_MULTITHREADING_FLIGHT4, rel=0.3)
+        assert flight4 > 2 * flight1

@@ -1,0 +1,122 @@
+"""Crossover-shape tests: *where* the plans trade places, which is the
+third leg of reproduction fidelity (who wins, by what factor, where the
+crossovers fall)."""
+
+import pytest
+
+from repro.model.clydesdale import predict_clydesdale
+from repro.model.hive import predict_hive_mapjoin, predict_hive_repartition
+from repro.model.stats import build_profile
+from repro.sim.hardware import cluster_a, cluster_b
+from repro.ssb.queries import ssb_queries
+
+SF = 1000.0
+
+
+@pytest.fixture(scope="module")
+def grid():
+    out = {}
+    for cluster in (cluster_a(), cluster_b()):
+        for name, query in ssb_queries().items():
+            profile = build_profile(query, SF)
+            out[(cluster.name, name)] = {
+                "clyde": predict_clydesdale(profile, cluster),
+                "mapjoin": predict_hive_mapjoin(profile, cluster),
+                "repart": predict_hive_repartition(profile, cluster),
+            }
+    return out
+
+
+class TestPlanCrossovers:
+    def test_mapjoin_beats_repartition_on_small_dims(self, grid):
+        """Flights 1 and 2 (small broadcast tables): mapjoin avoids the
+        full-fact shuffle and wins, on both clusters — visible in the
+        paper's Figures 7/8 bar heights."""
+        for cluster in ("cluster-A", "cluster-B"):
+            for name in ("Q1.1", "Q1.2", "Q1.3", "Q2.1", "Q2.2", "Q2.3"):
+                cell = grid[(cluster, name)]
+                assert cell["mapjoin"].completed
+                assert cell["mapjoin"].seconds < cell["repart"].seconds, \
+                    (cluster, name)
+
+    def test_repartition_wins_big_dims_on_b(self, grid):
+        """Flights 3/4 broadcast the multi-GB customer table to every
+        task: on cluster B (where mapjoin survives) the robust
+        repartition plan becomes the faster Hive option — the crossover
+        the paper's Figure 8 shows."""
+        for name in ("Q3.1", "Q4.1", "Q4.2", "Q4.3"):
+            cell = grid[("cluster-B", name)]
+            assert cell["mapjoin"].completed
+            assert cell["repart"].seconds < cell["mapjoin"].seconds, name
+
+    def test_mapjoin_degrades_or_dies_with_customer_dim(self, grid):
+        """On A the same queries don't merely slow down — they OOM."""
+        for name in ("Q3.1", "Q4.1", "Q4.2", "Q4.3"):
+            assert grid[("cluster-A", name)]["mapjoin"].oom, name
+
+    def test_clydesdale_always_fastest(self, grid):
+        for (cluster, name), cell in grid.items():
+            clyde = cell["clyde"].seconds
+            assert clyde < cell["repart"].seconds
+            if cell["mapjoin"].completed:
+                assert clyde < cell["mapjoin"].seconds
+
+
+class TestFlightGradients:
+    def test_clydesdale_flight_ordering(self, grid):
+        """Flights with the customer dimension (3, 4) cost Clydesdale
+        more (the 30M-row hash build), flights 1-2 less — matching the
+        paper's bar-height ordering."""
+        for cluster in ("cluster-A", "cluster-B"):
+            f1 = grid[(cluster, "Q1.1")]["clyde"].seconds
+            f2 = grid[(cluster, "Q2.1")]["clyde"].seconds
+            f3 = grid[(cluster, "Q3.1")]["clyde"].seconds
+            f4 = grid[(cluster, "Q4.1")]["clyde"].seconds
+            assert f1 <= f2 < f3 <= f4
+
+    def test_hive_repartition_flight2_most_expensive(self, grid):
+        """Flight 2 shuffles the whole fact table twice before the part
+        filter bites — the repartition worst case on both clusters."""
+        for cluster in ("cluster-A", "cluster-B"):
+            worst = max(
+                grid[(cluster, name)]["repart"].seconds
+                for name in ssb_queries())
+            flight2_max = max(
+                grid[(cluster, name)]["repart"].seconds
+                for name in ("Q2.1", "Q2.2", "Q2.3"))
+            assert flight2_max == worst
+
+    def test_within_flight_times_similar(self, grid):
+        """Queries within a flight differ only by predicate selectivity;
+        Clydesdale times must be within 20% of each other."""
+        from repro.ssb.queries import FLIGHTS
+        for flight, names in FLIGHTS.items():
+            times = [grid[("cluster-A", n)]["clyde"].seconds
+                     for n in names]
+            assert max(times) / min(times) < 1.2, flight
+
+
+class TestStageDetails:
+    def test_mapjoin_reload_grows_with_dim(self, grid):
+        """Per-task hash reload time orders by broadcast table size:
+        date < part < supplier-region < customer-region."""
+        cell = grid[("cluster-B", "Q3.1")]
+        stages = {s.name.rsplit(":", 1)[1]: s.detail
+                  for s in cell["mapjoin"].stages if "mapjoin" in s.name}
+        assert stages["customer"]["reload_s"] > \
+            stages["supplier"]["reload_s"] > \
+            stages["date"]["reload_s"]
+
+    def test_repartition_stage_rows_monotone_nonincreasing(self, grid):
+        cell = grid[("cluster-A", "Q4.3")]
+        rows = [s.detail["rows_in"] for s in cell["repart"].stages
+                if "repartition" in s.name]
+        assert rows == sorted(rows, reverse=True)
+
+    def test_intermediate_shrinks_after_selective_join(self, grid):
+        cell = grid[("cluster-A", "Q2.1")]
+        stages = [s for s in cell["repart"].stages
+                  if "repartition" in s.name]
+        # The part join (1/25 category filter) collapses the stream.
+        assert stages[2].detail["rows_in"] < \
+            stages[1].detail["rows_in"] / 10

@@ -1,0 +1,111 @@
+"""Property tests for the slot scheduler (classic makespan bounds) and
+scaling laws of the analytic models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.clydesdale import predict_clydesdale
+from repro.model.hive import predict_hive_mapjoin, predict_hive_repartition
+from repro.model.stats import build_profile
+from repro.sim.hardware import cluster_a
+from repro.sim.scheduler import schedule
+from repro.ssb.queries import ssb_queries
+
+durations_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1, max_size=60)
+
+
+class TestMakespanBounds:
+    @given(durations=durations_strategy,
+           slots=st.integers(min_value=1, max_value=16))
+    def test_graham_bounds(self, durations, slots):
+        """List scheduling: LB = max(work/slots, longest task);
+        UB = work/slots + longest task (Graham's bound)."""
+        result = schedule(durations, slots)
+        work = sum(durations)
+        longest = max(durations)
+        assert result.makespan >= max(work / slots, longest) - 1e-9
+        assert result.makespan <= work / slots + longest + 1e-9
+
+    @given(durations=durations_strategy,
+           slots=st.integers(min_value=1, max_value=16))
+    def test_more_slots_never_slower(self, durations, slots):
+        narrow = schedule(durations, slots)
+        wide = schedule(durations, slots * 2)
+        assert wide.makespan <= narrow.makespan + 1e-9
+
+    @given(durations=durations_strategy)
+    def test_single_slot_is_sum(self, durations):
+        assert schedule(durations, 1).makespan == \
+            pytest.approx(sum(durations))
+
+    @given(durations=durations_strategy,
+           slots=st.integers(min_value=1, max_value=16))
+    def test_utilization_in_unit_interval(self, durations, slots):
+        result = schedule(durations, slots)
+        if result.makespan > 0:
+            assert 0.0 < result.utilization <= 1.0 + 1e-9
+
+
+class TestModelScalingLaws:
+    @pytest.fixture(scope="class")
+    def query(self):
+        return ssb_queries()["Q2.1"]
+
+    @settings(max_examples=10, deadline=None)
+    @given(sf=st.sampled_from([10.0, 50.0, 100.0, 500.0, 1000.0,
+                               5000.0]))
+    def test_all_engines_positive_and_ordered(self, query, sf):
+        profile = build_profile(query, sf)
+        cluster = cluster_a()
+        clyde = predict_clydesdale(profile, cluster).seconds
+        repart = predict_hive_repartition(profile, cluster).seconds
+        assert 0 < clyde < repart
+        mapjoin = predict_hive_mapjoin(profile, cluster)
+        if mapjoin.completed:
+            assert clyde < mapjoin.seconds
+
+    def test_clydesdale_roughly_linear_in_sf(self, query):
+        cluster = cluster_a()
+        t100 = predict_clydesdale(build_profile(query, 100.0),
+                                  cluster).seconds
+        t1000 = predict_clydesdale(build_profile(query, 1000.0),
+                                   cluster).seconds
+        ratio = t1000 / t100
+        # Fixed overheads keep it sublinear but it must scale strongly.
+        assert 4 < ratio <= 10.5
+
+    def test_speedup_grows_with_scale(self, query):
+        """At tiny scale fixed overheads dominate; Clydesdale's edge
+        widens as data grows (consistent with the A-vs-B observation)."""
+        cluster = cluster_a()
+        speedups = []
+        for sf in (10.0, 100.0, 1000.0):
+            profile = build_profile(query, sf)
+            clyde = predict_clydesdale(profile, cluster).seconds
+            repart = predict_hive_repartition(profile, cluster).seconds
+            speedups.append(repart / clyde)
+        assert speedups[0] < speedups[-1]
+
+    def test_monotone_in_scale_factor(self, query):
+        cluster = cluster_a()
+        previous = 0.0
+        for sf in (1.0, 10.0, 100.0, 1000.0):
+            seconds = predict_clydesdale(build_profile(query, sf),
+                                         cluster).seconds
+            assert seconds > previous
+            previous = seconds
+
+    def test_oom_threshold_scales_with_memory(self, query):
+        """Doubling node memory (cluster B style) turns every cluster-A
+        mapjoin OOM into a completion — the Figure 7 vs 8 contrast."""
+        from dataclasses import replace
+        profile = build_profile(ssb_queries()["Q3.1"], 1000.0)
+        small = cluster_a()
+        big = replace(small, node=replace(small.node,
+                                          memory_bytes=small.node
+                                          .memory_bytes * 2))
+        assert predict_hive_mapjoin(profile, small).oom
+        assert predict_hive_mapjoin(profile, big).completed

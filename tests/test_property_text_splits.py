@@ -1,0 +1,70 @@
+"""Property test for the hardest MapReduce correctness invariant: line
+records are read exactly once regardless of how HDFS blocks slice the
+file (Hadoop's split-boundary rule)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.hdfs.filesystem import MiniDFS
+from repro.mapreduce.inputformat import TextInputFormat
+from repro.mapreduce.job import JobConf
+
+lines_strategy = st.lists(
+    st.text(alphabet=st.characters(blacklist_characters="\n",
+                                   codec="utf-8"),
+            max_size=30),
+    min_size=0, max_size=40)
+
+
+def read_all_lines(fs, conf):
+    fmt = TextInputFormat()
+    out = []
+    for split in fmt.get_splits(fs, conf):
+        reader = fmt.get_record_reader(fs, split, conf)
+        for offset, line in reader:
+            out.append((offset, line))
+    out.sort()
+    return out
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(lines=lines_strategy,
+       block_size=st.integers(min_value=1, max_value=64),
+       trailing_newline=st.booleans())
+def test_every_line_read_exactly_once(lines, block_size,
+                                      trailing_newline):
+    text = "\n".join(lines)
+    if trailing_newline and text:
+        text += "\n"
+    fs = MiniDFS(num_nodes=3, block_size=block_size)
+    fs.write_file("/in/f.txt", text.encode("utf-8"))
+    conf = JobConf("scan").set_input_paths("/in")
+    got = read_all_lines(fs, conf)
+
+    expected = text.split("\n")
+    if expected and expected[-1] == "":
+        expected = expected[:-1]
+    assert [line for _, line in got] == expected
+    # Offsets must be strictly increasing and point at line starts.
+    offsets = [offset for offset, _ in got]
+    assert offsets == sorted(set(offsets))
+    blob = text.encode("utf-8")
+    for offset, line in got:
+        assert blob[offset:offset + len(line.encode("utf-8"))] == \
+            line.encode("utf-8")
+
+
+@settings(max_examples=30, deadline=None)
+@given(block_size=st.integers(min_value=1, max_value=48),
+       split_cap=st.integers(min_value=0, max_value=24))
+def test_split_size_cap_preserves_content(block_size, split_cap):
+    text = "".join(f"line-{i}\n" for i in range(25))
+    fs = MiniDFS(num_nodes=3, block_size=block_size)
+    fs.write_file("/in/f.txt", text.encode())
+    conf = JobConf("scan").set_input_paths("/in")
+    if split_cap:
+        conf.set("mapred.max.split.size", split_cap)
+    got = read_all_lines(fs, conf)
+    assert [line for _, line in got] == \
+        [f"line-{i}" for i in range(25)]

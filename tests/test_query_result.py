@@ -1,0 +1,195 @@
+"""Tests for the StarQuery AST, aggregates, and result ordering."""
+
+import pytest
+
+from repro.common.errors import QueryError
+from repro.core.expressions import Col, Comparison
+from repro.core.query import Aggregate, DimensionJoin, OrderKey, StarQuery
+from repro.core.result import QueryResult, apply_order_by
+
+
+def simple_query(**overrides):
+    kwargs = dict(
+        name="t",
+        fact_table="fact",
+        joins=[DimensionJoin("dim", "fk", "pk",
+                             Comparison("region", "=", "ASIA"))],
+        aggregates=[Aggregate("sum", Col("m"), alias="total")],
+        group_by=["g"],
+        order_by=[OrderKey("total", descending=True)],
+    )
+    kwargs.update(overrides)
+    return StarQuery(**kwargs)
+
+
+class TestAggregate:
+    def test_sum_accumulate_merge(self):
+        agg = Aggregate("sum", Col("x"), alias="s")
+        assert agg.initial() == 0
+        assert agg.accumulate(3, 4) == 7
+        assert agg.merge(3, 4) == 7
+
+    def test_count(self):
+        agg = Aggregate("count", Col("x"), alias="c")
+        assert agg.accumulate(2, "ignored") == 3
+        assert agg.merge(2, 5) == 7
+
+    def test_min_max(self):
+        low = Aggregate("min", Col("x"), alias="lo")
+        high = Aggregate("max", Col("x"), alias="hi")
+        assert low.initial() is None
+        assert low.accumulate(None, 5) == 5
+        assert low.accumulate(5, 3) == 3
+        assert high.merge(None, 9) == 9
+        assert high.merge(4, 9) == 9
+        assert low.merge(4, None) == 4
+
+    def test_unknown_function(self):
+        with pytest.raises(QueryError):
+            Aggregate("median", Col("x"), alias="m")
+
+    def test_missing_alias(self):
+        with pytest.raises(QueryError):
+            Aggregate("sum", Col("x"), alias="")
+
+    def test_sql(self):
+        assert Aggregate("sum", Col("a") - Col("b"), "p").to_sql() == \
+            "sum(a - b) AS p"
+
+
+class TestStarQueryValidation:
+    def test_requires_aggregates(self):
+        with pytest.raises(QueryError):
+            simple_query(aggregates=[])
+
+    def test_duplicate_aliases_rejected(self):
+        with pytest.raises(QueryError):
+            simple_query(aggregates=[
+                Aggregate("sum", Col("m"), alias="x"),
+                Aggregate("count", Col("m"), alias="x")])
+
+    def test_duplicate_dimension_rejected(self):
+        with pytest.raises(QueryError):
+            simple_query(joins=[
+                DimensionJoin("dim", "fk", "pk"),
+                DimensionJoin("dim", "fk2", "pk")])
+
+    def test_order_by_must_reference_output(self):
+        with pytest.raises(QueryError):
+            simple_query(order_by=[OrderKey("mystery")])
+
+    def test_order_by_group_column_allowed(self):
+        simple_query(order_by=[OrderKey("g")])
+
+    def test_fact_columns_deduplicated(self):
+        query = simple_query(
+            joins=[DimensionJoin("dim", "fk", "pk")],
+            fact_predicate=Comparison("fk", ">", 0),
+            aggregates=[Aggregate("sum", Col("m") + Col("fk"), alias="t")],
+            order_by=[])
+        columns = query.fact_columns()
+        assert columns.count("fk") == 1
+        assert set(columns) == {"fk", "m"}
+
+    def test_aux_columns_filters_by_schema(self):
+        query = simple_query(group_by=["g", "nation"])
+        assert query.aux_columns("dim", ["pk", "nation"]) == ["nation"]
+        assert query.aux_columns("dim", ["pk"]) == []
+
+    def test_join_for(self):
+        query = simple_query()
+        assert query.join_for("dim").fact_fk == "fk"
+        with pytest.raises(QueryError):
+            query.join_for("other")
+
+    def test_limit_roundtrip(self):
+        query = simple_query(limit=5)
+        again = StarQuery.from_dict(query.to_dict())
+        assert again.limit == 5
+
+
+class TestApplyOrderBy:
+    ROWS = [("b", 10), ("a", 10), ("c", 5), ("a", 20)]
+    COLS = ["g", "total"]
+
+    def test_single_key_asc(self):
+        ordered = apply_order_by(self.ROWS, self.COLS, [OrderKey("g")])
+        assert [r[0] for r in ordered] == ["a", "a", "b", "c"]
+
+    def test_single_key_desc(self):
+        ordered = apply_order_by(self.ROWS, self.COLS,
+                                 [OrderKey("total", descending=True)])
+        assert [r[1] for r in ordered] == [20, 10, 10, 5]
+
+    def test_multi_key_mixed_directions(self):
+        ordered = apply_order_by(
+            self.ROWS, self.COLS,
+            [OrderKey("total", descending=True), OrderKey("g")])
+        assert ordered == [("a", 20), ("a", 10), ("b", 10), ("c", 5)]
+
+    def test_stability(self):
+        rows = [("x", 1), ("y", 1), ("z", 1)]
+        ordered = apply_order_by(rows, self.COLS, [OrderKey("total")])
+        assert ordered == rows
+
+    def test_limit(self):
+        ordered = apply_order_by(self.ROWS, self.COLS, [OrderKey("g")],
+                                 limit=2)
+        assert len(ordered) == 2
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(QueryError):
+            apply_order_by(self.ROWS, self.COLS, [OrderKey("zzz")])
+
+    def test_no_keys_identity(self):
+        assert apply_order_by(self.ROWS, self.COLS, []) == self.ROWS
+
+
+class TestQueryResult:
+    def make(self):
+        return QueryResult("q", ["g", "total"],
+                           [("a", 1), ("b", 2)])
+
+    def test_column_access(self):
+        assert self.make().column("total") == [1, 2]
+
+    def test_column_unknown(self):
+        with pytest.raises(QueryError):
+            self.make().column("zzz")
+
+    def test_as_dicts(self):
+        assert self.make().as_dicts()[0] == {"g": "a", "total": 1}
+
+    def test_row_set(self):
+        assert self.make().row_set() == {("a", 1), ("b", 2)}
+
+    def test_pretty_contains_headers(self):
+        rendered = self.make().pretty()
+        assert "g" in rendered and "total" in rendered
+
+    def test_pretty_truncates(self):
+        result = QueryResult("q", ["x"], [(i,) for i in range(30)])
+        assert "more rows" in result.pretty(max_rows=10)
+
+
+class TestResultExports:
+    def make(self):
+        return QueryResult("q", ["g", "total"], [("a", 1), ("b,x", 2)])
+
+    def test_to_csv_roundtrip(self):
+        import csv
+        import io
+        text = self.make().to_csv()
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["g", "total"]
+        assert rows[2] == ["b,x", "2"]  # comma-bearing value quoted
+
+    def test_to_markdown(self):
+        text = self.make().to_markdown()
+        assert text.splitlines()[0] == "| g | total |"
+        assert "| a | 1 |" in text
+
+    def test_to_markdown_truncation(self):
+        result = QueryResult("q", ["x"], [(i,) for i in range(10)])
+        text = result.to_markdown(max_rows=3)
+        assert "more rows" in text

@@ -1,0 +1,143 @@
+"""Unit tests for Record and Configuration."""
+
+import pytest
+
+from repro.common.config import Configuration
+from repro.common.errors import ConfigError, SchemaError
+from repro.common.record import Record, records_from_rows
+from repro.common.schema import Schema
+from repro.common.types import DataType
+
+
+@pytest.fixture
+def schema():
+    return Schema([("k", DataType.INT32), ("name", DataType.STRING),
+                   ("score", DataType.FLOAT64)])
+
+
+class TestRecord:
+    def test_get_by_name(self, schema):
+        record = Record(schema, (1, "a", 2.0))
+        assert record.get("name") == "a"
+        assert record["score"] == 2.0
+
+    def test_get_by_index(self, schema):
+        assert Record(schema, (1, "a", 2.0))[0] == 1
+
+    def test_project(self, schema):
+        projected = Record(schema, (1, "a", 2.0)).project(["score", "k"])
+        assert projected.values == (2.0, 1)
+        assert projected.schema.names == ("score", "k")
+
+    def test_with_appended(self, schema):
+        other_schema = Schema([("extra", DataType.STRING)])
+        merged = Record(schema, (1, "a", 2.0)).with_appended(
+            Record(other_schema, ("x",)))
+        assert merged.values == (1, "a", 2.0, "x")
+        assert merged.get("extra") == "x"
+
+    def test_as_dict(self, schema):
+        assert Record(schema, (1, "a", 2.0)).as_dict() == {
+            "k": 1, "name": "a", "score": 2.0}
+
+    def test_equality(self, schema):
+        assert Record(schema, (1, "a", 2.0)) == Record(schema, (1, "a", 2.0))
+        assert Record(schema, (1, "a", 2.0)) != Record(schema, (2, "a", 2.0))
+
+    def test_validation_flag(self, schema):
+        with pytest.raises(SchemaError):
+            Record(schema, (1, "a", "bad"), validate=True)
+
+    def test_len_and_iter(self, schema):
+        record = Record(schema, (1, "a", 2.0))
+        assert len(record) == 3
+        assert list(record) == [1, "a", 2.0]
+
+    def test_records_from_rows_coerce(self, schema):
+        records = records_from_rows(schema, [("1", "a", "2.0")], coerce=True)
+        assert records[0].values == (1, "a", 2.0)
+
+    def test_records_from_rows_validates(self, schema):
+        with pytest.raises(SchemaError):
+            records_from_rows(schema, [(1, "a", "bad")])
+
+
+class TestConfiguration:
+    def test_set_get_string(self):
+        conf = Configuration()
+        conf.set("a.b", "hello")
+        assert conf.get("a.b") == "hello"
+
+    def test_get_default(self):
+        assert Configuration().get("missing", "dflt") == "dflt"
+
+    def test_require_missing_raises(self):
+        with pytest.raises(ConfigError):
+            Configuration().require("nope")
+
+    def test_int_roundtrip(self):
+        conf = Configuration()
+        conf.set("n", 42)
+        assert conf.get_int("n") == 42
+
+    def test_int_default_and_missing(self):
+        conf = Configuration()
+        assert conf.get_int("n", 7) == 7
+        with pytest.raises(ConfigError):
+            conf.get_int("n")
+
+    def test_int_malformed(self):
+        conf = Configuration()
+        conf.set("n", "xyz")
+        with pytest.raises(ConfigError):
+            conf.get_int("n")
+
+    def test_float_roundtrip(self):
+        conf = Configuration()
+        conf.set("f", 2.5)
+        assert conf.get_float("f") == 2.5
+
+    def test_bool_semantics(self):
+        conf = Configuration()
+        conf.set("t", True)
+        conf.set("f", False)
+        assert conf.get_bool("t") is True
+        assert conf.get_bool("f") is False
+        assert conf.get_bool("missing", True) is True
+
+    def test_bool_parses_text_forms(self):
+        conf = Configuration()
+        for raw in ("true", "1", "YES"):
+            conf.set("x", raw)
+            assert conf.get_bool("x") is True
+
+    def test_json_values(self):
+        conf = Configuration()
+        conf.set("cols", ["a", "b"])
+        assert conf.get_json("cols") == ["a", "b"]
+
+    def test_json_default(self):
+        assert Configuration().get_json("missing", 3) == 3
+
+    def test_update_from_other(self):
+        src = Configuration({"a": 1})
+        dst = Configuration({"b": 2})
+        dst.update(src)
+        assert dst.get_int("a") == 1
+        assert dst.get_int("b") == 2
+
+    def test_copy_is_independent(self):
+        conf = Configuration({"a": 1})
+        clone = conf.copy()
+        clone.set("a", 2)
+        assert conf.get_int("a") == 1
+
+    def test_rejects_empty_key(self):
+        with pytest.raises(ConfigError):
+            Configuration().set("", 1)
+
+    def test_initial_mapping(self):
+        conf = Configuration({"x": 5})
+        assert conf.get_int("x") == 5
+        assert "x" in conf
+        assert len(conf) == 1

@@ -1,0 +1,161 @@
+"""Roll-in / roll-out tests (paper sections 2 and 8): appending and
+retiring fact data without rewriting the table, with queries staying
+correct throughout — plus the Llama cost-comparison model."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.units import GB
+from repro.core.engine import ClydesdaleEngine
+from repro.core.rollin import (
+    append_fact_rows,
+    compare_rollin_cost,
+    roll_out_oldest,
+)
+from repro.reference.engine import ReferenceEngine
+from repro.ssb.datagen import SSBGenerator
+from repro.ssb.queries import ssb_queries
+from repro.ssb.schema import SCHEMAS
+from repro.storage.cif import group_descriptors
+
+
+@pytest.fixture
+def engine():
+    data = SSBGenerator(scale_factor=0.002, seed=21).generate()
+    return ClydesdaleEngine.with_ssb_data(data=data, num_nodes=4,
+                                          row_group_size=2_000)
+
+
+def fresh_batch(engine, count=3_000, seed=77):
+    """Extra fact rows referencing the same dimensions."""
+    gen = SSBGenerator(scale_factor=count / 6_000_000, seed=seed)
+    date_keys = [row[0] for row in engine.data.date]
+    return list(gen.iter_lineorder(
+        len(engine.data.customer), len(engine.data.supplier),
+        len(engine.data.part), date_keys))
+
+
+class TestRollIn:
+    def test_appends_rows_and_groups(self, engine):
+        meta = engine.catalog.meta("lineorder")
+        before_rows = meta.num_rows
+        before_groups = len(group_descriptors(meta))
+        batch = fresh_batch(engine)
+        append_fact_rows(engine.fs, meta, batch)
+        assert meta.num_rows == before_rows + len(batch)
+        assert len(group_descriptors(meta)) > before_groups
+
+    def test_existing_groups_untouched(self, engine):
+        """The Clydesdale claim: roll-in writes only new files."""
+        meta = engine.catalog.meta("lineorder")
+        before = {path: engine.fs.file_length(path)
+                  for path in engine.fs.list_dir(meta.directory)
+                  if not path.endswith(".meta")}
+        append_fact_rows(engine.fs, meta, fresh_batch(engine))
+        for path, length in before.items():
+            assert engine.fs.file_length(path) == length
+
+    def test_queries_see_rolled_in_data(self, engine):
+        query = ssb_queries()["Q2.1"]
+        batch = fresh_batch(engine)
+        append_fact_rows(engine.fs, engine.catalog.meta("lineorder"),
+                         batch)
+        got = engine.execute(query)
+        reference = ReferenceEngine(
+            SCHEMAS, {**engine.data.tables(),
+                      "lineorder": engine.data.lineorder + batch})
+        assert got.rows == reference.execute(query).rows
+
+    def test_empty_batch_noop(self, engine):
+        meta = engine.catalog.meta("lineorder")
+        before = meta.num_rows
+        append_fact_rows(engine.fs, meta, [])
+        assert meta.num_rows == before
+
+    def test_rejects_non_cif(self, engine):
+        with pytest.raises(StorageError):
+            append_fact_rows(engine.fs, engine.catalog.meta("customer"),
+                             [(1,)])
+
+
+class TestRollOut:
+    def test_removes_oldest_groups(self, engine):
+        meta = engine.catalog.meta("lineorder")
+        groups = group_descriptors(meta)
+        expected_removed = sum(g["rows"] for g in groups[:2])
+        _, removed = roll_out_oldest(engine.fs, meta, 2)
+        assert removed == expected_removed
+        assert len(group_descriptors(meta)) == len(groups) - 2
+
+    def test_files_deleted(self, engine):
+        meta = engine.catalog.meta("lineorder")
+        first = group_descriptors(meta)[0]["id"]
+        roll_out_oldest(engine.fs, meta, 1)
+        assert not engine.fs.exists(
+            f"{meta.directory}/rg-{first:05d}/lo_orderkey.bin")
+
+    def test_queries_after_roll_out(self, engine):
+        meta = engine.catalog.meta("lineorder")
+        groups = group_descriptors(meta)
+        dropped = sum(g["rows"] for g in groups[:1])
+        roll_out_oldest(engine.fs, meta, 1)
+        query = ssb_queries()["Q2.1"]
+        got = engine.execute(query)
+        surviving = engine.data.lineorder[dropped:]
+        reference = ReferenceEngine(
+            SCHEMAS, {**engine.data.tables(), "lineorder": surviving})
+        assert got.rows == reference.execute(query).rows
+
+    def test_rolling_window(self, engine):
+        """Roll out the oldest batch while rolling in a new one — the
+        warehouse maintenance cycle."""
+        meta = engine.catalog.meta("lineorder")
+        groups_before = group_descriptors(meta)
+        dropped = sum(g["rows"] for g in groups_before[:2])
+        roll_out_oldest(engine.fs, meta, 2)
+        batch = fresh_batch(engine, count=2_500)
+        append_fact_rows(engine.fs, meta, batch)
+        query = ssb_queries()["Q3.1"]
+        surviving = engine.data.lineorder[dropped:] + batch
+        reference = ReferenceEngine(
+            SCHEMAS, {**engine.data.tables(), "lineorder": surviving})
+        assert engine.execute(query).rows == \
+            reference.execute(query).rows
+        assert meta.num_rows == len(surviving)
+
+    def test_bounds_checked(self, engine):
+        meta = engine.catalog.meta("lineorder")
+        with pytest.raises(StorageError):
+            roll_out_oldest(engine.fs, meta, 999)
+        with pytest.raises(StorageError):
+            roll_out_oldest(engine.fs, meta, -1)
+
+
+class TestLlamaComparison:
+    def test_clydesdale_cost_independent_of_table_size(self):
+        small = compare_rollin_cost(10 * GB, 1 * GB)
+        large = compare_rollin_cost(300 * GB, 1 * GB)
+        assert small.clydesdale_seconds == large.clydesdale_seconds
+
+    def test_llama_cost_grows_with_table_size(self):
+        small = compare_rollin_cost(10 * GB, 1 * GB)
+        large = compare_rollin_cost(300 * GB, 1 * GB)
+        assert large.llama_seconds > 10 * small.llama_seconds
+
+    def test_llama_overhead_prohibitive_at_scale(self):
+        """The paper's argument: at warehouse scale, merging sorted
+        projections on every roll-in is prohibitive."""
+        cost = compare_rollin_cost(334 * GB, 334 * GB / 365,
+                                   num_sorted_projections=4)
+        assert cost.llama_overhead > 50
+
+    def test_more_projections_cost_more(self):
+        two = compare_rollin_cost(100 * GB, 1 * GB,
+                                  num_sorted_projections=2)
+        four = compare_rollin_cost(100 * GB, 1 * GB,
+                                   num_sorted_projections=4)
+        assert four.llama_seconds > two.llama_seconds
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            compare_rollin_cost(-1, 1)

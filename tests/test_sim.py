@@ -1,0 +1,155 @@
+"""Unit tests for the cluster simulation: hardware, scheduler, costs."""
+
+import pytest
+
+from repro.common.units import GB, MB
+from repro.sim.costs import CostModel, DEFAULT_COST_MODEL
+from repro.sim.hardware import (
+    DiskSpec,
+    cluster_a,
+    cluster_b,
+    tiny_cluster,
+)
+from repro.sim.scheduler import schedule, schedule_per_node, waves
+
+
+class TestHardware:
+    def test_cluster_a_matches_paper(self):
+        a = cluster_a()
+        assert a.workers == 8
+        assert a.masters == 1
+        assert a.node.cores == 8
+        assert a.node.memory_bytes == 16 * GB
+        assert a.node.disks.count == 8
+        assert a.node.map_slots == 6
+        assert a.node.reduce_slots == 1
+        # 8 disks x 70 MB/s = the paper's 560 MB/s raw figure.
+        assert a.node.disks.raw_read_bandwidth == 560 * MB
+
+    def test_cluster_b_matches_paper(self):
+        b = cluster_b()
+        assert b.workers == 40
+        assert b.masters == 2
+        assert b.node.memory_bytes == 32 * GB
+        assert b.node.disks.count == 5
+        # four data disks -> the paper's 280 MB/s figure
+        assert b.node.disks.raw_read_bandwidth == 280 * MB
+        assert b.cpu_speed > 1.0
+
+    def test_total_slots(self):
+        assert cluster_a().total_map_slots == 48
+        assert cluster_a().total_reduce_slots == 8
+        assert cluster_b().total_map_slots == 240
+
+    def test_memory_per_slot(self):
+        node = cluster_a().node
+        assert node.memory_per_slot == node.memory_bytes / 7
+
+    def test_disk_spec_data_disks_default(self):
+        spec = DiskSpec(count=4)
+        assert spec.usable_disks == 4
+
+    def test_describe_mentions_workers(self):
+        assert "8 workers" in cluster_a().describe()
+
+    def test_tiny_cluster_parametrized(self):
+        tiny = tiny_cluster(workers=3, map_slots=4, memory_gb=8)
+        assert tiny.workers == 3
+        assert tiny.node.map_slots == 4
+        assert tiny.node.memory_bytes == 8 * GB
+
+
+class TestScheduler:
+    def test_equal_tasks_exact_waves(self):
+        result = schedule([25.0] * 96, num_slots=48)
+        assert result.makespan == 50.0
+        assert result.waves == 2
+
+    def test_paper_stage1_wave_arithmetic(self):
+        # 4,887 tasks of 25 s on 48 slots: 102 waves (paper section 6.3)
+        assert waves(4887, 48) == 102
+        result = schedule([25.0] * 4887, 48)
+        assert result.makespan == pytest.approx(102 * 25.0)
+
+    def test_unequal_tasks_greedy(self):
+        result = schedule([10.0, 1.0, 1.0], num_slots=2)
+        # slot0: 10; slot1: 1 + 1
+        assert result.makespan == 10.0
+
+    def test_empty_tasks(self):
+        result = schedule([], 8)
+        assert result.makespan == 0.0
+        assert result.num_tasks == 0
+
+    def test_single_slot_sums(self):
+        assert schedule([1.0, 2.0, 3.0], 1).makespan == 6.0
+
+    def test_utilization_perfect_packing(self):
+        assert schedule([5.0] * 4, 4).utilization == 1.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            schedule([-1.0], 2)
+
+    def test_zero_slots_rejected(self):
+        with pytest.raises(ValueError):
+            schedule([1.0], 0)
+        with pytest.raises(ValueError):
+            waves(5, 0)
+
+    def test_schedule_per_node_max_over_nodes(self):
+        result = schedule_per_node([[10.0], [1.0, 1.0]], slots_per_node=1)
+        assert result.makespan == 10.0
+        assert result.num_tasks == 3
+
+
+class TestCostModel:
+    def test_task_start_cost_jvm(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.task_start_cost(False) == pytest.approx(
+            cm.task_overhead_s + cm.jvm_start_s)
+        assert cm.task_start_cost(True) == pytest.approx(cm.task_overhead_s)
+
+    def test_scan_cost_linear(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.scan_cost(cm.hdfs_scan_bytes_s) == pytest.approx(1.0)
+        assert cm.scan_cost(0) == 0.0
+
+    def test_cpu_rows_cost_threads(self):
+        cm = DEFAULT_COST_MODEL
+        single = cm.cpu_rows_cost(1000, 100.0, threads=1)
+        assert cm.cpu_rows_cost(1000, 100.0, threads=4) == single / 4
+
+    def test_cpu_rows_cost_invalid(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.cpu_rows_cost(10, 0.0)
+
+    def test_cache_penalty_degrades_rate(self):
+        cm = DEFAULT_COST_MODEL
+        fast = cm.probe_rate_with_cache_penalty(100.0, 0)
+        slow = cm.probe_rate_with_cache_penalty(100.0,
+                                                cm.cache_knee_bytes)
+        assert fast == 100.0
+        assert slow == pytest.approx(50.0)
+
+    def test_hash_reload_cost(self):
+        cm = DEFAULT_COST_MODEL
+        assert cm.hash_reload_cost(cm.hash_reload_bytes_s) == \
+            pytest.approx(1.0)
+
+    def test_distcache_cost_scales_with_size(self):
+        cm = DEFAULT_COST_MODEL
+        small = cm.distcache_cost(10 * MB, cluster_a())
+        large = cm.distcache_cost(500 * MB, cluster_a())
+        assert large > small > 0
+
+    def test_with_overrides(self):
+        cm = CostModel().with_overrides(hdfs_scan_bytes_s=1.0)
+        assert cm.hdfs_scan_bytes_s == 1.0
+        assert cm.job_overhead_s == CostModel().job_overhead_s
+
+    def test_q21_build_calibration(self):
+        """2.19M part rows at the default rate ~ the paper's 27 s."""
+        cm = DEFAULT_COST_MODEL
+        build = 2_190_000 / cm.hash_build_rows_s
+        assert 24 < build < 30

@@ -1,0 +1,68 @@
+"""Tests for speculative execution (straggler mitigation)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.scheduler import schedule, schedule_with_speculation
+
+
+class TestSpeculation:
+    def test_straggler_cut_short(self):
+        # 7 normal tasks of 10 s + one 100 s straggler on 4 slots.
+        durations = [10.0] * 7 + [100.0]
+        result = schedule_with_speculation(durations, num_slots=4)
+        baseline = schedule(durations, 4).makespan
+        assert result.baseline_makespan == pytest.approx(baseline)
+        assert result.backups_launched == 1
+        assert result.makespan < baseline
+        # Backup starts when a slot frees (t=20) and runs ~10 s.
+        assert result.makespan == pytest.approx(30.0)
+
+    def test_no_stragglers_no_backups(self):
+        durations = [10.0] * 8
+        result = schedule_with_speculation(durations, num_slots=4)
+        assert result.backups_launched == 0
+        assert result.makespan == result.baseline_makespan
+        assert result.improvement == 1.0
+
+    def test_straggler_finishing_before_idle_slot_ignored(self):
+        # The long task finishes before any other slot goes idle.
+        durations = [5.0, 6.0]
+        result = schedule_with_speculation(durations, num_slots=2,
+                                           nominal_duration=1.0)
+        assert result.backups_launched == 0
+
+    def test_explicit_nominal_duration(self):
+        durations = [10.0, 10.0, 10.0, 200.0]
+        result = schedule_with_speculation(durations, num_slots=2,
+                                           nominal_duration=10.0)
+        assert result.backups_launched == 1
+        assert result.makespan < result.baseline_makespan
+
+    def test_empty(self):
+        result = schedule_with_speculation([], 4)
+        assert result.makespan == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            schedule_with_speculation([1.0], 0)
+        with pytest.raises(ValueError):
+            schedule_with_speculation([-1.0], 2)
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100.0),
+                    min_size=1, max_size=40),
+           st.integers(min_value=1, max_value=8))
+    def test_never_worse_than_baseline(self, durations, slots):
+        result = schedule_with_speculation(durations, slots)
+        assert result.makespan <= result.baseline_makespan + 1e-9
+        assert result.improvement >= 1.0 - 1e-9
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=10.0),
+                    min_size=2, max_size=30),
+           st.integers(min_value=2, max_value=8))
+    def test_lower_bound_holds(self, durations, slots):
+        """Speculation cannot beat the work/slot lower bound or finish
+        before the last task starts + nominal."""
+        result = schedule_with_speculation(durations, slots)
+        assert result.makespan >= sum(durations) / slots / 2  # loose LB

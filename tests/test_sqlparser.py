@@ -1,0 +1,238 @@
+"""Tests for the SQL front-end: tokenizer, grammar, resolution, and
+end-to-end equivalence with hand-built StarQuery objects."""
+
+import pytest
+
+from repro.core.expressions import Between, Comparison, InList
+from repro.core.sqlparser import SqlError, parse_sql, tokenize
+from repro.ssb.queries import ssb_queries
+from repro.ssb.schema import SCHEMAS
+
+
+def parse(sql, name="t"):
+    return parse_sql(sql, SCHEMAS, name=name)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a, sum(b) FROM t WHERE x = 'y';")
+        kinds = [t.kind for t in tokens]
+        assert kinds[-1] == "end"
+        assert "string" in kinds
+
+    def test_string_escapes(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "'it''s'"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75")
+        assert [t.text for t in tokens[:-1]] == ["1", "2.5", ".75"]
+
+    def test_mfgr_identifiers(self):
+        # SSB values like MFGR#12 appear inside strings; identifiers may
+        # also carry '#'.
+        tokens = tokenize("p_category = 'MFGR#12'")
+        assert tokens[2].kind == "string"
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT @")
+
+
+class TestGrammarErrors:
+    def test_missing_select(self):
+        with pytest.raises(SqlError):
+            parse("FROM lineorder")
+
+    def test_unknown_table(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM warehouse")
+
+    def test_trailing_junk(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM lineorder extra")
+
+    def test_non_aggregated_column_needs_group_by(self):
+        with pytest.raises(SqlError):
+            parse("SELECT d_year, sum(lo_revenue) "
+                  "FROM lineorder, date WHERE lo_orderdate = d_datekey")
+
+    def test_requires_an_aggregate(self):
+        with pytest.raises(SqlError):
+            parse("SELECT d_year FROM lineorder, date "
+                  "WHERE lo_orderdate = d_datekey GROUP BY d_year")
+
+    def test_cross_product_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM lineorder, date")
+
+    def test_cross_table_or_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM lineorder, date "
+                  "WHERE lo_orderdate = d_datekey "
+                  "AND (d_year = 1993 OR lo_quantity < 5)")
+
+    def test_non_equi_join_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM lineorder, date "
+                  "WHERE lo_orderdate < d_datekey")
+
+    def test_aggregate_over_dimension_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(d_year) FROM lineorder, date "
+                  "WHERE lo_orderdate = d_datekey")
+
+    def test_duplicate_from_table(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM lineorder, date, date "
+                  "WHERE lo_orderdate = d_datekey")
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SqlError):
+            parse("SELECT sum(lo_revenue) FROM lineorder LIMIT 2.5")
+
+
+class TestResolution:
+    def test_simple_join_and_predicates(self):
+        query = parse(
+            "SELECT d_year, sum(lo_revenue) AS revenue "
+            "FROM lineorder, date "
+            "WHERE lo_orderdate = d_datekey AND d_year = 1993 "
+            "AND lo_discount BETWEEN 1 AND 3 "
+            "GROUP BY d_year")
+        assert query.fact_table == "lineorder"
+        assert len(query.joins) == 1
+        join = query.joins[0]
+        assert (join.dimension, join.fact_fk, join.dim_pk) == \
+            ("date", "lo_orderdate", "d_datekey")
+        assert isinstance(join.predicate, Comparison)
+        assert isinstance(query.fact_predicate, Between)
+
+    def test_join_direction_insensitive(self):
+        query = parse(
+            "SELECT sum(lo_revenue) FROM lineorder, date "
+            "WHERE d_datekey = lo_orderdate")
+        join = query.joins[0]
+        assert join.fact_fk == "lo_orderdate"
+        assert join.dim_pk == "d_datekey"
+
+    def test_multiple_predicates_anded(self):
+        query = parse(
+            "SELECT sum(lo_revenue) FROM lineorder, supplier "
+            "WHERE lo_suppkey = s_suppkey AND s_region = 'ASIA' "
+            "AND s_nation != 'CHINA'")
+        predicate = query.joins[0].predicate
+        row = {"s_region": "ASIA", "s_nation": "JAPAN"}
+        assert predicate.evaluate(row.__getitem__)
+        row["s_nation"] = "CHINA"
+        assert not predicate.evaluate(row.__getitem__)
+
+    def test_in_and_or_within_one_table(self):
+        query = parse(
+            "SELECT sum(lo_revenue) FROM lineorder, customer "
+            "WHERE lo_custkey = c_custkey AND "
+            "(c_city IN ('UNITED KI1', 'UNITED KI5') "
+            "OR c_nation = 'JAPAN')")
+        predicate = query.joins[0].predicate
+        assert predicate.evaluate(
+            {"c_city": "UNITED KI1", "c_nation": "PERU"}.__getitem__)
+        assert predicate.evaluate(
+            {"c_city": "LIMA     1", "c_nation": "JAPAN"}.__getitem__)
+
+    def test_count_star(self):
+        query = parse("SELECT count(*) AS n FROM lineorder")
+        assert query.aggregates[0].function == "count"
+
+    def test_default_alias(self):
+        query = parse("SELECT sum(lo_revenue) FROM lineorder")
+        assert query.aggregates[0].alias == "sum_lo_revenue"
+
+    def test_arithmetic_aggregate(self):
+        query = parse(
+            "SELECT sum(lo_extendedprice * lo_discount) AS revenue "
+            "FROM lineorder")
+        expr = query.aggregates[0].expr
+        assert expr.evaluate({"lo_extendedprice": 10,
+                              "lo_discount": 3}.__getitem__) == 30
+
+    def test_order_by_and_limit(self):
+        query = parse(
+            "SELECT d_year, sum(lo_revenue) AS revenue "
+            "FROM lineorder, date WHERE lo_orderdate = d_datekey "
+            "GROUP BY d_year ORDER BY d_year ASC, revenue DESC LIMIT 5")
+        assert [k.column for k in query.order_by] == ["d_year", "revenue"]
+        assert query.order_by[1].descending
+        assert query.limit == 5
+
+
+class TestPaperQueries:
+    """Round-trip: parse the SQL rendered from each hand-built SSB query
+    and get a semantically identical query back."""
+
+    @pytest.mark.parametrize("name", list(ssb_queries()))
+    def test_roundtrip_via_to_sql(self, name):
+        original = ssb_queries()[name]
+        reparsed = parse(original.to_sql(), name=name)
+        assert reparsed.fact_table == original.fact_table
+        assert {j.dimension for j in reparsed.joins} == \
+            {j.dimension for j in original.joins}
+        assert reparsed.group_by == original.group_by
+        assert [k.column for k in reparsed.order_by] == \
+            [k.column for k in original.order_by]
+
+    def test_q31_paper_text_executes_identically(self, clydesdale,
+                                                 reference):
+        sql = """
+            SELECT c_nation, s_nation, d_year,
+                   sum(lo_revenue) AS revenue
+            FROM lineorder, supplier, date, customer
+            WHERE lo_custkey = c_custkey
+              AND lo_orderdate = d_datekey
+              AND lo_suppkey = s_suppkey
+              AND c_region = 'ASIA' AND s_region = 'ASIA'
+              AND d_year >= 1992 AND d_year <= 1997
+            GROUP BY c_nation, s_nation, d_year
+            ORDER BY d_year ASC, revenue DESC;
+        """
+        via_sql = clydesdale.sql(sql)
+        expected = reference.execute(ssb_queries()["Q3.1"])
+        assert via_sql.rows == expected.rows
+
+    def test_engine_sql_entry_point(self, clydesdale, reference):
+        result = clydesdale.sql(
+            "SELECT lo_shipmode, count(*) AS n, sum(lo_revenue) AS rev "
+            "FROM lineorder GROUP BY lo_shipmode ORDER BY lo_shipmode")
+        assert result.columns == ["lo_shipmode", "n", "rev"]
+        assert len(result.rows) == 7
+
+
+class TestSnowflakeSql:
+    SCHEMAS = None  # built in setup
+
+    @classmethod
+    def setup_class(cls):
+        from repro.common.schema import Schema
+        from repro.common.types import DataType
+        cls.SCHEMAS = {
+            "sales": Schema([("sl_id", DataType.INT64),
+                             ("sl_store_id", DataType.INT32),
+                             ("sl_amount", DataType.INT64)]),
+            "store": Schema([("st_id", DataType.INT32),
+                             ("st_city_id", DataType.INT32),
+                             ("st_name", DataType.STRING)]),
+            "city": Schema([("ci_id", DataType.INT32),
+                            ("ci_name", DataType.STRING)]),
+        }
+
+    def test_dim_dim_edge_becomes_snowflake(self):
+        query = parse_sql(
+            "SELECT ci_name, sum(sl_amount) AS amount "
+            "FROM sales, store, city "
+            "WHERE sl_store_id = st_id AND st_city_id = ci_id "
+            "GROUP BY ci_name",
+            self.SCHEMAS)
+        assert len(query.joins) == 1
+        assert query.joins[0].dimension == "store"
+        sub = query.joins[0].snowflake[0]
+        assert (sub.dimension, sub.fact_fk, sub.dim_pk) == \
+            ("city", "st_city_id", "ci_id")

@@ -1,0 +1,92 @@
+"""Unit tests for the binary column/row serializers."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.common.schema import Schema
+from repro.common.types import DataType
+from repro.storage import serde
+
+
+@pytest.fixture
+def schema():
+    return Schema([("i", DataType.INT32), ("l", DataType.INT64),
+                   ("f", DataType.FLOAT64), ("s", DataType.STRING)])
+
+
+class TestColumnSerde:
+    @pytest.mark.parametrize("dtype,values", [
+        (DataType.INT32, [0, 1, -5, 2**31 - 1, -(2**31)]),
+        (DataType.INT64, [0, 2**62, -(2**62)]),
+        (DataType.FLOAT64, [0.0, -1.5, 3.14159, 1e300]),
+        (DataType.STRING, ["", "a", "hello world", "ünïcødé", "|pipe|"]),
+    ])
+    def test_roundtrip(self, dtype, values):
+        assert serde.decode_column(
+            dtype, serde.encode_column(dtype, values)) == values
+
+    def test_empty_column(self):
+        data = serde.encode_column(DataType.INT32, [])
+        assert serde.decode_column(DataType.INT32, data) == []
+
+    def test_fixed_width_sizes(self):
+        data = serde.encode_column(DataType.INT32, [1, 2, 3])
+        assert len(data) == 4 + 3 * 4
+
+    def test_string_encoding_size(self):
+        data = serde.encode_column(DataType.STRING, ["ab"])
+        assert len(data) == 4 + 4 + 2
+
+    def test_truncated_header_raises(self):
+        with pytest.raises(StorageError):
+            serde.decode_column(DataType.INT32, b"\x01")
+
+    def test_truncated_body_raises(self):
+        good = serde.encode_column(DataType.INT64, [1, 2])
+        with pytest.raises(StorageError):
+            serde.decode_column(DataType.INT64, good[:-3])
+
+    def test_truncated_string_raises(self):
+        good = serde.encode_column(DataType.STRING, ["hello"])
+        with pytest.raises(StorageError):
+            serde.decode_column(DataType.STRING, good[:-1])
+
+    def test_type_mismatch_raises(self):
+        with pytest.raises(StorageError):
+            serde.encode_column(DataType.INT32, ["not-int"])
+        with pytest.raises(StorageError):
+            serde.encode_column(DataType.STRING, [42])
+
+
+class TestRowSerde:
+    def test_roundtrip(self, schema):
+        rows = [(1, 2**40, 0.5, "x"), (-1, 0, -2.5, "")]
+        data = serde.encode_rows(schema, rows)
+        assert serde.decode_rows(schema, data) == rows
+
+    def test_empty_rows(self, schema):
+        assert serde.decode_rows(schema,
+                                 serde.encode_rows(schema, [])) == []
+
+    def test_arity_mismatch_raises(self, schema):
+        with pytest.raises(StorageError):
+            serde.encode_rows(schema, [(1, 2)])
+
+    def test_bad_value_raises(self, schema):
+        with pytest.raises(StorageError):
+            serde.encode_rows(schema, [("x", 1, 1.0, "s")])
+
+    def test_truncation_raises(self, schema):
+        data = serde.encode_rows(schema, [(1, 2, 3.0, "abc")])
+        with pytest.raises(StorageError):
+            serde.decode_rows(schema, data[:-2])
+
+    def test_non_string_coerced_in_rows(self, schema):
+        # encode_rows stringifies non-str values in STRING columns.
+        data = serde.encode_rows(schema, [(1, 2, 3.0, 99)])
+        assert serde.decode_rows(schema, data)[0][3] == "99"
+
+    def test_large_batch(self, schema):
+        rows = [(i, i * i, i / 7, f"row{i}") for i in range(5_000)]
+        assert serde.decode_rows(
+            schema, serde.encode_rows(schema, rows)) == rows

@@ -1,0 +1,122 @@
+"""Unit tests for the type system and schemas."""
+
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.schema import Column, Schema
+from repro.common.types import DataType, type_from_name
+
+
+class TestDataType:
+    def test_fixed_widths(self):
+        assert DataType.INT32.fixed_width == 4
+        assert DataType.INT64.fixed_width == 8
+        assert DataType.FLOAT64.fixed_width == 8
+        assert DataType.STRING.fixed_width is None
+
+    def test_coerce_int_from_string(self):
+        assert DataType.INT32.coerce("42") == 42
+
+    def test_coerce_float(self):
+        assert DataType.FLOAT64.coerce("2.5") == 2.5
+
+    def test_coerce_string_from_int(self):
+        assert DataType.STRING.coerce(7) == "7"
+
+    def test_coerce_rejects_null(self):
+        with pytest.raises(SchemaError):
+            DataType.INT32.coerce(None)
+
+    def test_coerce_rejects_garbage_int(self):
+        with pytest.raises(SchemaError):
+            DataType.INT64.coerce("not-a-number")
+
+    def test_int32_range_check(self):
+        with pytest.raises(SchemaError):
+            DataType.INT32.coerce(2**31)
+        assert DataType.INT32.coerce(2**31 - 1) == 2**31 - 1
+
+    def test_validate_matches_canonical_types(self):
+        assert DataType.INT32.validate(5)
+        assert not DataType.INT32.validate(5.0)
+        assert not DataType.INT32.validate(True)  # bool is not an int here
+        assert DataType.FLOAT64.validate(5.0)
+        assert not DataType.FLOAT64.validate(5)
+        assert DataType.STRING.validate("x")
+
+    def test_estimate_width_string_sample(self):
+        assert DataType.STRING.estimate_width("abcd") == 8
+
+    def test_type_from_name(self):
+        assert type_from_name("int64") is DataType.INT64
+        assert type_from_name("STRING") is DataType.STRING
+
+    def test_type_from_name_unknown(self):
+        with pytest.raises(SchemaError):
+            type_from_name("decimal")
+
+
+class TestSchema:
+    def make(self):
+        return Schema([("a", DataType.INT32), ("b", DataType.STRING),
+                       ("c", DataType.FLOAT64)])
+
+    def test_names_and_order(self):
+        assert self.make().names == ("a", "b", "c")
+
+    def test_index_of(self):
+        assert self.make().index_of("c") == 2
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            self.make().index_of("zzz")
+
+    def test_contains(self):
+        schema = self.make()
+        assert "b" in schema
+        assert "z" not in schema
+
+    def test_project_order_preserved(self):
+        assert self.make().project(["c", "a"]).names == ("c", "a")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([("a", DataType.INT32), ("a", DataType.STRING)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_accepts_string_type_names(self):
+        schema = Schema([("x", "int64")])
+        assert schema.column("x").dtype is DataType.INT64
+
+    def test_accepts_column_objects(self):
+        schema = Schema([Column("x", DataType.STRING)])
+        assert schema.names == ("x",)
+
+    def test_validate_row_ok(self):
+        self.make().validate_row((1, "x", 2.0))
+
+    def test_validate_row_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row((1, "x"))
+
+    def test_validate_row_type_mismatch(self):
+        with pytest.raises(SchemaError):
+            self.make().validate_row((1, "x", "not-a-float"))
+
+    def test_coerce_row(self):
+        assert self.make().coerce_row(("1", 2, "3.5")) == (1, "2", 3.5)
+
+    def test_roundtrip_dict(self):
+        schema = self.make()
+        assert Schema.from_dict(schema.to_dict()) == schema
+
+    def test_equality_and_hash(self):
+        assert self.make() == self.make()
+        assert hash(self.make()) == hash(self.make())
+
+    def test_iteration_yields_columns(self):
+        names = [c.name for c in self.make()]
+        assert names == ["a", "b", "c"]

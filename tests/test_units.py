@@ -1,0 +1,82 @@
+"""Unit tests for repro.common.units."""
+
+import pytest
+
+from repro.common.units import (
+    GB,
+    KB,
+    MB,
+    TB,
+    fmt_bytes,
+    fmt_seconds,
+    parse_bytes,
+)
+
+
+class TestParseBytes:
+    def test_plain_int_passthrough(self):
+        assert parse_bytes(12345) == 12345
+
+    def test_float_rounds_down(self):
+        assert parse_bytes(10.9) == 10
+
+    def test_bare_number_string_is_bytes(self):
+        assert parse_bytes("4096") == 4096
+
+    @pytest.mark.parametrize("text,expected", [
+        ("1KB", KB),
+        ("64MB", 64 * MB),
+        ("1.5 GB", int(1.5 * GB)),
+        ("2tb", 2 * TB),
+        ("128m", 128 * MB),
+        ("7 k", 7 * KB),
+        ("100b", 100),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_bytes(text) == expected
+
+    def test_case_insensitive(self):
+        assert parse_bytes("3Mb") == parse_bytes("3mB") == 3 * MB
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            parse_bytes("")
+
+    def test_rejects_unknown_suffix(self):
+        with pytest.raises(ValueError):
+            parse_bytes("12xb")
+
+    def test_rejects_suffix_only(self):
+        with pytest.raises(ValueError):
+            parse_bytes("GB")
+
+
+class TestFmtBytes:
+    def test_small_values_in_bytes(self):
+        assert fmt_bytes(512) == "512 B"
+
+    def test_mb(self):
+        assert fmt_bytes(64 * MB) == "64.0 MB"
+
+    def test_gb(self):
+        assert fmt_bytes(int(2.5 * GB)) == "2.5 GB"
+
+    def test_tb(self):
+        assert fmt_bytes(3 * TB) == "3.0 TB"
+
+    def test_boundary_exactly_one_kb(self):
+        assert fmt_bytes(KB) == "1.0 KB"
+
+
+class TestFmtSeconds:
+    def test_sub_minute(self):
+        assert fmt_seconds(2.5) == "2.5s"
+
+    def test_minutes(self):
+        assert fmt_seconds(95) == "1m35s"
+
+    def test_hours(self):
+        assert fmt_seconds(3 * 3600 + 62) == "3h01m02s"
+
+    def test_exact_minute(self):
+        assert fmt_seconds(60) == "1m00s"
