@@ -9,6 +9,8 @@ Targets:
 * ``q21``    — the section 6.3 Q2.1 stage breakdown
 * ``calibration`` — how each cost constant derives from the paper
 * ``validate`` — run all 13 queries functionally on all engines
+* ``perfsmoke`` — time vectorized kernels vs the row-wise path and a
+  zone-map-pruned query; writes ``BENCH_perfsmoke.json``
 * ``export`` — write every series to results/*.csv and *.json
 * ``report`` — regenerate the paper-vs-measured markdown report
 * ``all``    — everything above (except export)
@@ -34,7 +36,8 @@ from repro.bench.figures import (
 from repro.bench.report import render_table
 
 TARGETS = ("fig7", "fig8", "fig9", "table1", "q21",
-           "calibration", "validate", "export", "report", "all")
+           "calibration", "validate", "perfsmoke", "export", "report",
+           "all")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -68,6 +71,12 @@ def main(argv: list[str] | None = None) -> int:
         elif target == "calibration":
             from repro.model.calibration import calibration_report
             print(calibration_report())
+        elif target == "perfsmoke":
+            from repro.bench.perfsmoke import render_perfsmoke, \
+                run_perfsmoke
+            report = run_perfsmoke()
+            print(render_perfsmoke(report))
+            print("wrote BENCH_perfsmoke.json")
         elif target == "export":
             from repro.bench.export import export_all
             for path in export_all(args.out_dir):

@@ -41,6 +41,8 @@ class ExecutionStats:
     rows_matched: int = 0
     hdfs_bytes_read: int = 0
     ht_builds: int = 0
+    rowgroups_pruned: int = 0
+    rows_skipped: int = 0
     ht_entries: dict[str, int] = field(default_factory=dict)
     ht_scanned: dict[str, int] = field(default_factory=dict)
     output_groups: int = 0
@@ -54,6 +56,10 @@ class ExecutionStats:
         stats.hdfs_bytes_read = counters.get(Counters.GROUP_HDFS,
                                              "bytes_read")
         stats.ht_builds = counters.get("clydesdale", "ht_builds")
+        stats.rowgroups_pruned = counters.get(Counters.GROUP_STORAGE,
+                                              "rowgroups_pruned")
+        stats.rows_skipped = counters.get(Counters.GROUP_STORAGE,
+                                          "rows_skipped")
         for group, name, value in counters.items():
             if group != "clydesdale":
                 continue
@@ -139,7 +145,7 @@ class ClydesdaleEngine:
                 return self.execute_multipass(query, passes,
                                               features=active)
         conf, output = plan_star_join(query, self.catalog, self.cluster,
-                                      self.cost_model, active)
+                                      self.cost_model, active, fs=self.fs)
         job = self.runner.run(conf)
         columns = list(query.group_by) + [a.alias for a in query.aggregates]
         rows = [tuple(key) + tuple(values)
@@ -165,7 +171,7 @@ class ClydesdaleEngine:
         from repro.core.explain import explain_clydesdale
         return explain_clydesdale(query, self.catalog, self.cluster,
                                   self.cost_model,
-                                  features or self.features)
+                                  features or self.features, fs=self.fs)
 
     def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
         """Parse star-join SQL (the dialect the paper prints) and run it.

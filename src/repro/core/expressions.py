@@ -7,6 +7,20 @@ Value expressions compute aggregate inputs such as
 
 Both kinds serialize to plain dicts so a whole query can travel through a
 ``JobConf`` the way the paper's Figure 4 passes ``queryParams``.
+
+Besides the row-at-a-time ``evaluate(get)``, every predicate supports two
+batch protocols used by the vectorized block pipeline:
+
+* ``evaluate_block(columns, selection)`` — the selection-vector kernel.
+  ``columns`` maps column name to a whole column vector (plain list) and
+  ``selection`` is an ordered list of candidate row positions; the kernel
+  returns the ordered sub-list of positions whose rows satisfy the
+  predicate, without building a per-row getter.
+* ``can_match(ranges)`` — the zone-map test. ``ranges`` maps column name
+  to that column's (min, max) over a row group; the method returns False
+  only when *no* row in the group can possibly satisfy the predicate, so
+  a False verdict lets the scan skip the whole group. Columns missing
+  from ``ranges`` (or incomparable bounds) must never cause pruning.
 """
 
 from __future__ import annotations
@@ -18,6 +32,12 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.common.errors import QueryError
 
 Getter = Callable[[str], Any]
+
+#: Column vectors for one block: name -> list of values.
+Columns = Mapping[str, Sequence[Any]]
+
+#: Per-column (min, max) statistics for one row group.
+Ranges = Mapping[str, Sequence[Any]]
 
 _OPS: dict[str, Callable[[Any, Any], bool]] = {
     "=": operator.eq,
@@ -40,6 +60,34 @@ class Predicate(ABC):
     def evaluate(self, get: Getter) -> bool:
         """Evaluate against ``get(column_name) -> value``."""
 
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        """Filter ``selection`` to the positions satisfying the predicate.
+
+        Subclasses override with tight loops over the raw column lists;
+        this fallback keeps third-party predicates correct by routing
+        each selected row through ``evaluate``.
+        """
+        getter = _ColumnsRowGetter(columns)
+        out = []
+        append = out.append
+        evaluate = self.evaluate
+        for i in selection:
+            getter.row = i
+            if evaluate(getter):
+                append(i)
+        return out
+
+    def can_match(self, ranges: Ranges) -> bool:
+        """Could any row in a group with these (min, max) stats match?
+
+        The base implementation refuses to prune (always True); concrete
+        predicates override with interval logic. Overrides must stay
+        conservative: when in doubt — missing column, incomparable
+        types — answer True.
+        """
+        return True
+
     @abstractmethod
     def columns(self) -> set[str]:
         """Column names this predicate reads."""
@@ -59,11 +107,32 @@ class Predicate(ABC):
         return Or([self, other])
 
 
+class _ColumnsRowGetter:
+    """Reusable ``get(name)`` over column vectors at a settable row.
+
+    One instance serves a whole block: kernels assign ``row`` and call,
+    instead of allocating a closure per row.
+    """
+
+    __slots__ = ("columns", "row")
+
+    def __init__(self, columns: Columns, row: int = 0):
+        self.columns = columns
+        self.row = row
+
+    def __call__(self, name: str) -> Any:
+        return self.columns[name][self.row]
+
+
 class TruePredicate(Predicate):
     """Matches every row (the absent-WHERE-clause predicate)."""
 
     def evaluate(self, get: Getter) -> bool:
         return True
+
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        return list(selection)
 
     def columns(self) -> set[str]:
         return set()
@@ -87,6 +156,34 @@ class Comparison(Predicate):
 
     def evaluate(self, get: Getter) -> bool:
         return _OPS[self.op](get(self.column), self.literal)
+
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        values = columns[self.column]
+        op = _OPS[self.op]
+        literal = self.literal
+        return [i for i in selection if op(values[i], literal)]
+
+    def can_match(self, ranges: Ranges) -> bool:
+        bounds = ranges.get(self.column)
+        if bounds is None:
+            return True
+        lo, hi = bounds
+        lit = self.literal
+        try:
+            if self.op == "=":
+                return lo <= lit <= hi
+            if self.op == "!=":
+                return not (lo == hi == lit)
+            if self.op == "<":
+                return lo < lit
+            if self.op == "<=":
+                return lo <= lit
+            if self.op == ">":
+                return hi > lit
+            return hi >= lit
+        except TypeError:
+            return True  # incomparable stats: never prune
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -112,6 +209,22 @@ class Between(Predicate):
     def evaluate(self, get: Getter) -> bool:
         value = get(self.column)
         return self.low <= value <= self.high
+
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        values = columns[self.column]
+        low, high = self.low, self.high
+        return [i for i in selection if low <= values[i] <= high]
+
+    def can_match(self, ranges: Ranges) -> bool:
+        bounds = ranges.get(self.column)
+        if bounds is None:
+            return True
+        lo, hi = bounds
+        try:
+            return hi >= self.low and lo <= self.high
+        except TypeError:
+            return True
 
     def columns(self) -> set[str]:
         return {self.column}
@@ -139,6 +252,22 @@ class InList(Predicate):
     def evaluate(self, get: Getter) -> bool:
         return get(self.column) in self.values
 
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        values = columns[self.column]
+        members = self.values  # prebuilt frozenset probe
+        return [i for i in selection if values[i] in members]
+
+    def can_match(self, ranges: Ranges) -> bool:
+        bounds = ranges.get(self.column)
+        if bounds is None:
+            return True
+        lo, hi = bounds
+        try:
+            return any(lo <= v <= hi for v in self.values)
+        except TypeError:
+            return True
+
     def columns(self) -> set[str]:
         return {self.column}
 
@@ -162,6 +291,18 @@ class And(Predicate):
     def evaluate(self, get: Getter) -> bool:
         return all(p.evaluate(get) for p in self.parts)
 
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        survivors = list(selection)
+        for part in self.parts:  # each conjunct shrinks the selection
+            if not survivors:
+                break
+            survivors = part.evaluate_block(columns, survivors)
+        return survivors
+
+    def can_match(self, ranges: Ranges) -> bool:
+        return all(p.can_match(ranges) for p in self.parts)
+
     def columns(self) -> set[str]:
         out: set[str] = set()
         for part in self.parts:
@@ -184,6 +325,23 @@ class Or(Predicate):
     def evaluate(self, get: Getter) -> bool:
         return any(p.evaluate(get) for p in self.parts)
 
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        # Rows already matched by an earlier disjunct skip the rest.
+        matched: set[int] = set()
+        remaining = list(selection)
+        for part in self.parts:
+            if not remaining:
+                break
+            hits = part.evaluate_block(columns, remaining)
+            matched.update(hits)
+            if hits:
+                remaining = [i for i in remaining if i not in matched]
+        return [i for i in selection if i in matched]
+
+    def can_match(self, ranges: Ranges) -> bool:
+        return any(p.can_match(ranges) for p in self.parts)
+
     def columns(self) -> set[str]:
         out: set[str] = set()
         for part in self.parts:
@@ -203,6 +361,17 @@ class Not(Predicate):
 
     def evaluate(self, get: Getter) -> bool:
         return not self.inner.evaluate(get)
+
+    def evaluate_block(self, columns: Columns,
+                       selection: Sequence[int]) -> list[int]:
+        hits = set(self.inner.evaluate_block(columns, selection))
+        return [i for i in selection if i not in hits]
+
+    def can_match(self, ranges: Ranges) -> bool:
+        # Inverting interval logic is unsound in general (a group whose
+        # range satisfies ``inner`` may still hold rows that do not), so
+        # NOT never prunes.
+        return True
 
     def columns(self) -> set[str]:
         return self.inner.columns()

@@ -17,6 +17,23 @@ from repro.common.schema import Schema
 from repro.core.expressions import Predicate
 
 
+class _RowGetter:
+    """Reusable ``get(name)`` over one schema-ordered row.
+
+    Hoisted out of the scan loops so predicate evaluation does not
+    allocate a closure per row: callers assign ``row`` and call.
+    """
+
+    __slots__ = ("indexes", "row")
+
+    def __init__(self, indexes: dict[str, int]):
+        self.indexes = indexes
+        self.row: Sequence[Any] = ()
+
+    def __call__(self, name: str) -> Any:
+        return self.row[self.indexes[name]]
+
+
 @dataclass
 class HashTableStats:
     """Build statistics, consumed by the cost and memory models."""
@@ -52,11 +69,12 @@ class DimensionHashTable:
         aux_indexes = [schema.index_of(c) for c in aux_columns]
         pred_indexes = {name: schema.index_of(name)
                         for name in predicate.columns()}
+        getter = _RowGetter(pred_indexes)
         table: dict[Any, tuple] = {}
         for row in rows:
             if pred_indexes:
-                get = lambda name, _row=row: _row[pred_indexes[name]]
-                if not predicate.evaluate(get):
+                getter.row = row
+                if not predicate.evaluate(getter):
                     continue
             key = row[pk_index]
             if key in table:
@@ -97,6 +115,32 @@ class DimensionHashTable:
         """Return the aux tuple for ``key`` or ``None`` on join miss."""
         return self._table.get(key)
 
+    def probe_block(self, keys: Sequence[Any], selection: Sequence[int],
+                    ) -> tuple[list[int], list[tuple]]:
+        """Probe a whole column of foreign keys at selected positions.
+
+        Returns (surviving positions, their aux tuples) in one pass with
+        the dict's ``.get`` hoisted to a local — the vectorized
+        counterpart of calling :meth:`probe` per row.
+        """
+        get = self._table.get
+        positions: list[int] = []
+        aux_out: list[tuple] = []
+        add_pos = positions.append
+        add_aux = aux_out.append
+        for i in selection:
+            aux = get(keys[i])
+            if aux is not None:
+                add_pos(i)
+                add_aux(aux)
+        return positions, aux_out
+
+    def gather_aux(self, keys: Sequence[Any],
+                   selection: Sequence[int]) -> list[tuple]:
+        """Aux tuples for positions already known to hit (no filtering)."""
+        get = self._table.get
+        return [get(keys[i]) for i in selection]
+
     def __contains__(self, key: Any) -> bool:
         return key in self._table
 
@@ -132,12 +176,13 @@ def flatten_dimension(join, schemas: dict, tables: dict,
     pk_index = schema.index_of(join.dim_pk)
     pred_cols = {name: schema.index_of(name)
                  for name in join.predicate.columns()}
+    getter = _RowGetter(pred_cols)
     names = schema.names
     out: dict[Any, dict[str, Any]] = {}
     for row in rows:
         if pred_cols:
-            get = lambda name, _row=row: _row[pred_cols[name]]
-            if not join.predicate.evaluate(get):
+            getter.row = row
+            if not join.predicate.evaluate(getter):
                 continue
         flat = dict(zip(names, row))
         miss = False

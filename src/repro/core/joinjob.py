@@ -9,6 +9,16 @@ One MapReduce job executes the whole star join:
 * **combine/reduce** — merge aggregate states per group;
 * **driver** — final single-process ORDER BY.
 
+B-CIF blocks run through a **vectorized kernel pipeline** by default:
+the fact predicate filters a selection vector over whole column lists
+(:meth:`Predicate.evaluate_block`), each hash table shrinks the
+selection with one :meth:`DimensionHashTable.probe_block` pass (most
+selective table first, so doomed rows die as early as possible), and
+group keys/measures are materialized for survivors only. The row-wise
+block loop is kept behind ``clydesdale.vectorized=false`` for the
+vectorization ablation; single :class:`Record` inputs always take the
+per-row path.
+
 The :class:`MTMapRunner` replaces Hadoop's default runner: it unpacks the
 MultiCIF multi-split and feeds each thread its own reader while all
 threads share the one set of hash tables (read-only after build, so no
@@ -19,11 +29,11 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.common.errors import MapReduceError, QueryError
 from repro.common.schema import Schema
-from repro.core.expressions import TruePredicate
+from repro.core.expressions import TruePredicate, _ColumnsRowGetter
 from repro.core.hashtable import DimensionHashTable
 from repro.core.query import StarQuery
 from repro.mapreduce.api import MapRunner, Mapper, Reducer, TaskContext
@@ -40,8 +50,24 @@ KEY_PROBE_RATE = "clydesdale.rate.probe.rows.per.s.per.thread"
 KEY_BUILD_RATE = "clydesdale.rate.build.rows.per.s"
 KEY_HT_BYTES_PER_ENTRY = "clydesdale.ht.bytes.per.entry"
 KEY_LATE_MATERIALIZATION = "clydesdale.late.materialization"
+KEY_VECTORIZED = "clydesdale.vectorized"
 
 COUNTER_GROUP = "clydesdale"
+
+
+class _Tally:
+    """Per-thread probe counters, merged once at task close.
+
+    Join threads bump their own tally lock-free; the mapper's lock is
+    taken only once per thread (at registration), never per row or per
+    block.
+    """
+
+    __slots__ = ("probed", "matched")
+
+    def __init__(self) -> None:
+        self.probed = 0
+        self.matched = 0
 
 
 def configure_query(conf: JobConf, query: StarQuery, fact_schema: Schema,
@@ -86,10 +112,15 @@ class StarJoinMapper(Mapper):
         self._group_plan: list[tuple[str, int, int]] = []
         self._agg_fns: list[Callable[[Callable[[str], Any]], Any]] = []
         self._fact_pred = None
+        self._pred_is_true = False
+        self._probe_order: list[int] = []
         self._rows_probed = 0
         self._rows_matched = 0
         self._late_materialization = False
+        self._vectorized = True
         self._lock = threading.Lock()
+        self._tallies: list[_Tally] = []
+        self._local = threading.local()
 
     # -- lifecycle --------------------------------------------------------- #
 
@@ -97,14 +128,17 @@ class StarJoinMapper(Mapper):
         query, fact_schema, dim_schemas = load_query_config(context.conf)
         self.query = query
         self._fact_pred = query.fact_predicate
+        self._pred_is_true = isinstance(self._fact_pred, TruePredicate)
         self._fk_names = [j.fact_fk for j in query.joins]
         self.hash_tables = self._build_or_reuse_hash_tables(
             context, query, dim_schemas)
+        self._probe_order = self._plan_probe_order()
         self._group_plan = self._plan_group_keys(query, fact_schema,
                                                  dim_schemas)
         self._agg_fns = [self._make_agg_fn(agg) for agg in query.aggregates]
         self._late_materialization = context.conf.get_bool(
             KEY_LATE_MATERIALIZATION, False)
+        self._vectorized = context.conf.get_bool(KEY_VECTORIZED, True)
         ht_bytes = sum(
             ht.stats.estimated_bytes(
                 context.conf.get_float(KEY_HT_BYTES_PER_ENTRY, 64.0))
@@ -195,6 +229,29 @@ class StarJoinMapper(Mapper):
         expr = agg.expr
         return expr.evaluate
 
+    def _plan_probe_order(self) -> list[int]:
+        """Join indexes ordered most-selective-first (early-out ordering).
+
+        A table's expected match rate is ``entries / rows_scanned`` — the
+        fraction of the dimension its predicate kept, which (under the
+        uniform-FK assumption) is the fraction of fact rows it passes.
+        Probing the lowest rate first shrinks the selection fastest; the
+        sort is stable, so ties keep query join order.
+        """
+        def match_rate(index: int) -> float:
+            stats = self.hash_tables[index].stats
+            return stats.entries / max(1, stats.rows_scanned)
+        return sorted(range(len(self.hash_tables)), key=match_rate)
+
+    def _tally(self) -> _Tally:
+        tally = getattr(self._local, "tally", None)
+        if tally is None:
+            tally = _Tally()
+            with self._lock:
+                self._tallies.append(tally)
+            self._local.tally = tally
+        return tally
+
     # -- the probe pipeline ------------------------------------------------ #
 
     def process_record(self, get: Callable[[str], Any],
@@ -223,34 +280,100 @@ class StarJoinMapper(Mapper):
             self._map_block(value, collector)
         else:
             record = value
-            get = record.get
-            matched = self.process_record(get, collector)
-            with self._lock:
-                self._rows_probed += 1
-                self._rows_matched += 1 if matched else 0
+            matched = self.process_record(record.get, collector)
+            tally = self._tally()
+            tally.probed += 1
+            tally.matched += 1 if matched else 0
 
     def _map_block(self, block: RowBlock, collector: OutputCollector,
                    ) -> None:
-        if self._late_materialization:
+        if self._vectorized:
+            matched = self._map_block_kernels(block, collector)
+        elif self._late_materialization:
             matched = self._map_block_late(block, collector)
         else:
             matched = self._map_block_eager(block, collector)
-        with self._lock:
-            self._rows_probed += block.num_rows
-            self._rows_matched += matched
+        tally = self._tally()
+        tally.probed += block.num_rows
+        tally.matched += matched
+
+    def _map_block_kernels(self, block: RowBlock,
+                           collector: OutputCollector) -> int:
+        """Vectorized pipeline: selection vector in, survivors out.
+
+        The fact predicate and every hash-table probe each make one pass
+        over raw column lists, shrinking the shared selection vector;
+        probes run most-selective-first and the whole block bails as
+        soon as the selection empties. Like the late-materialization
+        path, group keys and measures are only materialized for final
+        survivors — vectorization subsumes late reconstruction.
+        """
+        columns = block.columns
+        selection: Sequence[int] = range(block.num_rows)
+        if not self._pred_is_true:
+            selection = self._fact_pred.evaluate_block(columns, selection)
+            if not selection:
+                return 0
+        tables = self.hash_tables
+        fk_names = self._fk_names
+        aux_by_join: list[list[tuple]] = [()] * len(tables)
+        order = self._probe_order
+        for join_index in order:
+            selection, aux = tables[join_index].probe_block(
+                columns[fk_names[join_index]], selection)
+            if not selection:
+                return 0
+            aux_by_join[join_index] = aux
+        # Each probe's aux list is aligned with the selection *it*
+        # produced; later shrinks invalidate earlier lists, so re-gather
+        # them (cheap: final survivors only) for every probe but the last.
+        for join_index in order[:-1]:
+            aux_by_join[join_index] = tables[join_index].gather_aux(
+                columns[fk_names[join_index]], selection)
+        self._emit_block(block, selection, aux_by_join, collector)
+        return len(selection)
+
+    def _emit_block(self, block: RowBlock, selection: Sequence[int],
+                    aux_by_join: Sequence[Sequence[tuple]],
+                    collector: OutputCollector) -> None:
+        """Materialize group keys and measures for surviving positions.
+
+        Subclasses that emit something other than (group-key, aggregate
+        contributions) — e.g. the multipass partial join — override this
+        hook; the selection/probe kernels above are shared.
+        """
+        columns = block.columns
+        group_by = self.query.group_by
+        plan = self._group_plan
+        agg_fns = self._agg_fns
+        getter = _ColumnsRowGetter(columns)
+        collect = collector.collect
+        for k, i in enumerate(selection):
+            getter.row = i
+            group_key = tuple(
+                columns[group_by[position]][i] if source == "fact"
+                else aux_by_join[join_index][k][aux_index]
+                for position, (source, join_index, aux_index)
+                in enumerate(plan))
+            values = tuple(fn(getter) for fn in agg_fns)
+            collect(group_key, values)
 
     def _map_block_eager(self, block: RowBlock,
                          collector: OutputCollector) -> int:
+        """Row-wise fallback (``clydesdale.vectorized=false`` ablation)."""
         columns = block.columns
+        getter = _ColumnsRowGetter(columns)
+        process = self.process_record
         matched = 0
         for i in range(block.num_rows):
-            get = lambda name, _i=i: columns[name][_i]
-            matched += 1 if self.process_record(get, collector) else 0
+            getter.row = i
+            matched += 1 if process(getter, collector) else 0
         return matched
 
     def _map_block_late(self, block: RowBlock,
                         collector: OutputCollector) -> int:
-        """Late tuple reconstruction (paper 5.3's future-work idea).
+        """Row-wise late tuple reconstruction (paper 5.3's future-work
+        idea), kept as the vectorization-off ablation arm.
 
         Phase 1 touches only the predicate and foreign-key columns,
         collecting the positions (and probed aux tuples) of surviving
@@ -260,15 +383,17 @@ class StarJoinMapper(Mapper):
         """
         columns = block.columns
         pred = self._fact_pred
+        check_pred = not self._pred_is_true
         fk_lists = [columns[name] for name in self._fk_names]
         tables = self.hash_tables
+        getter = _ColumnsRowGetter(columns)
 
         survivors: list[int] = []
         survivor_aux: list[list[tuple]] = []
         for i in range(block.num_rows):
-            if not isinstance(pred, TruePredicate):
-                get = lambda name, _i=i: columns[name][_i]
-                if not pred.evaluate(get):
+            if check_pred:
+                getter.row = i
+                if not pred.evaluate(getter):
                     continue
             aux_values = []
             miss = False
@@ -287,18 +412,22 @@ class StarJoinMapper(Mapper):
         plan = self._group_plan
         agg_fns = self._agg_fns
         for i, aux_values in zip(survivors, survivor_aux):
-            get = lambda name, _i=i: columns[name][_i]
+            getter.row = i
             group_key = tuple(
-                get(group_by[position]) if source == "fact"
+                columns[group_by[position]][i] if source == "fact"
                 else aux_values[join_index][aux_index]
                 for position, (source, join_index, aux_index)
                 in enumerate(plan))
-            values = tuple(fn(get) for fn in agg_fns)
+            values = tuple(fn(getter) for fn in agg_fns)
             collector.collect(group_key, values)
         return len(survivors)
 
     def close(self, collector: OutputCollector,
               context: TaskContext) -> None:
+        with self._lock:
+            self._rows_probed += sum(t.probed for t in self._tallies)
+            self._rows_matched += sum(t.matched for t in self._tallies)
+            self._tallies.clear()
         probe_rate = context.conf.get_float(KEY_PROBE_RATE, 762_000.0)
         context.charge(self._rows_probed
                        / (probe_rate * max(1, context.threads)))

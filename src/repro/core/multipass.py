@@ -124,6 +124,21 @@ class PartialJoinMapper(StarJoinMapper):
         collector.collect(None, row)
         return True
 
+    def _emit_block(self, block, selection, aux_by_join,
+                    collector: OutputCollector) -> None:
+        """Vectorized-path hook: emit flattened rows, not aggregates."""
+        columns = block.columns
+        tables = self.hash_tables
+        out_names = self._output_names
+        collect = collector.collect
+        for k, i in enumerate(selection):
+            flattened: dict[str, Any] = {}
+            for table, aux_list in zip(tables, aux_by_join):
+                flattened.update(zip(table.aux_columns, aux_list[k]))
+            row = tuple(flattened[n] if n in flattened else columns[n][i]
+                        for n in out_names)
+            collect(None, row)
+
 
 def execute_multipass(fs: MiniDFS, catalog: Catalog, cluster: ClusterSpec,
                       cost_model: CostModel, features: ClydesdaleFeatures,
@@ -258,11 +273,12 @@ def _pass_conf(sub_query: StarQuery, input_dir: str, is_cif: bool,
                input_schema: Schema, cluster: ClusterSpec,
                cost_model: CostModel, features: ClydesdaleFeatures,
                dim_schemas: dict[str, Schema]) -> JobConf:
-    from repro.core.joinjob import MTMapRunner
+    from repro.core.joinjob import KEY_VECTORIZED, MTMapRunner
     from repro.mapreduce.scheduler import CapacityScheduler, FifoScheduler
 
     conf = JobConf(f"clydesdale:{sub_query.name}")
     conf.set_input_paths(input_dir)
+    conf.set(KEY_VECTORIZED, features.vectorized)
     if is_cif:
         conf.input_format = (MultiColumnInputFormat()
                              if features.multithreaded

@@ -11,13 +11,17 @@ ablation.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from repro.common.errors import PlanningError
 from repro.common.units import MB
+from repro.core.expressions import And, Between, Predicate, TruePredicate
+from repro.core.hashtable import flatten_dimension
 from repro.core.joinjob import (
     KEY_BUILD_RATE,
     KEY_HT_BYTES_PER_ENTRY,
     KEY_PROBE_RATE,
+    KEY_VECTORIZED,
     MTMapRunner,
     StarJoinCombiner,
     StarJoinMapper,
@@ -25,6 +29,7 @@ from repro.core.joinjob import (
     configure_query,
 )
 from repro.core.query import StarQuery
+from repro.hdfs.filesystem import MiniDFS
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.outputformat import CollectingOutputFormat
 from repro.mapreduce.scheduler import CapacityScheduler, FifoScheduler
@@ -33,6 +38,7 @@ from repro.sim.hardware import ClusterSpec
 from repro.ssb.loader import Catalog
 from repro.storage.cif import ColumnInputFormat
 from repro.storage.multicif import MultiColumnInputFormat
+from repro.storage.rowformat import read_row_table
 from repro.storage.tablemeta import FORMAT_CIF
 
 
@@ -52,13 +58,20 @@ class ClydesdaleFeatures:
     #: Paper 5.3's future-work idea, implemented opt-in: probe FK columns
     #: first, materialize measures/group keys only for surviving rows.
     late_materialization: bool = False
+    #: Selection-vector kernels over B-CIF blocks (off = row-at-a-time
+    #: block loop; single-record inputs are always row-at-a-time).
+    vectorized: bool = True
+    #: Row-group skipping from per-group min/max statistics.
+    zone_maps: bool = True
 
     def describe(self) -> str:
         off = [name for name, on in (
             ("columnar", self.columnar),
             ("multithreaded", self.multithreaded),
             ("block-iteration", self.block_iteration),
-            ("jvm-reuse", self.jvm_reuse)) if not on]
+            ("jvm-reuse", self.jvm_reuse),
+            ("vectorized", self.vectorized),
+            ("zone-maps", self.zone_maps)) if not on]
         return "all features on" if not off else f"disabled: {', '.join(off)}"
 
 
@@ -118,11 +131,78 @@ def fact_scan_columns(query: StarQuery, catalog: Catalog) -> list[str]:
     return columns
 
 
+# Per-filesystem cache of derived pruning predicates: scanning the
+# (small) dimension tables once per distinct join shape is cheap, doing
+# it on every plan of a repeated query is not.
+_ZONEMAP_PRED_CACHE: "WeakKeyDictionary[MiniDFS, dict]" = \
+    WeakKeyDictionary()
+
+
+def derive_zonemap_predicate(query: StarQuery, catalog: Catalog,
+                             fs: MiniDFS) -> Predicate | None:
+    """The strongest predicate zone maps can prune row groups with.
+
+    Combines the query's own fact predicate with *implied* FK-range
+    predicates (a semi-join reduction): for each dimension join whose
+    branch carries a predicate, scan the dimension at plan time, collect
+    the qualifying primary keys, and emit
+    ``Between(fact_fk, min(keys), max(keys))`` — every matching fact row
+    must carry one of those keys. The result is used only for its
+    :meth:`~repro.core.expressions.Predicate.can_match` interval test
+    (never evaluated per row), so a range that over-approximates the key
+    set is safe. Returns ``None`` when nothing useful can be derived.
+    """
+    parts: list[Predicate] = []
+    if not isinstance(query.fact_predicate, TruePredicate):
+        parts.append(query.fact_predicate)
+    for join in query.joins:
+        if _branch_is_trivial(join):
+            continue
+        cached = _cached_fk_range(join, catalog, fs)
+        if cached is not None:
+            parts.append(cached)
+    if not parts:
+        return None
+    return parts[0] if len(parts) == 1 else And(parts)
+
+
+def _branch_is_trivial(join) -> bool:
+    """True when no predicate anywhere in the branch filters rows."""
+    return (isinstance(join.predicate, TruePredicate)
+            and all(_branch_is_trivial(sub) for sub in join.snowflake))
+
+
+def _cached_fk_range(join, catalog: Catalog,
+                     fs: MiniDFS) -> Predicate | None:
+    import json
+    per_fs = _ZONEMAP_PRED_CACHE.setdefault(fs, {})
+    key = (catalog.meta(join.dimension).directory,
+           json.dumps(join.to_dict(), sort_keys=True))
+    if key in per_fs:
+        return per_fs[key]
+    schemas = {t: catalog.meta(t).schema for t in join.all_tables()}
+    tables = {t: read_row_table(fs, catalog.meta(t).directory)
+              for t in join.all_tables()}
+    qualifying = flatten_dimension(join, schemas, tables)
+    # An empty qualifying set means the whole query is empty; Between
+    # cannot express it, so derive nothing (pruning is best-effort).
+    derived = (Between(join.fact_fk, min(qualifying), max(qualifying))
+               if qualifying else None)
+    per_fs[key] = derived
+    return derived
+
+
 def plan_star_join(query: StarQuery, catalog: Catalog,
                    cluster: ClusterSpec, cost_model: CostModel,
                    features: ClydesdaleFeatures,
+                   fs: MiniDFS | None = None,
                    ) -> tuple[JobConf, CollectingOutputFormat]:
-    """Build the ready-to-run JobConf for a star query."""
+    """Build the ready-to-run JobConf for a star query.
+
+    ``fs`` (the filesystem holding the tables) enables zone-map planning:
+    without it no pruning predicate can be derived, which only costs
+    performance, never correctness.
+    """
     validate_query(query, catalog)
     fact_meta = catalog.meta(query.fact_table)
     if fact_meta.format != FORMAT_CIF:
@@ -146,9 +226,15 @@ def plan_star_join(query: StarQuery, catalog: Catalog,
     # "turning off columnar storage").
 
     conf.set("cif.block.iteration", features.block_iteration)
+    conf.set(KEY_VECTORIZED, features.vectorized)
     if features.late_materialization:
         from repro.core.joinjob import KEY_LATE_MATERIALIZATION
         conf.set(KEY_LATE_MATERIALIZATION, True)
+
+    if features.zone_maps and fs is not None:
+        pruner = derive_zonemap_predicate(query, catalog, fs)
+        if pruner is not None:
+            ColumnInputFormat.set_zonemap_filter(conf, pruner)
 
     if features.multithreaded:
         conf.input_format = MultiColumnInputFormat()

@@ -48,9 +48,10 @@ def append_fact_rows(fs: MiniDFS, meta: TableMeta,
     dictionary = bool(meta.extras.get("dictionary", True))
     for start in range(0, len(rows), size):
         chunk = rows[start:start + size]
-        write_row_group(fs, meta.directory, meta.schema, next_id, chunk,
-                        dictionary=dictionary)
-        groups.append({"id": next_id, "rows": len(chunk)})
+        zonemap = write_row_group(fs, meta.directory, meta.schema,
+                                  next_id, chunk, dictionary=dictionary)
+        groups.append({"id": next_id, "rows": len(chunk),
+                       "zonemap": zonemap})
         next_id += 1
     meta.num_rows += len(rows)
     meta.extras["groups"] = groups

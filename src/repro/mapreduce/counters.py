@@ -21,6 +21,7 @@ class Counters:
     GROUP_HDFS = "hdfs"
     GROUP_SHUFFLE = "shuffle"
     GROUP_JOB = "job"
+    GROUP_STORAGE = "storage"
 
     def __init__(self) -> None:
         self._data: dict[str, dict[str, int]] = defaultdict(

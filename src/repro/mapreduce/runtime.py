@@ -91,6 +91,12 @@ class JobRunner:
 
         cache_report = self._localize_cache(job, breakdown)
         splits = job.input_format.get_splits(self.fs, job)
+        prune_report = getattr(job.input_format, "last_prune_report", None)
+        if prune_report and prune_report.get("rowgroups_pruned"):
+            counters.increment(Counters.GROUP_STORAGE, "rowgroups_pruned",
+                               prune_report["rowgroups_pruned"])
+            counters.increment(Counters.GROUP_STORAGE, "rows_skipped",
+                               prune_report.get("rows_skipped", 0))
         if not splits:
             raise JobFailedError(f"job {job.name!r}: input has no splits")
         scheduler = job.scheduler or FifoScheduler()

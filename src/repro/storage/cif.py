@@ -17,6 +17,14 @@ are read — unused columns cost zero I/O.
 B-CIF layers *block iteration* on the same data: the record reader
 returns a :class:`RowBlock` (a batch of column vectors) per call instead
 of one row, amortizing per-record framework overhead.
+
+Writers also record a **zone map** per row group — each column's
+min/max — in the group descriptor. When a job pushes a pruning
+predicate into the format (``cif.zonemap.filter``, a serialized
+:class:`~repro.core.expressions.Predicate`), ``get_splits`` drops row
+groups whose zone maps prove no row can match, before a single column
+byte is read. Pruning is strictly conservative: groups without stats
+(old tables, stale metadata) are always kept.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from repro.storage.tablemeta import FORMAT_CIF, TableMeta
 KEY_CIF_COLUMNS = "cif.columns"
 KEY_BLOCK_ITERATION = "cif.block.iteration"
 KEY_BLOCK_ROWS = "cif.block.rows"
+KEY_ZONEMAP_FILTER = "cif.zonemap.filter"
 
 DEFAULT_ROW_GROUP_SIZE = 50_000
 DEFAULT_BLOCK_ROWS = 1024
@@ -66,9 +75,10 @@ def write_cif_table(fs: MiniDFS, name: str, directory: str, schema: Schema,
     for start in range(0, max(1, len(rows)), row_group_size):
         chunk = rows[start:start + row_group_size]
         group = start // row_group_size
-        write_row_group(fs, directory, schema, group, chunk,
-                        dictionary=dictionary)
-        groups.append({"id": group, "rows": len(chunk)})
+        zonemap = write_row_group(fs, directory, schema, group, chunk,
+                                  dictionary=dictionary)
+        groups.append({"id": group, "rows": len(chunk),
+                       "zonemap": zonemap})
     meta = TableMeta(name=name, directory=directory, schema=schema,
                      format=FORMAT_CIF, num_rows=len(rows),
                      row_group_size=row_group_size,
@@ -80,19 +90,24 @@ def write_cif_table(fs: MiniDFS, name: str, directory: str, schema: Schema,
 
 def write_row_group(fs: MiniDFS, directory: str, schema: Schema,
                     group: int, chunk: Sequence[Sequence],
-                    dictionary: bool = True) -> None:
+                    dictionary: bool = True) -> dict[str, list]:
     """Write one row group's column files (used by writes and roll-in).
 
     String columns are dictionary-encoded when that is smaller (paper
     section 8's storage-organization direction); see
-    :mod:`repro.storage.dictionary`.
+    :mod:`repro.storage.dictionary`. Returns the group's zone map so
+    callers can record it in the table metadata.
     """
+    zonemap: dict[str, list] = {}
     for col_index, column in enumerate(schema.columns):
         values = [row[col_index] for row in chunk]
         data = encode_cif_column(column.dtype, values,
                                  dictionary=dictionary)
         fs.write_file(column_path(directory, group, column.name), data,
                       overwrite=True)
+        if values:
+            zonemap[column.name] = [min(values), max(values)]
+    return zonemap
 
 
 def group_descriptors(meta: TableMeta) -> list[dict]:
@@ -254,10 +269,22 @@ class ColumnInputFormat(InputFormat):
 
     * ``cif.columns`` — JSON list of column names to read (default: all);
     * ``cif.block.iteration`` — return :class:`RowBlock` batches (B-CIF);
-    * ``cif.block.rows`` — batch size for block iteration.
+    * ``cif.block.rows`` — batch size for block iteration;
+    * ``cif.zonemap.filter`` — serialized predicate for row-group
+      pruning (see :meth:`set_zonemap_filter`).
+
+    After ``get_splits``, :attr:`last_prune_report` holds
+    ``{"rowgroups_pruned", "rows_skipped"}`` for the runtime's counters.
     """
 
+    def __init__(self) -> None:
+        self.last_prune_report: dict[str, int] = {
+            "rowgroups_pruned": 0, "rows_skipped": 0}
+
     def get_splits(self, fs: MiniDFS, conf: JobConf) -> list[InputSplit]:
+        pruner = self._zonemap_filter(conf)
+        pruned_groups = 0
+        pruned_rows = 0
         splits: list[InputSplit] = []
         for directory in conf.input_paths():
             meta = TableMeta.load(fs, directory)
@@ -265,10 +292,23 @@ class ColumnInputFormat(InputFormat):
                 raise StorageError(
                     f"{directory} is {meta.format}, not CIF")
             columns = self._projected_columns(conf, meta.schema)
+            kept: list[CIFSplit] = []
+            pruned: list[CIFSplit] = []
             base = 0
             for descriptor in group_descriptors(meta):
                 group = descriptor["id"]
                 num_rows = descriptor["rows"]
+                prune = (pruner is not None
+                         and self._can_prune(pruner, descriptor))
+                if prune:
+                    # Global row ids must stay stable, so base still
+                    # advances past the skipped group.
+                    pruned.append(CIFSplit(
+                        directory=directory, group=group, base_row=base,
+                        num_rows=num_rows, columns=columns, length=0,
+                        hosts=()))
+                    base += num_rows
+                    continue
                 length = 0
                 hosts: tuple[str, ...] = ()
                 for name in columns:
@@ -277,12 +317,59 @@ class ColumnInputFormat(InputFormat):
                     if not hosts:
                         locations = fs.block_locations(path)
                         hosts = locations[0].hosts if locations else ()
-                splits.append(CIFSplit(
+                kept.append(CIFSplit(
                     directory=directory, group=group, base_row=base,
                     num_rows=num_rows, columns=columns, length=length,
                     hosts=hosts))
                 base += num_rows
+            if not kept and pruned:
+                # An all-pruned table would leave the job with no input
+                # splits (the runtime treats that as a failure); keep the
+                # smallest group — the mapper re-filters, so the result
+                # is still correct (and empty).
+                keep = min(pruned, key=lambda s: s.num_rows)
+                pruned.remove(keep)
+                length = 0
+                hosts = ()
+                for name in columns:
+                    path = column_path(directory, keep.group, name)
+                    length += fs.file_length(path)
+                    if not hosts:
+                        locations = fs.block_locations(path)
+                        hosts = locations[0].hosts if locations else ()
+                kept.append(CIFSplit(
+                    directory=directory, group=keep.group,
+                    base_row=keep.base_row, num_rows=keep.num_rows,
+                    columns=columns, length=length, hosts=hosts))
+            pruned_groups += len(pruned)
+            pruned_rows += sum(s.num_rows for s in pruned)
+            splits.extend(kept)
+        self.last_prune_report = {"rowgroups_pruned": pruned_groups,
+                                  "rows_skipped": pruned_rows}
         return splits
+
+    @staticmethod
+    def _zonemap_filter(conf: JobConf):
+        raw = conf.get(KEY_ZONEMAP_FILTER)
+        if raw is None:
+            return None
+        from repro.core.expressions import predicate_from_dict
+        return predicate_from_dict(json.loads(raw))
+
+    @staticmethod
+    def _can_prune(pruner, descriptor: dict) -> bool:
+        """True only when the zone map *proves* no row can match."""
+        zonemap = descriptor.get("zonemap")
+        if not isinstance(zonemap, dict):
+            return False  # no/stale stats: never prune
+        ranges = {}
+        for name, bounds in zonemap.items():
+            try:
+                lo, hi = bounds
+            except (TypeError, ValueError):
+                continue  # malformed entry: treat column as unbounded
+            ranges[name] = (lo, hi)
+        return not pruner.can_match(ranges)
 
     def get_record_reader(self, fs: MiniDFS, split: InputSplit,
                           conf: JobConf,
@@ -312,3 +399,14 @@ class ColumnInputFormat(InputFormat):
     def set_projection(conf: JobConf, columns: Sequence[str]) -> None:
         """Push the query's column list into the format (paper 4.2)."""
         conf.set(KEY_CIF_COLUMNS, json.dumps(list(columns)))
+
+    @staticmethod
+    def set_zonemap_filter(conf: JobConf, predicate) -> None:
+        """Push a row-group pruning predicate into the format.
+
+        ``predicate`` is any :class:`~repro.core.expressions.Predicate`;
+        only its :meth:`can_match` interval test is used, so it may be a
+        plan-time *implied* predicate (e.g. an FK range derived from a
+        dimension filter) that the mapper never evaluates row-by-row.
+        """
+        conf.set(KEY_ZONEMAP_FILTER, json.dumps(predicate.to_dict()))
