@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 verification: project static analysis, pyflakes (when
+# available), and the full test suite. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro.analyze =="
+python -m repro.analyze --fail-on=error \
+    --baseline scripts/analyze_baseline.json
+
+echo "== pyflakes =="
+if python -c "import pyflakes" 2>/dev/null; then
+    # Compare against the committed baseline so pre-existing noise does
+    # not fail the build while new findings do.
+    pyflakes_out=$(python -m pyflakes src/ 2>&1 || true)
+    baseline_file=scripts/pyflakes-baseline.txt
+    new_findings=$(comm -23 <(sort -u <<<"$pyflakes_out" | sed '/^$/d') \
+                            <(sort -u "$baseline_file"))
+    if [ -n "$new_findings" ]; then
+        echo "new pyflakes findings (not in $baseline_file):"
+        echo "$new_findings"
+        exit 1
+    fi
+    echo "pyflakes clean against baseline"
+else
+    echo "pyflakes not installed; skipping (analysis still ran above)"
+fi
+
+echo "== pytest =="
+python -m pytest tests/ -q

@@ -1,0 +1,38 @@
+"""Project-specific static analysis and runtime sanitizers.
+
+``python -m repro.analyze`` runs four AST passes over ``src/repro``:
+
+* :mod:`repro.analyze.race` — unguarded shared-state writes reachable
+  from the threaded join hot path;
+* :mod:`repro.analyze.registry` — config keys and counters must be
+  registered in :mod:`repro.common.keys`;
+* :mod:`repro.analyze.flags` — feature flags need defaults and a
+  DESIGN.md mention;
+* :mod:`repro.analyze.contracts` — public APIs raise repro error types
+  and never swallow exceptions.
+
+:mod:`repro.analyze.sanitizer` is the runtime half: hash-table freeze
+proxies enabled by the ``clydesdale.sanitizer`` flag.
+"""
+
+from repro.analyze.findings import Finding, Severity, render_json, render_text
+from repro.analyze.framework import (AnalysisContext, AnalysisPass, Analyzer,
+                                     Baseline, SourceModule, find_repo_root,
+                                     load_project)
+
+
+def default_passes():
+    """The standard pass suite, instantiated fresh."""
+    from repro.analyze.contracts import ExceptionContractPass
+    from repro.analyze.flags import FeatureFlagPass
+    from repro.analyze.race import RaceLintPass
+    from repro.analyze.registry import StringKeyRegistryPass
+    return [RaceLintPass(), StringKeyRegistryPass(), FeatureFlagPass(),
+            ExceptionContractPass()]
+
+
+__all__ = [
+    "AnalysisContext", "AnalysisPass", "Analyzer", "Baseline", "Finding",
+    "Severity", "SourceModule", "default_passes", "find_repo_root",
+    "load_project", "render_json", "render_text",
+]

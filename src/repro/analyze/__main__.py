@@ -1,0 +1,90 @@
+"""CLI: ``python -m repro.analyze [--fail-on=error] [--format=text]``.
+
+Exit codes: 0 — no finding at or above the fail threshold; 1 — at
+least one such finding; 2 — usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analyze import (Analyzer, Baseline, Severity, default_passes,
+                           find_repo_root, load_project, render_json,
+                           render_text)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analyze",
+        description="Run the project's static-analysis pass suite.")
+    parser.add_argument(
+        "--root", type=Path, default=None,
+        help="repo root to analyze (default: auto-detected checkout)")
+    parser.add_argument(
+        "--fail-on", default="error", metavar="SEVERITY",
+        help="exit 1 when a finding is at least this severe: "
+             "note, warning, error, or 'never' (default: error)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="JSON baseline of suppressed findings "
+             "(default: scripts/analyze_baseline.json under the root, "
+             "if present)")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.fail_on == "never":
+        threshold = None
+    else:
+        try:
+            threshold = Severity.parse(args.fail_on)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    root = args.root if args.root is not None else find_repo_root()
+    if not (root / "src" / "repro").is_dir():
+        print(f"error: {root} does not look like a repo checkout "
+              f"(no src/repro/)", file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = root / "scripts" / "analyze_baseline.json"
+        baseline_path = candidate if candidate.exists() else None
+    try:
+        baseline = (Baseline.load(baseline_path)
+                    if baseline_path is not None else Baseline())
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read baseline {baseline_path}: {exc}",
+              file=sys.stderr)
+        return 2
+
+    context = load_project(root)
+    findings = Analyzer(default_passes(), baseline).run(context)
+
+    if args.format == "json":
+        print(render_json(findings))
+    elif findings:
+        print(render_text(findings))
+    n_errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+    n_warnings = sum(1 for f in findings if f.severity == Severity.WARNING)
+    if args.format == "text":
+        print(f"repro.analyze: {len(context.modules)} files, "
+              f"{len(findings)} finding(s) "
+              f"({n_errors} error(s), {n_warnings} warning(s))")
+
+    if threshold is not None and any(f.severity >= threshold
+                                     for f in findings):
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,130 @@
+"""Exception-contract lint for the public ``core``/``mapreduce`` APIs.
+
+Callers of the simulator catch :class:`repro.common.errors.ReproError`
+subtypes; an API that raises a bare ``ValueError`` or silently eats an
+exception breaks that contract invisibly. Inside ``repro/core/`` and
+``repro/mapreduce/`` this pass flags:
+
+* ``EXC001`` — bare ``except:`` (catches ``KeyboardInterrupt`` too);
+* ``EXC002`` — ``except Exception`` (or ``BaseException``) whose body
+  neither re-raises nor uses the bound exception — a silent swallow;
+* ``EXC003`` — ``raise`` of a builtin exception type instead of a
+  :mod:`repro.common.errors` type.
+
+``NotImplementedError``, ``AssertionError``, ``StopIteration``, and
+``KeyboardInterrupt`` stay allowed: they are control-flow or programmer
+errors, not API results. Using the bound name in any way (logging it,
+wrapping it, attaching it as a cause) counts as handling.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import AnalysisContext, AnalysisPass, SourceModule
+
+#: Builtin exceptions whose direct raise is fine anywhere.
+ALLOWED_BUILTINS = frozenset({
+    "NotImplementedError", "AssertionError", "StopIteration",
+    "StopAsyncIteration", "KeyboardInterrupt", "SystemExit",
+})
+
+_BUILTIN_EXCEPTIONS = frozenset(
+    name for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException))
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+class ExceptionContractPass(AnalysisPass):
+    """Flags contract-breaking raise/except patterns in public APIs."""
+
+    pass_id = "contracts"
+    description = ("public core/mapreduce APIs must raise repro error "
+                   "types and never swallow exceptions")
+
+    DEFAULT_SCOPES = ("repro/core/", "repro/mapreduce/")
+
+    def __init__(self, scopes: tuple[str, ...] | None = None):
+        self.scopes = tuple(scopes) if scopes else self.DEFAULT_SCOPES
+
+    def run(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for mod in context.modules:
+            if mod.tree is None:
+                continue
+            if not any(scope in mod.path for scope in self.scopes):
+                continue
+            findings.extend(self._check_module(mod))
+        return findings
+
+    def _check_module(self, mod: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ExceptHandler):
+                findings.extend(self._check_handler(mod, node))
+            elif isinstance(node, ast.Raise):
+                findings.extend(self._check_raise(mod, node))
+        return findings
+
+    def _check_handler(self, mod: SourceModule,
+                       handler: ast.ExceptHandler) -> list[Finding]:
+        if handler.type is None:
+            return [self.finding(
+                mod, handler, "EXC001",
+                "bare 'except:' catches KeyboardInterrupt and SystemExit; "
+                "name the exception type")]
+        caught = self._caught_names(handler.type)
+        if not (caught & _BROAD):
+            return []
+        if self._handler_is_meaningful(handler):
+            return []
+        what = " / ".join(sorted(caught & _BROAD))
+        return [self.finding(
+            mod, handler, "EXC002",
+            f"'except {what}' swallows the exception: the handler neither "
+            f"re-raises nor uses the bound exception")]
+
+    @staticmethod
+    def _caught_names(node: ast.AST) -> set[str]:
+        names: set[str] = set()
+        items = node.elts if isinstance(node, ast.Tuple) else [node]
+        for item in items:
+            if isinstance(item, ast.Name):
+                names.add(item.id)
+            elif isinstance(item, ast.Attribute):
+                names.add(item.attr)
+        return names
+
+    @staticmethod
+    def _handler_is_meaningful(handler: ast.ExceptHandler) -> bool:
+        """True when the handler re-raises or uses the bound exception."""
+        bound = handler.name
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (bound and isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id == bound):
+                return True
+        return False
+
+    def _check_raise(self, mod: SourceModule,
+                     node: ast.Raise) -> list[Finding]:
+        exc = node.exc
+        if exc is None:          # re-raise, always fine
+            return []
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if not isinstance(exc, ast.Name):
+            return []
+        name = exc.id
+        if name not in _BUILTIN_EXCEPTIONS or name in ALLOWED_BUILTINS:
+            return []
+        return [self.finding(
+            mod, node, "EXC003",
+            f"public API raises builtin {name}; raise a "
+            f"repro.common.errors type (e.g. ValidationError) instead")]

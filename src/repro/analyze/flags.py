@@ -1,0 +1,91 @@
+"""Feature-flag lint: every flag must have a registered default and a
+paper trail.
+
+A feature flag read with an inline default (``conf.get_bool("x", True)``
+in one file, ``False`` in another) silently forks behavior between call
+sites; a flag nobody documented is a flag nobody will ever clean up.
+This pass enforces the two-part contract:
+
+* ``FLAG001`` — a flag registered in :mod:`repro.common.keys` has no
+  default, or its key string never appears in ``DESIGN.md``;
+* ``FLAG002`` — a ``get_bool(...)`` call site reads a key that is not
+  registered as a feature flag (resolved through literals and registry
+  constants, same machinery as the string-key lint).
+
+``get_bool`` reads of non-dotted strings are ignored (plain dict-like
+options objects), matching the registry lint's scope rule.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analyze.findings import Finding
+from repro.analyze.framework import AnalysisContext, AnalysisPass, SourceModule
+from repro.analyze.registry import StringKeyRegistryPass
+from repro.common import keys as default_registry
+
+
+class FeatureFlagPass(AnalysisPass):
+    """Checks feature-flag registration, defaults, and documentation."""
+
+    pass_id = "flags"
+    description = ("feature flags must be registered with defaults and "
+                   "documented in DESIGN.md")
+
+    def __init__(self, registry=None, flags: dict | None = None):
+        self.registry = registry or default_registry
+        # Fixture override: {key_name: ConfigKey-like with .default}.
+        self.flags = flags if flags is not None else self.registry.feature_flags()
+        self._resolver = StringKeyRegistryPass(registry=self.registry,
+                                               check_unused=False)
+
+    def run(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        findings.extend(self._check_registrations(context))
+        for mod in context.modules:
+            if mod.tree is None:
+                continue
+            if mod.path.endswith(StringKeyRegistryPass.REGISTRY_PATH_SUFFIX):
+                continue
+            findings.extend(self._check_reads(mod))
+        return findings
+
+    def _check_registrations(self, context: AnalysisContext) -> list[Finding]:
+        registry_mod = context.module(
+            StringKeyRegistryPass.REGISTRY_PATH_SUFFIX)
+        if registry_mod is None:
+            registry_mod = SourceModule(path="repro/common/keys.py", text="")
+        findings: list[Finding] = []
+        for name, key in sorted(self.flags.items()):
+            if key.default is None:
+                findings.append(self.finding(
+                    registry_mod, None, "FLAG001",
+                    f"feature flag {name!r} is registered without a "
+                    f"default value"))
+            if name not in context.design_text:
+                findings.append(self.finding(
+                    registry_mod, None, "FLAG001",
+                    f"feature flag {name!r} is not mentioned in DESIGN.md"))
+        return findings
+
+    def _check_reads(self, mod: SourceModule) -> list[Finding]:
+        findings: list[Finding] = []
+        env = self._resolver._module_env(mod.tree)
+        for node in ast.walk(mod.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "get_bool"
+                    and node.args):
+                continue
+            key = self._resolver._resolve(node.args[0], env)
+            if not isinstance(key, str) or type(key) is not str:
+                continue
+            if "." not in key:
+                continue
+            if key not in self.flags:
+                findings.append(self.finding(
+                    mod, node, "FLAG002",
+                    f"get_bool reads {key!r}, which is not registered as "
+                    f"a feature flag in repro.common.keys"))
+        return findings

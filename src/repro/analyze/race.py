@@ -1,0 +1,310 @@
+"""Shared-state race lint (paper section 4.2's "no locks needed" claim).
+
+Clydesdale's join threads share one set of dimension hash tables and the
+mapper object itself; correctness rests on two conventions the code
+states only in comments: shared state is read-only on the hot path, and
+per-thread tallies touch the mapper lock once at registration, never per
+row. This pass machine-checks those conventions.
+
+It builds a per-module call graph, computes the set of functions
+reachable from the threaded entry points (``join_thread`` and the
+``map``/``process_record`` hot path), and inside that set flags:
+
+* ``RACE001`` — writes to module globals (via ``global`` declaration);
+* ``RACE002`` — writes to ``self.`` attributes, including subscript
+  stores and calls to mutating container methods;
+* ``RACE003`` — mutating calls on closure variables of a thread body or
+  on module globals.
+
+A write is allowed when it is lexically inside a ``with`` block whose
+context expression names a lock (identifier containing ``lock``), or
+when it goes through the thread-local tally pattern (an attribute chain
+passing through a name containing ``local``).
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass, field
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import AnalysisContext, AnalysisPass, SourceModule
+
+#: Method names that mutate their receiver in place.
+MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "remove", "discard",
+    "pop", "popitem", "clear", "setdefault", "sort", "reverse",
+    "appendleft", "extendleft",
+})
+
+_BUILTIN_NAMES = frozenset(dir(builtins))
+
+
+@dataclass
+class _Func:
+    """One function or method, flattened out of the module AST."""
+
+    qualname: str                  # e.g. "MTMapRunner.run.join_thread"
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    cls: str | None                # enclosing class name, if a method
+    parent: str | None             # enclosing function qualname, if nested
+    locals: set[str] = field(default_factory=set)
+    global_decls: set[str] = field(default_factory=set)
+    calls: set[str] = field(default_factory=set)  # resolved qualnames
+
+
+def _own_statements(node: ast.AST):
+    """Child statements of ``node`` excluding nested function/class
+    bodies (those are separate scopes/nodes)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            continue
+        yield child
+        yield from _own_statements(child)
+
+
+def _collect_locals(func: _Func) -> None:
+    args = func.node.args
+    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+        func.locals.add(arg.arg)
+    if args.vararg:
+        func.locals.add(args.vararg.arg)
+    if args.kwarg:
+        func.locals.add(args.kwarg.arg)
+    for stmt in _own_statements(func.node):
+        if isinstance(stmt, ast.Global):
+            func.global_decls.update(stmt.names)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                func.locals.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(stmt, ast.Name) and isinstance(stmt.ctx, ast.Store):
+            func.locals.add(stmt.id)
+        elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+            func.locals.add(stmt.name)
+    for child in ast.iter_child_nodes(func.node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef)):
+            func.locals.add(child.name)
+    func.locals -= func.global_decls
+
+
+def _attr_chain(node: ast.AST) -> list[str]:
+    """["self", "_local", "tally"] for ``self._local.tally``; [] when the
+    chain does not bottom out at a Name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return []
+
+
+def _names_a_lock(expr: ast.AST) -> bool:
+    chain = _attr_chain(expr)
+    if isinstance(expr, ast.Call):
+        chain = _attr_chain(expr.func)
+    return any("lock" in part.lower() for part in chain)
+
+
+def _is_threadlocal_chain(chain: list[str]) -> bool:
+    """True for attribute chains routed through a thread-local holder."""
+    return any("local" in part.lower() for part in chain[:-1])
+
+
+class RaceLintPass(AnalysisPass):
+    """Flags unguarded shared-state writes on threaded hot paths."""
+
+    pass_id = "race"
+    description = ("unguarded writes to shared state reachable from "
+                   "join_thread/map hot paths")
+
+    DEFAULT_TARGETS = ("repro/core/joinjob.py", "repro/mapreduce/runtime.py")
+    DEFAULT_ENTRIES = ("join_thread", "map", "process_record")
+
+    def __init__(self, targets: tuple[str, ...] | None = None,
+                 entries: tuple[str, ...] | None = None):
+        self.targets = tuple(targets) if targets else self.DEFAULT_TARGETS
+        self.entries = tuple(entries) if entries else self.DEFAULT_ENTRIES
+
+    def run(self, context: AnalysisContext) -> list[Finding]:
+        findings: list[Finding] = []
+        for target in self.targets:
+            mod = context.module(target)
+            if mod is not None and mod.tree is not None:
+                findings.extend(self._check_module(mod))
+        return findings
+
+    # ------------------------------------------------------------------ #
+
+    def _check_module(self, mod: SourceModule) -> list[Finding]:
+        module_globals = self._module_globals(mod.tree)
+        funcs = self._collect_functions(mod.tree)
+        self._resolve_calls(funcs)
+        reachable = self._reachable(funcs)
+        findings: list[Finding] = []
+        for qualname in sorted(reachable):
+            findings.extend(
+                self._check_function(mod, funcs[qualname], module_globals))
+        return findings
+
+    @staticmethod
+    def _module_globals(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = (stmt.targets
+                           if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    for node in ast.walk(target):
+                        if isinstance(node, ast.Name):
+                            names.add(node.id)
+        return names
+
+    def _collect_functions(self, tree: ast.Module) -> dict[str, _Func]:
+        funcs: dict[str, _Func] = {}
+
+        def visit(node: ast.AST, cls: str | None, parent: str | None):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    visit(child, child.name, parent)
+                elif isinstance(child, (ast.FunctionDef,
+                                        ast.AsyncFunctionDef)):
+                    qual = (f"{parent}.{child.name}" if parent
+                            else (f"{cls}.{child.name}" if cls
+                                  else child.name))
+                    func = _Func(qualname=qual, node=child, cls=cls,
+                                 parent=parent)
+                    _collect_locals(func)
+                    funcs[qual] = func
+                    visit(child, cls, qual)
+                else:
+                    visit(child, cls, parent)
+
+        visit(tree, None, None)
+        return funcs
+
+    def _resolve_calls(self, funcs: dict[str, _Func]) -> None:
+        by_method: dict[str, list[str]] = {}
+        for qual, func in funcs.items():
+            by_method.setdefault(func.node.name, []).append(qual)
+        for func in funcs.values():
+            for stmt in _own_statements(func.node):
+                if not isinstance(stmt, ast.Call):
+                    continue
+                target = stmt.func
+                if isinstance(target, ast.Name):
+                    # Nested function or module-level function.
+                    nested = f"{func.qualname}.{target.id}"
+                    if nested in funcs:
+                        func.calls.add(nested)
+                    elif target.id in funcs:
+                        func.calls.add(target.id)
+                elif isinstance(target, ast.Attribute):
+                    if (isinstance(target.value, ast.Name)
+                            and target.value.id == "self"
+                            and func.cls is not None
+                            and f"{func.cls}.{target.attr}" in funcs):
+                        func.calls.add(f"{func.cls}.{target.attr}")
+                    else:
+                        # Duck-typed: any same-module method of that name
+                        # (how join_thread reaches StarJoinMapper.map).
+                        func.calls.update(by_method.get(target.attr, ()))
+
+    def _reachable(self, funcs: dict[str, _Func]) -> set[str]:
+        frontier = [qual for qual, func in funcs.items()
+                    if func.node.name in self.entries]
+        seen: set[str] = set()
+        while frontier:
+            qual = frontier.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            frontier.extend(funcs[qual].calls - seen)
+        return seen
+
+    # ------------------------------------------------------------------ #
+
+    def _check_function(self, mod: SourceModule, func: _Func,
+                        module_globals: set[str]) -> list[Finding]:
+        findings: list[Finding] = []
+
+        def shared_base(name: str) -> str | None:
+            """Classify a bare name as shared state, or None if local."""
+            if name in func.locals or name == "self":
+                return None
+            if name in func.global_decls or name in module_globals:
+                return "module global"
+            if func.parent is not None and name not in _BUILTIN_NAMES:
+                return "closure variable"
+            return None
+
+        def check_write(target: ast.AST, node: ast.AST, guarded: bool):
+            chain = _attr_chain(target)
+            if isinstance(target, ast.Name):
+                if target.id in func.global_decls and not guarded:
+                    findings.append(self.finding(
+                        mod, node, "RACE001",
+                        f"{func.qualname} writes module global "
+                        f"{target.id!r} without holding a lock"))
+            elif chain and chain[0] == "self":
+                if guarded or _is_threadlocal_chain(chain):
+                    return
+                findings.append(self.finding(
+                    mod, node, "RACE002",
+                    f"{func.qualname} writes shared attribute "
+                    f"{'.'.join(chain)!r} on the threaded hot path "
+                    f"without holding a lock"))
+            elif isinstance(target, ast.Subscript):
+                check_write(target.value, node, guarded)
+
+        def check_call(call: ast.Call, guarded: bool):
+            if not (isinstance(call.func, ast.Attribute)
+                    and call.func.attr in MUTATORS):
+                return
+            base = call.func.value
+            chain = _attr_chain(base)
+            if isinstance(base, ast.Name):
+                kind = shared_base(base.id)
+                if kind is not None and not guarded:
+                    findings.append(self.finding(
+                        mod, call, "RACE003",
+                        f"{func.qualname} mutates {kind} {base.id!r} via "
+                        f".{call.func.attr}() without holding a lock"))
+            elif chain and chain[0] == "self":
+                if guarded or _is_threadlocal_chain(chain):
+                    return
+                findings.append(self.finding(
+                    mod, call, "RACE002",
+                    f"{func.qualname} mutates shared attribute "
+                    f"{'.'.join(chain)!r} via .{call.func.attr}() on the "
+                    f"threaded hot path without holding a lock"))
+
+        def walk(node: ast.AST, guarded: bool):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                      ast.ClassDef)):
+                    continue
+                child_guarded = guarded
+                if isinstance(child, ast.With):
+                    if any(_names_a_lock(item.context_expr)
+                           for item in child.items):
+                        child_guarded = True
+                if isinstance(child, (ast.Assign, ast.AnnAssign,
+                                      ast.AugAssign)):
+                    targets = (child.targets
+                               if isinstance(child, ast.Assign)
+                               else [child.target])
+                    for target in targets:
+                        check_write(target, child, guarded)
+                elif isinstance(child, ast.Call):
+                    check_call(child, guarded)
+                walk(child, child_guarded)
+
+        walk(func.node, False)
+        return findings

@@ -1,0 +1,106 @@
+"""Runtime shared-state sanitizer (enabled by ``clydesdale.sanitizer``).
+
+The static race lint proves the *code it can see* follows the
+read-only-after-build convention; this module enforces it at runtime for
+the code it cannot. When the flag is on, :class:`StarJoinMapper` freezes
+its dimension hash tables the moment they are published to the join
+threads: any later mutation — of the underlying dict or of the table
+object's attributes — raises :class:`~repro.common.errors.SanitizerError`
+at the mutation site instead of corrupting a concurrent probe.
+
+Read paths are untouched: the frozen dict is a real ``dict`` subclass,
+so the hot-path ``self._table.get`` hoist in ``probe_block`` keeps
+working at full speed.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.errors import SanitizerError
+
+
+class FrozenTableDict(dict):
+    """A dict whose mutators raise ``SanitizerError``.
+
+    Lookups (``get``, ``in``, ``[]``, iteration) behave exactly like the
+    dict it was built from; only mutation is blocked.
+    """
+
+    __slots__ = ()
+
+    def _blocked(self, method: str) -> SanitizerError:
+        return SanitizerError(
+            f"hash table mutated after publish: dict.{method}() on a "
+            f"frozen dimension table (clydesdale.sanitizer is on)")
+
+    def __setitem__(self, key, value):
+        raise self._blocked("__setitem__")
+
+    def __delitem__(self, key):
+        raise self._blocked("__delitem__")
+
+    def clear(self):
+        raise self._blocked("clear")
+
+    def pop(self, *args, **kwargs):
+        raise self._blocked("pop")
+
+    def popitem(self):
+        raise self._blocked("popitem")
+
+    def setdefault(self, *args, **kwargs):
+        raise self._blocked("setdefault")
+
+    def update(self, *args, **kwargs):
+        raise self._blocked("update")
+
+    def __ior__(self, other):
+        raise self._blocked("__ior__")
+
+
+_frozen_classes: dict[type, type] = {}
+
+
+def _frozen_class(cls: type) -> type:
+    """A subclass of ``cls`` whose attribute writes raise."""
+    frozen = _frozen_classes.get(cls)
+    if frozen is None:
+        def _setattr(self, name: str, value: Any):
+            raise SanitizerError(
+                f"attribute {name!r} assigned on a published "
+                f"{cls.__name__} (clydesdale.sanitizer is on)")
+
+        def _delattr(self, name: str):
+            raise SanitizerError(
+                f"attribute {name!r} deleted from a published "
+                f"{cls.__name__} (clydesdale.sanitizer is on)")
+
+        frozen = type(f"Frozen{cls.__name__}", (cls,), {
+            "__setattr__": _setattr,
+            "__delattr__": _delattr,
+        })
+        _frozen_classes[cls] = frozen
+    return frozen
+
+
+def freeze_table(table: Any) -> Any:
+    """Freeze one hash-table object in place and return it.
+
+    The backing ``_table`` dict is replaced by a
+    :class:`FrozenTableDict` and the instance is re-classed so attribute
+    assignment raises too. Idempotent.
+    """
+    if isinstance(getattr(table, "_table", None), dict) \
+            and not isinstance(table._table, FrozenTableDict):
+        # Swap the dict before re-classing, while __setattr__ still works.
+        table._table = FrozenTableDict(table._table)
+    if "Frozen" not in type(table).__name__:
+        object.__setattr__(table, "__class__", _frozen_class(type(table)))
+    return table
+
+
+def freeze_hash_tables(tables) -> None:
+    """Freeze every table in a published hash-table list in place."""
+    for table in tables:
+        freeze_table(table)

@@ -11,6 +11,31 @@ class ReproError(Exception):
     """Base class for every error raised by the repro library."""
 
 
+class ValidationError(ReproError, ValueError):
+    """An argument failed a public API's validation contract.
+
+    Also subclasses :class:`ValueError` so call sites written against
+    the builtin contract keep working.
+    """
+
+
+class TypeContractError(ReproError, TypeError):
+    """A value of the wrong type crossed a public API boundary.
+
+    Also subclasses :class:`TypeError` so call sites written against
+    the builtin contract keep working.
+    """
+
+
+class SanitizerError(ReproError):
+    """The runtime shared-state sanitizer caught an invariant violation.
+
+    Raised when code mutates a published (frozen) dimension hash table
+    or merges per-thread tallies anywhere but task close — the
+    comment-level invariants of paper section 4.2, enforced.
+    """
+
+
 class ConfigError(ReproError):
     """A configuration key is missing, malformed, or inconsistent."""
 

@@ -31,7 +31,7 @@ import json
 import threading
 from typing import Any, Callable, Sequence
 
-from repro.common.errors import MapReduceError, QueryError
+from repro.common.errors import MapReduceError, QueryError, SanitizerError
 from repro.common.schema import Schema
 from repro.core.expressions import TruePredicate, _ColumnsRowGetter
 from repro.core.hashtable import DimensionHashTable
@@ -43,16 +43,20 @@ from repro.ssb.loader import dim_cache_name
 from repro.storage import serde
 from repro.storage.cif import RowBlock
 
-KEY_QUERY = "clydesdale.query"
-KEY_FACT_SCHEMA = "clydesdale.fact.schema"
-KEY_DIM_SCHEMAS = "clydesdale.dim.schemas"
-KEY_PROBE_RATE = "clydesdale.rate.probe.rows.per.s.per.thread"
-KEY_BUILD_RATE = "clydesdale.rate.build.rows.per.s"
-KEY_HT_BYTES_PER_ENTRY = "clydesdale.ht.bytes.per.entry"
-KEY_LATE_MATERIALIZATION = "clydesdale.late.materialization"
-KEY_VECTORIZED = "clydesdale.vectorized"
-
-COUNTER_GROUP = "clydesdale"
+# Configuration keys and the counter group, re-exported from the
+# central registry in repro.common.keys.
+from repro.common.keys import (  # noqa: E402
+    COUNTER_GROUP_CLYDESDALE as COUNTER_GROUP,
+    KEY_BUILD_RATE,
+    KEY_DIM_SCHEMAS,
+    KEY_FACT_SCHEMA,
+    KEY_HT_BYTES_PER_ENTRY,
+    KEY_LATE_MATERIALIZATION,
+    KEY_PROBE_RATE,
+    KEY_QUERY,
+    KEY_SANITIZER,
+    KEY_VECTORIZED,
+)
 
 
 class _Tally:
@@ -121,6 +125,8 @@ class StarJoinMapper(Mapper):
         self._lock = threading.Lock()
         self._tallies: list[_Tally] = []
         self._local = threading.local()
+        self._sanitize = False
+        self._closed = False
 
     # -- lifecycle --------------------------------------------------------- #
 
@@ -139,6 +145,12 @@ class StarJoinMapper(Mapper):
         self._late_materialization = context.conf.get_bool(
             KEY_LATE_MATERIALIZATION, False)
         self._vectorized = context.conf.get_bool(KEY_VECTORIZED, True)
+        self._sanitize = context.conf.get_bool(KEY_SANITIZER, False)
+        if self._sanitize:
+            # Turn the "read-only after build" comment into an enforced
+            # invariant: any post-publish mutation raises SanitizerError.
+            from repro.analyze.sanitizer import freeze_hash_tables
+            freeze_hash_tables(self.hash_tables)
         ht_bytes = sum(
             ht.stats.estimated_bytes(
                 context.conf.get_float(KEY_HT_BYTES_PER_ENTRY, 64.0))
@@ -246,6 +258,11 @@ class StarJoinMapper(Mapper):
     def _tally(self) -> _Tally:
         tally = getattr(self._local, "tally", None)
         if tally is None:
+            if self._sanitize and self._closed:
+                raise SanitizerError(
+                    f"join thread registered a tally after task close "
+                    f"in mapper for query "
+                    f"{self.query.name if self.query else '?'!s}")
             tally = _Tally()
             with self._lock:
                 self._tallies.append(tally)
@@ -424,6 +441,11 @@ class StarJoinMapper(Mapper):
 
     def close(self, collector: OutputCollector,
               context: TaskContext) -> None:
+        if self._sanitize and self._closed:
+            raise SanitizerError(
+                "tally merge attempted after task close: per-thread "
+                "tallies must be merged exactly once, at close")
+        self._closed = True
         with self._lock:
             self._rows_probed += sum(t.probed for t in self._tallies)
             self._rows_matched += sum(t.matched for t in self._tallies)
@@ -477,7 +499,7 @@ class MTMapRunner(MapRunner):
         num_threads = max(1, min(context.threads, len(readers)))
         queue: list[RecordReader] = list(readers)
         queue_lock = threading.Lock()
-        errors: list[Exception] = []
+        errors: list[tuple[str, Exception]] = []
 
         def join_thread() -> None:
             try:
@@ -488,8 +510,10 @@ class MTMapRunner(MapRunner):
                         current = queue.pop(0)
                     for key, value in current:
                         mapper.map(key, value, collector, context)
-            except Exception as exc:  # propagated after join
-                errors.append(exc)
+            except Exception as exc:  # collected; re-raised after join
+                with queue_lock:
+                    errors.append(
+                        (threading.current_thread().name, exc))
 
         threads = [threading.Thread(target=join_thread,
                                     name=f"join-thread-{i}")
@@ -499,6 +523,24 @@ class MTMapRunner(MapRunner):
         for thread in threads:
             thread.join()
         if errors:
-            raise MapReduceError(
-                f"join thread failed: {errors[0]}") from errors[0]
+            raise collect_thread_failures(errors) from errors[0][1]
         mapper.close(collector, context)
+
+
+def collect_thread_failures(
+        errors: Sequence[tuple[str, Exception]]) -> MapReduceError:
+    """Fold every join-thread failure into one raisable error.
+
+    The first failure becomes the cause; the rest are attached as
+    exception notes (PEP 678) and kept on ``thread_errors`` so callers
+    can report *all* of them, not just ``errors[0]``.
+    """
+    names = ", ".join(name for name, _ in errors)
+    primary = errors[0][1]
+    failure = MapReduceError(
+        f"{len(errors)} join thread(s) failed ({names}): {primary}")
+    failure.thread_errors = tuple(exc for _, exc in errors)
+    for name, exc in errors[1:]:
+        failure.add_note(
+            f"also failed in {name}: {type(exc).__name__}: {exc}")
+    return failure

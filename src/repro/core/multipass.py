@@ -45,12 +45,12 @@ from repro.mapreduce.types import OutputCollector
 from repro.sim.costs import CostModel
 from repro.sim.hardware import ClusterSpec
 from repro.ssb.loader import Catalog
-from repro.storage.cif import ColumnInputFormat
+from repro.storage.cif import KEY_BLOCK_ITERATION, ColumnInputFormat
 from repro.storage.multicif import MultiColumnInputFormat
 from repro.storage.rowformat import RowInputFormat
 from repro.storage.tablemeta import FORMAT_CIF
 
-KEY_PASS_OUTPUT_SCHEMA = "clydesdale.pass.output.schema"
+from repro.common.keys import KEY_PASS_OUTPUT_SCHEMA
 
 
 def estimate_ht_bytes(query: StarQuery, catalog: Catalog,
@@ -284,7 +284,7 @@ def _pass_conf(sub_query: StarQuery, input_dir: str, is_cif: bool,
                              if features.multithreaded
                              else ColumnInputFormat())
         ColumnInputFormat.set_projection(conf, list(input_schema.names))
-        conf.set("cif.block.iteration", features.block_iteration)
+        conf.set(KEY_BLOCK_ITERATION, features.block_iteration)
     else:
         conf.input_format = RowInputFormat()
     if features.multithreaded:

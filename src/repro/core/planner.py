@@ -36,7 +36,7 @@ from repro.mapreduce.scheduler import CapacityScheduler, FifoScheduler
 from repro.sim.costs import CostModel
 from repro.sim.hardware import ClusterSpec
 from repro.ssb.loader import Catalog
-from repro.storage.cif import ColumnInputFormat
+from repro.storage.cif import KEY_BLOCK_ITERATION, ColumnInputFormat
 from repro.storage.multicif import MultiColumnInputFormat
 from repro.storage.rowformat import read_row_table
 from repro.storage.tablemeta import FORMAT_CIF
@@ -225,7 +225,7 @@ def plan_star_join(query: StarQuery, catalog: Catalog,
     # else: no projection -> CIF reads every column (section 6.5's
     # "turning off columnar storage").
 
-    conf.set("cif.block.iteration", features.block_iteration)
+    conf.set(KEY_BLOCK_ITERATION, features.block_iteration)
     conf.set(KEY_VECTORIZED, features.vectorized)
     if features.late_materialization:
         from repro.core.joinjob import KEY_LATE_MATERIALIZATION

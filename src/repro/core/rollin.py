@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.common.errors import StorageError
+from repro.common.errors import StorageError, ValidationError
 from repro.hdfs.filesystem import MiniDFS
 from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
 from repro.ssb.loader import Catalog
@@ -130,7 +130,7 @@ def compare_rollin_cost(existing_bytes: float, batch_bytes: float,
     """
     cm = cost_model or DEFAULT_COST_MODEL
     if existing_bytes < 0 or batch_bytes < 0:
-        raise ValueError("sizes must be non-negative")
+        raise ValidationError("sizes must be non-negative")
     write_bw = cm.hdfs_write_bytes_s * workers
     read_bw = cm.hdfs_scan_bytes_s * workers
 

@@ -16,12 +16,13 @@ from repro.core.joinjob import load_query_config
 from repro.mapreduce.api import Mapper, Reducer, TaskContext
 from repro.mapreduce.types import OutputCollector
 
-KEY_ROWS_RATE = "hive.rate.rows.per.s.per.slot"
-#: Set for join-less queries, where the group-by job is also the scan
-#: and must apply the WHERE clause itself.
-KEY_GROUPBY_FACT_PREDICATE = "hive.groupby.fact.predicate"
-
-COUNTER_GROUP = "hive"
+#: KEY_GROUPBY_FACT_PREDICATE is set for join-less queries, where the
+#: group-by job is also the scan and must apply the WHERE clause itself.
+from repro.common.keys import (
+    COUNTER_GROUP_HIVE as COUNTER_GROUP,
+    KEY_HIVE_GROUPBY_FACT_PREDICATE as KEY_GROUPBY_FACT_PREDICATE,
+    KEY_HIVE_ROWS_RATE as KEY_ROWS_RATE,
+)
 
 
 class GroupByMapper(Mapper):

@@ -27,17 +27,18 @@ from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import OutputCollector
 from repro.core.expressions import Predicate
 
-KEY_STAGE_FK = "hive.mapjoin.fact.fk"
-KEY_CACHE_FILE = "hive.mapjoin.cache.file"
-KEY_INPUT_SCHEMA = "hive.stage.input.schema"
-KEY_OUTPUT_SCHEMA = "hive.stage.output.schema"
-KEY_FACT_PREDICATE = "hive.stage.fact.predicate"
-KEY_ROWS_RATE = "hive.rate.rows.per.s.per.slot"
-KEY_RELOAD_RATE = "hive.rate.hash.reload.bytes.per.s"
-KEY_HT_BYTES_PER_ENTRY = "hive.ht.bytes.per.entry"
-KEY_CACHE_KNEE = "hive.cache.knee.bytes"
-
-COUNTER_GROUP = "hive"
+from repro.common.keys import (
+    COUNTER_GROUP_HIVE as COUNTER_GROUP,
+    KEY_HIVE_CACHE_FILE as KEY_CACHE_FILE,
+    KEY_HIVE_CACHE_KNEE as KEY_CACHE_KNEE,
+    KEY_HIVE_HT_BYTES_PER_ENTRY as KEY_HT_BYTES_PER_ENTRY,
+    KEY_HIVE_RELOAD_RATE as KEY_RELOAD_RATE,
+    KEY_HIVE_ROWS_RATE as KEY_ROWS_RATE,
+    KEY_HIVE_STAGE_FACT_PREDICATE as KEY_FACT_PREDICATE,
+    KEY_HIVE_STAGE_FK as KEY_STAGE_FK,
+    KEY_HIVE_STAGE_INPUT_SCHEMA as KEY_INPUT_SCHEMA,
+    KEY_HIVE_STAGE_OUTPUT_SCHEMA as KEY_OUTPUT_SCHEMA,
+)
 
 
 def build_broadcast_table(fs: MiniDFS, dim_schema: Schema,

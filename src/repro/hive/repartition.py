@@ -21,20 +21,21 @@ from repro.mapreduce.inputformat import InputFormat
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, OutputCollector, RecordReader
 
-KEY_FACT_SIDE_FK = "hive.repartition.fact.fk"
-KEY_DIM_PK = "hive.repartition.dim.pk"
-KEY_DIM_TABLE_DIR = "hive.repartition.dim.dir"
-KEY_DIM_SCHEMA = "hive.repartition.dim.schema"
-KEY_DIM_PREDICATE = "hive.repartition.dim.predicate"
-KEY_DIM_AUX = "hive.repartition.dim.aux"
-KEY_FACT_PREDICATE = "hive.repartition.fact.predicate"
-KEY_INPUT_SCHEMA = "hive.repartition.input.schema"
-KEY_ROWS_RATE = "hive.rate.rows.per.s.per.slot"
+from repro.common.keys import (
+    COUNTER_GROUP_HIVE as COUNTER_GROUP,
+    KEY_HIVE_DIM_AUX as KEY_DIM_AUX,
+    KEY_HIVE_DIM_PK as KEY_DIM_PK,
+    KEY_HIVE_DIM_PREDICATE as KEY_DIM_PREDICATE,
+    KEY_HIVE_DIM_SCHEMA as KEY_DIM_SCHEMA,
+    KEY_HIVE_DIM_TABLE_DIR as KEY_DIM_TABLE_DIR,
+    KEY_HIVE_FACT_PREDICATE as KEY_FACT_PREDICATE,
+    KEY_HIVE_FACT_SIDE_FK as KEY_FACT_SIDE_FK,
+    KEY_HIVE_INPUT_SCHEMA as KEY_INPUT_SCHEMA,
+    KEY_HIVE_ROWS_RATE as KEY_ROWS_RATE,
+)
 
 TAG_FACT = 0
 TAG_DIM = 1
-
-COUNTER_GROUP = "hive"
 
 
 class TaggedSplit(InputSplit):

@@ -10,6 +10,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Iterable
 
+from repro.common.errors import ValidationError
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import OutputCollector, RecordReader
 
@@ -46,7 +47,7 @@ class TaskContext:
     def charge(self, seconds: float) -> None:
         """Add engine-specific simulated time to this task."""
         if seconds < 0:
-            raise ValueError("cannot charge negative time")
+            raise ValidationError("cannot charge negative time")
         self.charged_seconds += seconds
 
     def require_memory(self, num_bytes: float) -> None:

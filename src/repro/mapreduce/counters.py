@@ -5,6 +5,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterator
 
+from repro.common import keys
+
 
 class Counters:
     """Hierarchical (group, name) -> int counters.
@@ -15,13 +17,14 @@ class Counters:
     5
     """
 
-    # Well-known counter groups used by the runtime.
-    GROUP_MAP = "map"
-    GROUP_REDUCE = "reduce"
-    GROUP_HDFS = "hdfs"
-    GROUP_SHUFFLE = "shuffle"
-    GROUP_JOB = "job"
-    GROUP_STORAGE = "storage"
+    # Well-known counter groups used by the runtime, registered in
+    # the repro.common.keys counter registry.
+    GROUP_MAP = keys.COUNTER_GROUP_MAP
+    GROUP_REDUCE = keys.COUNTER_GROUP_REDUCE
+    GROUP_HDFS = keys.COUNTER_GROUP_HDFS
+    GROUP_SHUFFLE = keys.COUNTER_GROUP_SHUFFLE
+    GROUP_JOB = keys.COUNTER_GROUP_JOB
+    GROUP_STORAGE = keys.COUNTER_GROUP_STORAGE
 
     def __init__(self) -> None:
         self._data: dict[str, dict[str, int]] = defaultdict(

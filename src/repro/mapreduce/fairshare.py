@@ -19,10 +19,9 @@ from repro.mapreduce.scheduler import CapacityScheduler
 from repro.sim.hardware import ClusterSpec
 from repro.sim.scheduler import schedule
 
-#: Runtime hint: how many threads (cores) a granted task may use.
-KEY_GRANTED_THREADS = "scheduler.granted.threads"
-#: Fraction of the cluster's map slots granted to this job.
-KEY_SLOT_SHARE = "scheduler.slot.share"
+#: Runtime hint (how many threads a granted task may use) and the
+#: job's slot-share fraction, from the central key registry.
+from repro.common.keys import KEY_GRANTED_THREADS, KEY_SLOT_SHARE
 
 
 class FairShareScheduler(CapacityScheduler):

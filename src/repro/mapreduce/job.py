@@ -14,14 +14,17 @@ from typing import Any
 from repro.common.config import Configuration
 from repro.common.errors import ConfigError
 
-# Well-known configuration keys (kept Hadoop-flavored on purpose).
-KEY_JOB_NAME = "mapred.job.name"
-KEY_INPUT_PATHS = "mapred.input.dir"
-KEY_OUTPUT_PATH = "mapred.output.dir"
-KEY_NUM_REDUCES = "mapred.reduce.tasks"
-KEY_JVM_REUSE = "mapred.job.reuse.jvm.num.tasks"
-KEY_TASK_MEMORY = "mapred.job.map.memory.mb"
-KEY_SPLIT_SIZE = "mapred.max.split.size"
+# Well-known configuration keys (kept Hadoop-flavored on purpose),
+# re-exported from the central registry in repro.common.keys.
+from repro.common.keys import (
+    KEY_INPUT_PATHS,
+    KEY_JOB_NAME,
+    KEY_JVM_REUSE,
+    KEY_NUM_REDUCES,
+    KEY_OUTPUT_PATH,
+    KEY_SPLIT_SIZE,
+    KEY_TASK_MEMORY,
+)
 
 
 class JobConf(Configuration):

@@ -11,6 +11,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any
 
+from repro.common.errors import TypeContractError, ValidationError
 from repro.hdfs.filesystem import MiniDFS
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import RecordWriter
@@ -51,7 +52,7 @@ class TextOutputFormat(OutputFormat):
                    partition: int) -> RecordWriter:
         out_dir = conf.output_path()
         if not out_dir:
-            raise ValueError("job has no output path configured")
+            raise ValidationError("job has no output path configured")
         return _TextWriter(fs, f"{out_dir}/part-r-{partition:05d}")
 
 
@@ -87,7 +88,7 @@ class _BinaryFileWriter(RecordWriter):
 
     def write(self, key: Any, value: Any) -> None:
         if not isinstance(value, (bytes, bytearray)):
-            raise TypeError("BinaryOutputFormat values must be bytes")
+            raise TypeContractError("BinaryOutputFormat values must be bytes")
         self._writer.write(bytes(value))
         self.records += 1
         self.bytes_written += len(value)
@@ -103,5 +104,5 @@ class BinaryOutputFormat(OutputFormat):
                    partition: int) -> RecordWriter:
         out_dir = conf.output_path()
         if not out_dir:
-            raise ValueError("job has no output path configured")
+            raise ValidationError("job has no output path configured")
         return _BinaryFileWriter(fs, f"{out_dir}/part-{partition:05d}.bin")

@@ -14,6 +14,12 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.common.errors import JobFailedError, TaskOutOfMemoryError
+from repro.common.keys import (
+    CTR_ROWGROUPS_PRUNED,
+    CTR_ROWS_SKIPPED,
+    KEY_GRANTED_THREADS,
+    KEY_MAP_MAX_ATTEMPTS,
+)
 from repro.hdfs.filesystem import MiniDFS
 from repro.mapreduce.api import MapRunner, TaskContext
 from repro.mapreduce.counters import Counters
@@ -92,11 +98,11 @@ class JobRunner:
         cache_report = self._localize_cache(job, breakdown)
         splits = job.input_format.get_splits(self.fs, job)
         prune_report = getattr(job.input_format, "last_prune_report", None)
-        if prune_report and prune_report.get("rowgroups_pruned"):
-            counters.increment(Counters.GROUP_STORAGE, "rowgroups_pruned",
-                               prune_report["rowgroups_pruned"])
-            counters.increment(Counters.GROUP_STORAGE, "rows_skipped",
-                               prune_report.get("rows_skipped", 0))
+        if prune_report and prune_report.get(CTR_ROWGROUPS_PRUNED):
+            counters.increment(Counters.GROUP_STORAGE, CTR_ROWGROUPS_PRUNED,
+                               prune_report[CTR_ROWGROUPS_PRUNED])
+            counters.increment(Counters.GROUP_STORAGE, CTR_ROWS_SKIPPED,
+                               prune_report.get(CTR_ROWS_SKIPPED, 0))
         if not splits:
             raise JobFailedError(f"job {job.name!r}: input has no splits")
         scheduler = job.scheduler or FifoScheduler()
@@ -146,7 +152,7 @@ class JobRunner:
         threads = max(1, self.cluster.node.map_slots // concurrency)
         # A fair-share scheduler may cap the task's CPU grant so
         # co-scheduled jobs get their cores (paper 5.2, requirement 3).
-        granted = job.get_int("scheduler.granted.threads", 0)
+        granted = job.get_int(KEY_GRANTED_THREADS, 0)
         if granted > 0:
             threads = min(threads, granted)
         heap_per_task = self.cluster.heap_budget_per_node / concurrency
@@ -157,7 +163,7 @@ class JobRunner:
         node_states: dict[str, dict] = {}
         durations_by_node: dict[str, list[float]] = {}
 
-        max_attempts = job.get_int("mapred.map.max.attempts", 4)
+        max_attempts = job.get_int(KEY_MAP_MAX_ATTEMPTS, 4)
         for assignment in plan.assignments:
             node_id = assignment.node_id
             # Hadoop retries a failed task (up to mapred.map.max.attempts)

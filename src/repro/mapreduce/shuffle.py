@@ -12,6 +12,8 @@ from itertools import groupby
 from operator import itemgetter
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.common.errors import ValidationError
+
 
 class Partitioner:
     """Maps a key to a reduce partition."""
@@ -29,7 +31,7 @@ class HashPartitioner(Partitioner):
 
     def partition(self, key: Any, num_partitions: int) -> int:
         if num_partitions <= 0:
-            raise ValueError("num_partitions must be positive")
+            raise ValidationError("num_partitions must be positive")
         return _stable_hash(key) % num_partitions
 
 

@@ -11,6 +11,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Iterator, Sequence
 
+from repro.common.errors import ValidationError
+
 
 class InputSplit(ABC):
     """A non-overlapping partition of the input assigned to one map task."""
@@ -57,7 +59,7 @@ class MultiSplit(InputSplit):
 
     def __init__(self, splits: Sequence[InputSplit]):
         if not splits:
-            raise ValueError("MultiSplit needs at least one split")
+            raise ValidationError("MultiSplit needs at least one split")
         self.splits = tuple(splits)
 
     @property

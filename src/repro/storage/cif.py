@@ -42,10 +42,13 @@ from repro.mapreduce.types import InputSplit, RecordReader
 from repro.storage.dictionary import decode_cif_column, encode_cif_column
 from repro.storage.tablemeta import FORMAT_CIF, TableMeta
 
-KEY_CIF_COLUMNS = "cif.columns"
-KEY_BLOCK_ITERATION = "cif.block.iteration"
-KEY_BLOCK_ROWS = "cif.block.rows"
-KEY_ZONEMAP_FILTER = "cif.zonemap.filter"
+# Configuration keys, re-exported from the central registry.
+from repro.common.keys import (  # noqa: E402  (kept with the format docs)
+    KEY_BLOCK_ITERATION,
+    KEY_BLOCK_ROWS,
+    KEY_CIF_COLUMNS,
+    KEY_ZONEMAP_FILTER,
+)
 
 DEFAULT_ROW_GROUP_SIZE = 50_000
 DEFAULT_BLOCK_ROWS = 1024

@@ -21,7 +21,7 @@ from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, MultiSplit, RecordReader
 from repro.storage.cif import CIFSplit, ColumnInputFormat
 
-KEY_SPLITS_PER_MULTI = "multicif.splits.per.multisplit"
+from repro.common.keys import KEY_SPLITS_PER_MULTI
 
 
 class MultiSplitReader(RecordReader):

@@ -26,7 +26,7 @@ from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, RecordReader
 from repro.storage.tablemeta import FORMAT_RCFILE, TableMeta
 
-KEY_RCFILE_COLUMNS = "rcfile.columns"
+from repro.common.keys import KEY_RCFILE_COLUMNS
 
 DEFAULT_ROW_GROUP_SIZE = 25_000
 DEFAULT_GROUPS_PER_FILE = 8

@@ -1,0 +1,481 @@
+"""Tests for repro.analyze: each lint pass against a seeded fixture, the
+repo-clean gate, the CLI, the runtime sanitizer, and multi-thread
+failure propagation in MTMapRunner."""
+
+import textwrap
+import threading
+
+import pytest
+
+from repro.analyze import (
+    Analyzer,
+    AnalysisContext,
+    Baseline,
+    Finding,
+    Severity,
+    SourceModule,
+    default_passes,
+    find_repo_root,
+    load_project,
+)
+from repro.analyze.contracts import ExceptionContractPass
+from repro.analyze.flags import FeatureFlagPass
+from repro.analyze.race import RaceLintPass
+from repro.analyze.registry import StringKeyRegistryPass
+from repro.analyze.sanitizer import FrozenTableDict, freeze_table
+from repro.common import keys
+from repro.common.errors import MapReduceError, SanitizerError
+from repro.core.joinjob import (
+    MTMapRunner,
+    StarJoinMapper,
+    configure_query,
+)
+from repro.core.query import Aggregate, DimensionJoin, StarQuery
+from repro.core.expressions import Col, Comparison
+from repro.mapreduce.api import Mapper, TaskContext
+from repro.mapreduce.job import JobConf
+from repro.mapreduce.types import OutputCollector, RecordReader
+from repro.ssb.schema import SCHEMAS
+
+
+def fixture_context(path, source, design_text=""):
+    module = SourceModule.from_text(path, textwrap.dedent(source))
+    assert module.parse_error is None
+    return AnalysisContext(modules=[module], design_text=design_text)
+
+
+# --------------------------------------------------------------------- #
+# Race lint
+# --------------------------------------------------------------------- #
+
+RACE_FIXTURE = '''
+import threading
+
+counts = {}
+
+class Worker:
+    def map(self, value):
+        self.rows += 1                  # RACE002: unguarded self write
+        self.helper(value)
+        self.safe(value)
+        self.local_ok(value)
+
+    def helper(self, value):
+        self.cache[value] = 1           # RACE002: reachable via map
+
+    def safe(self, value):
+        with self.lock:
+            self.guarded += 1           # guarded: allowed
+
+    def local_ok(self, value):
+        self._local.tally = value       # thread-local: allowed
+
+    def cold(self, value):
+        self.unreachable = value        # not reachable from entries
+
+def join_thread():
+    global counts
+    counts = {}                         # RACE001: module global
+
+def run():
+    results = []
+    def join_thread():
+        results.append(1)               # RACE003: closure mutation
+    return join_thread
+'''
+
+
+class TestRaceLint:
+    def run_pass(self, source):
+        context = fixture_context("fixture_race.py", source)
+        return RaceLintPass(targets=("fixture_race.py",)).run(context)
+
+    def test_seeded_fixture(self):
+        findings = self.run_pass(RACE_FIXTURE)
+        codes = sorted(f.code for f in findings)
+        assert codes == ["RACE001", "RACE002", "RACE002", "RACE003"]
+        messages = " | ".join(f.message for f in findings)
+        assert "self.rows" in messages
+        assert "self.cache" in messages
+        assert "guarded" not in messages
+        assert "unreachable" not in messages
+
+    def test_clean_module_passes(self):
+        findings = self.run_pass('''
+            class Worker:
+                def map(self, value):
+                    with self.lock:
+                        self.rows += 1
+        ''')
+        assert findings == []
+
+    def test_repo_hot_paths_are_clean(self):
+        context = load_project(find_repo_root())
+        assert RaceLintPass().run(context) == []
+
+
+# --------------------------------------------------------------------- #
+# String-key registry lint
+# --------------------------------------------------------------------- #
+
+KEYS_FIXTURE = '''
+from repro.common.keys import KEY_JOB_NAME
+
+def setup(conf, context, options):
+    conf.set(KEY_JOB_NAME, "q1")                    # registered constant
+    conf.set("mapred.output.dir", "/out")           # registered literal
+    conf.get("my.bogus.key")                        # KEYS001
+    options.get("groups")                           # dict access: ignored
+    context.count("clydesdale", "rows_probed")      # registered
+    context.count("clydesdale", "bogus_counter")    # KEYS003
+    context.count("bogus_group", "rows_probed")     # KEYS002
+    for dim in ("date",):
+        context.count("clydesdale", f"ht_entries:{dim}")   # prefix: ok
+        context.count("clydesdale", f"wrong:{dim}")        # KEYS003
+'''
+
+
+class TestStringKeyLint:
+    def test_seeded_fixture(self):
+        context = fixture_context("fixture_keys.py", KEYS_FIXTURE)
+        findings = StringKeyRegistryPass(check_unused=False).run(context)
+        codes = sorted(f.code for f in findings)
+        assert codes == ["KEYS001", "KEYS002", "KEYS003", "KEYS003"]
+        messages = " | ".join(f.message for f in findings)
+        assert "my.bogus.key" in messages
+        assert "bogus_group" in messages
+        assert "bogus_counter" in messages
+        assert "wrong:" in messages
+
+    def test_unused_entries_reported_as_warnings(self):
+        registry_src = SourceModule.from_text("repro/common/keys.py", "")
+        context = AnalysisContext(modules=[registry_src],
+                                  root=find_repo_root())
+        findings = StringKeyRegistryPass().run(context)
+        # Nothing references any key in an empty project, so every
+        # registered entry is "unused" — all warnings, never errors.
+        assert findings
+        assert {f.code for f in findings} == {"KEYS004"}
+        assert {f.severity for f in findings} == {Severity.WARNING}
+
+    def test_repo_has_no_unregistered_or_unused_keys(self):
+        context = load_project(find_repo_root())
+        assert StringKeyRegistryPass().run(context) == []
+
+
+# --------------------------------------------------------------------- #
+# Feature-flag lint
+# --------------------------------------------------------------------- #
+
+class TestFeatureFlagLint:
+    def all_flags_documented(self):
+        return " ".join(keys.feature_flags())
+
+    def test_undocumented_flag_read(self):
+        context = fixture_context(
+            "fixture_flags.py",
+            'def setup(conf):\n'
+            '    conf.get_bool("my.undocumented.flag", False)\n'
+            '    conf.get_bool("clydesdale.vectorized", True)\n'
+            '    conf.get_bool("verbose")\n',     # non-dotted: ignored
+            design_text=self.all_flags_documented())
+        findings = FeatureFlagPass().run(context)
+        assert [f.code for f in findings] == ["FLAG002"]
+        assert "my.undocumented.flag" in findings[0].message
+
+    def test_flag_missing_default_or_docs(self):
+        flags = {"x.y.flag": keys.ConfigKey(
+            name="x.y.flag", kind="bool", default=None, doc="", flag=True)}
+        context = fixture_context("fixture_flags.py", "", design_text="")
+        findings = FeatureFlagPass(flags=flags).run(context)
+        assert [f.code for f in findings] == ["FLAG001", "FLAG001"]
+        assert any("without a default" in f.message for f in findings)
+        assert any("DESIGN.md" in f.message for f in findings)
+
+    def test_repo_flags_are_documented(self):
+        context = load_project(find_repo_root())
+        assert FeatureFlagPass().run(context) == []
+
+
+# --------------------------------------------------------------------- #
+# Exception-contract lint
+# --------------------------------------------------------------------- #
+
+CONTRACTS_FIXTURE = '''
+def a():
+    try:
+        work()
+    except:                       # EXC001
+        pass
+
+def b():
+    try:
+        work()
+    except Exception:             # EXC002: swallowed
+        pass
+
+def c():
+    try:
+        work()
+    except Exception as exc:      # ok: wraps and re-raises
+        raise WrappedError("ctx") from exc
+
+def d(log):
+    try:
+        work()
+    except Exception as exc:      # ok: uses the bound exception
+        log.warning("failed: %s", exc)
+
+def e():
+    raise ValueError("bad input")  # EXC003
+
+def f():
+    raise NotImplementedError      # allowed
+
+def g():
+    raise WrappedError("typed")    # project type: ok
+'''
+
+
+class TestExceptionContractLint:
+    def test_seeded_fixture(self):
+        context = fixture_context("repro/core/fixture_exc.py",
+                                  CONTRACTS_FIXTURE)
+        findings = ExceptionContractPass().run(context)
+        assert sorted(f.code for f in findings) == \
+            ["EXC001", "EXC002", "EXC003"]
+
+    def test_out_of_scope_module_ignored(self):
+        context = fixture_context("repro/model/fixture_exc.py",
+                                  CONTRACTS_FIXTURE)
+        assert ExceptionContractPass().run(context) == []
+
+    def test_repo_apis_keep_the_contract(self):
+        context = load_project(find_repo_root())
+        assert ExceptionContractPass().run(context) == []
+
+
+# --------------------------------------------------------------------- #
+# Framework: findings, baseline, analyzer, CLI
+# --------------------------------------------------------------------- #
+
+class TestFramework:
+    def test_severity_parse(self):
+        assert Severity.parse("error") is Severity.ERROR
+        assert Severity.parse("WARNING") is Severity.WARNING
+        with pytest.raises(ValueError):
+            Severity.parse("fatal")
+
+    def test_baseline_roundtrip_and_filter(self, tmp_path):
+        finding = Finding(path="a.py", line=3, code="X001", message="m")
+        other = Finding(path="a.py", line=9, code="X002", message="n")
+        baseline = Baseline(suppress={finding.baseline_key()})
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        reloaded = Baseline.load(path)
+        assert reloaded.filter([finding, other]) == [other]
+
+    def test_parse_error_is_a_finding(self):
+        module = SourceModule.from_text("bad.py", "def broken(:\n")
+        findings = Analyzer([]).run(AnalysisContext(modules=[module]))
+        assert [f.code for f in findings] == ["PARSE001"]
+
+    def test_repo_is_clean(self):
+        context = load_project(find_repo_root())
+        findings = Analyzer(default_passes()).run(context)
+        assert findings == []
+
+    def test_cli_exits_zero_on_repo(self, capsys):
+        from repro.analyze.__main__ import main
+        assert main([]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_json_format(self, capsys):
+        import json
+        from repro.analyze.__main__ import main
+        assert main(["--format", "json", "--fail-on", "never"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"findings": []}
+
+    def test_cli_rejects_bad_severity(self, capsys):
+        from repro.analyze.__main__ import main
+        assert main(["--fail-on", "fatal"]) == 2
+
+
+# --------------------------------------------------------------------- #
+# Runtime sanitizer
+# --------------------------------------------------------------------- #
+
+def _query():
+    return StarQuery(
+        name="unit", fact_table="lineorder",
+        joins=[DimensionJoin("date", "lo_orderdate", "d_datekey",
+                             Comparison("d_year", "=", 1994))],
+        aggregates=[Aggregate("sum", Col("lo_revenue"), alias="r")],
+        group_by=["d_year"])
+
+
+def _sanitized_context(sanitize=True):
+    from repro.ssb.datagen import SSBGenerator
+    from repro.storage import serde
+    conf = JobConf("t")
+    configure_query(conf, _query(), SCHEMAS["lineorder"],
+                    {"date": SCHEMAS["date"]})
+    conf.set(keys.KEY_SANITIZER, sanitize)
+    rows = SSBGenerator(scale_factor=0.001).gen_date()
+    blob = serde.encode_rows(SCHEMAS["date"], rows)
+    return TaskContext(
+        conf=conf, node_id="node000", task_id="m-0", jvm_state={},
+        node_local_read=lambda n, f: blob, threads=2)
+
+
+class TestFrozenTableDict:
+    def test_reads_still_work(self):
+        frozen = FrozenTableDict({1: ("a",), 2: ("b",)})
+        assert frozen.get(1) == ("a",)
+        assert frozen.get(99) is None
+        assert 2 in frozen
+        assert len(frozen) == 2
+        assert sorted(frozen) == [1, 2]
+
+    @pytest.mark.parametrize("mutate", [
+        lambda d: d.__setitem__(3, ("c",)),
+        lambda d: d.__delitem__(1),
+        lambda d: d.clear(),
+        lambda d: d.pop(1),
+        lambda d: d.popitem(),
+        lambda d: d.setdefault(3, ()),
+        lambda d: d.update({3: ()}),
+    ])
+    def test_mutators_raise(self, mutate):
+        frozen = FrozenTableDict({1: ("a",)})
+        with pytest.raises(SanitizerError):
+            mutate(frozen)
+        assert dict(frozen) == {1: ("a",)}
+
+
+class TestSanitizer:
+    def test_mutation_after_publish_fails(self):
+        mapper = StarJoinMapper()
+        mapper.initialize(_sanitized_context())
+        table = mapper.hash_tables[0]
+        with pytest.raises(SanitizerError):
+            table._table[19940101] = ("oops",)
+        with pytest.raises(SanitizerError):
+            table.aux_columns = ()
+        with pytest.raises(SanitizerError):
+            del table.dimension
+
+    def test_probes_unaffected_by_freeze(self):
+        sanitized = StarJoinMapper()
+        sanitized.initialize(_sanitized_context())
+        plain = StarJoinMapper()
+        plain.initialize(_sanitized_context(sanitize=False))
+        record = {"lo_orderdate": 19940310, "lo_revenue": 100}
+        out_a, out_b = OutputCollector(), OutputCollector()
+        assert sanitized.process_record(record.__getitem__, out_a)
+        assert plain.process_record(record.__getitem__, out_b)
+        assert out_a.pairs == out_b.pairs
+
+    def test_without_flag_mutation_passes(self):
+        mapper = StarJoinMapper()
+        mapper.initialize(_sanitized_context(sanitize=False))
+        mapper.hash_tables[0]._table[0] = ("fine",)  # no sanitizer: no check
+
+    def test_freeze_table_idempotent(self):
+        mapper = StarJoinMapper()
+        mapper.initialize(_sanitized_context())
+        table = mapper.hash_tables[0]
+        cls = type(table)
+        assert freeze_table(table) is table
+        assert type(table) is cls
+
+    def test_double_close_fails_under_sanitizer(self):
+        context = _sanitized_context()
+        mapper = StarJoinMapper()
+        mapper.initialize(context)
+        collector = OutputCollector()
+        mapper.close(collector, context)
+        with pytest.raises(SanitizerError):
+            mapper.close(collector, context)
+
+    def test_tally_after_close_fails_under_sanitizer(self):
+        context = _sanitized_context()
+        mapper = StarJoinMapper()
+        mapper.initialize(context)
+        mapper.close(OutputCollector(), context)
+        failures = []
+
+        def late_thread():
+            try:
+                mapper._tally()
+            except SanitizerError as exc:
+                failures.append(exc)
+
+        thread = threading.Thread(target=late_thread)
+        thread.start()
+        thread.join()
+        assert len(failures) == 1
+
+
+# --------------------------------------------------------------------- #
+# MTMapRunner error propagation
+# --------------------------------------------------------------------- #
+
+class _ListReader(RecordReader):
+    def __init__(self, pairs, children=None):
+        self._pairs = list(pairs)
+        self._children = children
+
+    def get_multiple_readers(self):
+        return self._children if self._children else [self]
+
+    def next(self):
+        return self._pairs.pop(0) if self._pairs else None
+
+
+class _BarrierMapper(Mapper):
+    """Fails in every thread at once, so all failures must surface."""
+
+    def __init__(self, parties):
+        self._barrier = threading.Barrier(parties)
+
+    def map(self, key, value, collector, context):
+        self._barrier.wait(timeout=10)
+        raise ValueError(f"boom on {value}")
+
+
+def _context(threads):
+    return TaskContext(conf=JobConf("t"), node_id="node000",
+                       task_id="m-0", jvm_state={},
+                       node_local_read=lambda n, f: b"", threads=threads)
+
+
+class TestThreadFailureCollection:
+    def test_all_thread_failures_reported(self):
+        parties = 4
+        children = [_ListReader([(i, i)]) for i in range(parties)]
+        reader = _ListReader([], children=children)
+        with pytest.raises(MapReduceError) as excinfo:
+            MTMapRunner().run(reader, _BarrierMapper(parties),
+                              OutputCollector(), _context(parties))
+        failure = excinfo.value
+        assert f"{parties} join thread(s) failed" in str(failure)
+        assert len(failure.thread_errors) == parties
+        assert all(isinstance(e, ValueError)
+                   for e in failure.thread_errors)
+        # The first failure is the cause; the rest ride along as notes.
+        assert failure.__cause__ is failure.thread_errors[0]
+        assert len(getattr(failure, "__notes__", [])) == parties - 1
+        assert all("also failed in join-thread-" in note
+                   for note in failure.__notes__)
+
+    def test_single_failure_keeps_simple_shape(self):
+        children = [_ListReader([(1, 1)])]
+        reader = _ListReader([], children=children)
+        with pytest.raises(MapReduceError) as excinfo:
+            MTMapRunner().run(reader, _BarrierMapper(1),
+                              OutputCollector(), _context(4))
+        failure = excinfo.value
+        assert "1 join thread(s) failed" in str(failure)
+        assert len(failure.thread_errors) == 1
+        assert not getattr(failure, "__notes__", [])
