@@ -7,20 +7,29 @@ cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== repro.analyze =="
-python -m repro.analyze --fail-on=error \
+python -m repro.analyze --fail-on=error --timings \
     --baseline scripts/analyze_baseline.json
 
 echo "== pyflakes =="
 if python -c "import pyflakes" 2>/dev/null; then
     # Compare against the committed baseline so pre-existing noise does
-    # not fail the build while new findings do.
+    # not fail the build while new findings do. Stale baseline entries
+    # (fixed findings nobody removed) fail too, so the baseline only
+    # ever shrinks.
     pyflakes_out=$(python -m pyflakes src/ 2>&1 || true)
     baseline_file=scripts/pyflakes-baseline.txt
     new_findings=$(comm -23 <(sort -u <<<"$pyflakes_out" | sed '/^$/d') \
                             <(sort -u "$baseline_file"))
+    stale_entries=$(comm -13 <(sort -u <<<"$pyflakes_out" | sed '/^$/d') \
+                             <(sort -u "$baseline_file" | sed '/^$/d'))
     if [ -n "$new_findings" ]; then
         echo "new pyflakes findings (not in $baseline_file):"
         echo "$new_findings"
+        exit 1
+    fi
+    if [ -n "$stale_entries" ]; then
+        echo "stale entries in $baseline_file (no longer fire; remove them):"
+        echo "$stale_entries"
         exit 1
     fi
     echo "pyflakes clean against baseline"

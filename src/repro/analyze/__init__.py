@@ -1,6 +1,6 @@
 """Project-specific static analysis and runtime sanitizers.
 
-``python -m repro.analyze`` runs four AST passes over ``src/repro``:
+``python -m repro.analyze`` runs seven passes over ``src/repro``:
 
 * :mod:`repro.analyze.race` — unguarded shared-state writes reachable
   from the threaded join hot path;
@@ -9,13 +9,25 @@
 * :mod:`repro.analyze.flags` — feature flags need defaults and a
   DESIGN.md mention;
 * :mod:`repro.analyze.contracts` — public APIs raise repro error types
-  and never swallow exceptions.
+  and never swallow exceptions;
+* :mod:`repro.analyze.lifecycle` — readers/writers must reach
+  ``close()`` on every control-flow path, including exception edges
+  (CFG + fixpoint dataflow);
+* :mod:`repro.analyze.hotpath` — no per-row allocation in functions
+  reachable from the vectorized block kernels;
+* :mod:`repro.analyze.plantypes` — the SSB workload typechecks against
+  the catalog (tables, columns, join keys, literals, aggregates).
+
+The last three are built on :mod:`repro.analyze.cfg` (per-function
+control-flow graphs), :mod:`repro.analyze.dataflow` (worklist fixpoint
+solver), and :mod:`repro.analyze.callgraph` (project call graph).
 
 :mod:`repro.analyze.sanitizer` is the runtime half: hash-table freeze
 proxies enabled by the ``clydesdale.sanitizer`` flag.
 """
 
-from repro.analyze.findings import Finding, Severity, render_json, render_text
+from repro.analyze.findings import (Finding, Severity, render_github,
+                                    render_json, render_text)
 from repro.analyze.framework import (AnalysisContext, AnalysisPass, Analyzer,
                                      Baseline, SourceModule, find_repo_root,
                                      load_project)
@@ -25,14 +37,18 @@ def default_passes():
     """The standard pass suite, instantiated fresh."""
     from repro.analyze.contracts import ExceptionContractPass
     from repro.analyze.flags import FeatureFlagPass
+    from repro.analyze.hotpath import HotPathPass
+    from repro.analyze.lifecycle import LifecyclePass
+    from repro.analyze.plantypes import PlanTypePass
     from repro.analyze.race import RaceLintPass
     from repro.analyze.registry import StringKeyRegistryPass
     return [RaceLintPass(), StringKeyRegistryPass(), FeatureFlagPass(),
-            ExceptionContractPass()]
+            ExceptionContractPass(), LifecyclePass(), HotPathPass(),
+            PlanTypePass()]
 
 
 __all__ = [
     "AnalysisContext", "AnalysisPass", "Analyzer", "Baseline", "Finding",
     "Severity", "SourceModule", "default_passes", "find_repo_root",
-    "load_project", "render_json", "render_text",
+    "load_project", "render_github", "render_json", "render_text",
 ]

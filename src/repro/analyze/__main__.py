@@ -11,8 +11,8 @@ import sys
 from pathlib import Path
 
 from repro.analyze import (Analyzer, Baseline, Severity, default_passes,
-                           find_repo_root, load_project, render_json,
-                           render_text)
+                           find_repo_root, load_project, render_github,
+                           render_json, render_text)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -27,13 +27,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="exit 1 when a finding is at least this severe: "
              "note, warning, error, or 'never' (default: error)")
     parser.add_argument(
-        "--format", choices=("text", "json"), default="text",
-        help="output format (default: text)")
+        "--format", choices=("text", "json", "github"), default="text",
+        help="output format; 'github' emits workflow annotations "
+             "(default: text)")
     parser.add_argument(
         "--baseline", type=Path, default=None,
         help="JSON baseline of suppressed findings "
              "(default: scripts/analyze_baseline.json under the root, "
              "if present)")
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the currently firing findings "
+             "(drops stale entries with a warning, keeps reasons) and "
+             "exit 0")
+    parser.add_argument(
+        "--timings", action="store_true",
+        help="print per-pass wall time to stderr")
     return parser
 
 
@@ -58,19 +67,49 @@ def main(argv: list[str] | None = None) -> int:
     if baseline_path is None:
         candidate = root / "scripts" / "analyze_baseline.json"
         baseline_path = candidate if candidate.exists() else None
-    try:
-        baseline = (Baseline.load(baseline_path)
-                    if baseline_path is not None else Baseline())
-    except (OSError, ValueError) as exc:
-        print(f"error: cannot read baseline {baseline_path}: {exc}",
-              file=sys.stderr)
-        return 2
+    if baseline_path is not None and (baseline_path.exists()
+                                      or not args.update_baseline):
+        # With --update-baseline a missing file is fine — we are about
+        # to create it; otherwise an unreadable baseline is an error.
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot read baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        baseline = Baseline()
 
     context = load_project(root)
-    findings = Analyzer(default_passes(), baseline).run(context)
+    analyzer = Analyzer(default_passes(), baseline)
+    findings = analyzer.run(context)
+
+    if args.timings:
+        for pass_id, seconds in sorted(analyzer.timings.items(),
+                                       key=lambda kv: -kv[1]):
+            print(f"repro.analyze: pass {pass_id:<10} {seconds * 1000:8.1f} ms",
+                  file=sys.stderr)
+
+    if args.update_baseline:
+        if baseline_path is None:
+            baseline_path = root / "scripts" / "analyze_baseline.json"
+        stale = analyzer.baseline.rebuild(analyzer.unfiltered)
+        for key in stale:
+            print(f"warning: dropping stale baseline entry "
+                  f"{key[0]} [{key[1]}] {key[2]!r} (no longer fires)",
+                  file=sys.stderr)
+        analyzer.baseline.save(baseline_path)
+        print(f"repro.analyze: baseline {baseline_path} rewritten with "
+              f"{len(analyzer.baseline.suppress)} entr"
+              f"{'y' if len(analyzer.baseline.suppress) == 1 else 'ies'} "
+              f"({len(stale)} stale dropped)")
+        return 0
 
     if args.format == "json":
         print(render_json(findings))
+    elif args.format == "github":
+        if findings:
+            print(render_github(findings))
     elif findings:
         print(render_text(findings))
     n_errors = sum(1 for f in findings if f.severity >= Severity.ERROR)

@@ -1,0 +1,171 @@
+"""Generic worklist fixpoint solver over :mod:`repro.analyze.cfg`.
+
+A :class:`DataflowProblem` supplies the lattice (``bottom``, ``join``,
+optional ``widen``) and the semantics (``transfer``, ``edge_state``);
+:func:`solve` iterates to a fixpoint with a per-node widening bound so
+infinite-ascending-chain lattices (intervals) still terminate.
+
+``edge_state`` is the piece that makes exception paths honest: for an
+``exception`` edge out of a statement the *pre*-state flows (the
+statement's effect never happened — ``reader = fs.open(p)`` that raises
+leaves ``reader`` unbound), while normal/true/false edges carry the
+*post*-state, optionally refined by branch outcome (the lifecycle pass
+clears tokens on the ``is None`` branch).
+
+States are treated as immutable values; ``join`` must return a fresh
+value and ``transfer`` must not mutate its input.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analyze.cfg import CFG, EXCEPTION
+
+__all__ = ["DataflowProblem", "Interval", "solve"]
+
+
+class DataflowProblem:
+    """Subclass and override; defaults give a forward may-analysis."""
+
+    #: "forward" or "backward".
+    direction = "forward"
+    #: Iterations of growth at one node before ``widen`` kicks in.
+    widen_after = 16
+
+    def initial(self) -> Any:
+        """State at the entry node (exit node when backward)."""
+        return self.bottom()
+
+    def bottom(self) -> Any:
+        """Identity of ``join``: the state of an unreached node."""
+        raise NotImplementedError
+
+    def join(self, a: Any, b: Any) -> Any:
+        raise NotImplementedError
+
+    def transfer(self, node, state: Any) -> Any:
+        """State after executing ``node`` (before, when backward)."""
+        raise NotImplementedError
+
+    def edge_state(self, kind: str, node, pre: Any, post: Any) -> Any:
+        """State carried along an out-edge of ``kind`` from ``node``.
+
+        Default: exception edges carry the pre-state (the statement's
+        effect did not happen), everything else the post-state.
+        """
+        return pre if kind == EXCEPTION else post
+
+    def widen(self, old: Any, new: Any) -> Any:
+        """Extrapolate after ``widen_after`` growths; default: give up
+        precision by returning ``new`` (callers with infinite chains
+        must override)."""
+        return new
+
+
+@dataclass
+class _Result:
+    """Fixpoint states per node index."""
+
+    inputs: list[Any]              # state entering each node
+    outputs: list[Any]             # state leaving each node
+    iterations: int
+
+    def input(self, index: int) -> Any:
+        return self.inputs[index]
+
+    def output(self, index: int) -> Any:
+        return self.outputs[index]
+
+
+def solve(cfg: CFG, problem: DataflowProblem) -> _Result:
+    """Run ``problem`` over ``cfg`` to fixpoint and return the states."""
+    n = len(cfg.nodes)
+    forward = problem.direction == "forward"
+
+    # successors[i] = [(target, kind)] in the direction of analysis.
+    if forward:
+        succs = [[(e.target, e.kind) for e in node.edges]
+                 for node in cfg.nodes]
+        start = cfg.entry
+    else:
+        succs = [[] for _ in range(n)]
+        for node in cfg.nodes:
+            for e in node.edges:
+                succs[e.target].append((node.index, e.kind))
+        start = cfg.exit
+
+    inputs = [problem.bottom() for _ in range(n)]
+    outputs = [problem.bottom() for _ in range(n)]
+    inputs[start] = problem.initial()
+
+    growth = [0] * n
+    work = deque(range(n))
+    in_work = [True] * n
+    iterations = 0
+
+    while work:
+        i = work.popleft()
+        in_work[i] = False
+        iterations += 1
+        pre = inputs[i]
+        post = problem.transfer(cfg.nodes[i], pre)
+        outputs[i] = post
+        for target, kind in succs[i]:
+            contrib = problem.edge_state(kind, cfg.nodes[i], pre, post)
+            merged = problem.join(inputs[target], contrib)
+            if merged != inputs[target]:
+                growth[target] += 1
+                if growth[target] > problem.widen_after:
+                    merged = problem.join(
+                        merged, problem.widen(inputs[target], merged))
+                inputs[target] = merged
+                if not in_work[target]:
+                    work.append(target)
+                    in_work[target] = True
+    return _Result(inputs=inputs, outputs=outputs, iterations=iterations)
+
+
+@dataclass(frozen=True)
+class Interval:
+    """Tiny integer-interval lattice (solver convergence tests and a
+    worked example for DESIGN.md). ``None`` bounds mean ±infinity."""
+
+    lo: int | None = None          # None = -inf
+    hi: int | None = None          # None = +inf
+
+    EMPTY = None                   # set below
+
+    def join(self, other: "Interval") -> "Interval":
+        if self is Interval.EMPTY or self == Interval.EMPTY:
+            return other
+        if other == Interval.EMPTY:
+            return self
+        lo = (None if self.lo is None or other.lo is None
+              else min(self.lo, other.lo))
+        hi = (None if self.hi is None or other.hi is None
+              else max(self.hi, other.hi))
+        return Interval(lo, hi)
+
+    def widen(self, newer: "Interval") -> "Interval":
+        """Blow any still-moving bound to infinity."""
+        if self == Interval.EMPTY:
+            return newer
+        if newer == Interval.EMPTY:
+            return self
+        lo = self.lo if (newer.lo is not None and self.lo is not None
+                         and newer.lo >= self.lo) else None
+        hi = self.hi if (newer.hi is not None and self.hi is not None
+                         and newer.hi <= self.hi) else None
+        return Interval(lo, hi)
+
+    def shift(self, delta: int) -> "Interval":
+        if self == Interval.EMPTY:
+            return self
+        return Interval(None if self.lo is None else self.lo + delta,
+                        None if self.hi is None else self.hi + delta)
+
+
+Interval.EMPTY = Interval(lo=1, hi=0)  # canonical empty: lo > hi

@@ -62,3 +62,19 @@ def render_text(findings: Iterable[Finding]) -> str:
 def render_json(findings: Iterable[Finding]) -> str:
     return json.dumps({"findings": [f.to_dict() for f in sorted(findings)]},
                       indent=2, sort_keys=True)
+
+
+_GITHUB_LEVELS = {Severity.NOTE: "notice", Severity.WARNING: "warning",
+                  Severity.ERROR: "error"}
+
+
+def render_github(findings: Iterable[Finding]) -> str:
+    """GitHub Actions workflow annotations (``::error file=...``)."""
+    lines = []
+    for f in sorted(findings):
+        # Annotation messages must keep to one line; %0A is the escape.
+        message = f"[{f.code}] {f.message}".replace("%", "%25") \
+            .replace("\r", "%0D").replace("\n", "%0A")
+        lines.append(f"::{_GITHUB_LEVELS[f.severity]} file={f.path},"
+                     f"line={max(f.line, 1)}::{message}")
+    return "\n".join(lines)

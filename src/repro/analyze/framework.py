@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import ast
 import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -76,27 +77,51 @@ class Baseline:
     """Committed suppressions: known findings that do not fail the build.
 
     Keys are line-insensitive (path, code, message) triples so routine
-    edits above a suppressed site do not resurrect it.
+    edits above a suppressed site do not resurrect it. Each entry may
+    carry a one-line ``reason`` saying why it is a false positive;
+    reasons survive ``--update-baseline`` rewrites.
     """
 
     suppress: set[tuple[str, str, str]] = field(default_factory=set)
+    reasons: dict[tuple[str, str, str], str] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
         data = json.loads(path.read_text())
-        return cls(suppress={
-            (e["path"], e["code"], e["message"])
-            for e in data.get("suppress", [])})
+        suppress = set()
+        reasons = {}
+        for e in data.get("suppress", []):
+            key = (e["path"], e["code"], e["message"])
+            suppress.add(key)
+            if e.get("reason"):
+                reasons[key] = e["reason"]
+        return cls(suppress=suppress, reasons=reasons)
 
     def save(self, path: Path) -> None:
-        entries = [{"path": p, "code": c, "message": m}
-                   for p, c, m in sorted(self.suppress)]
+        entries = []
+        for key in sorted(self.suppress):
+            p, c, m = key
+            entry = {"path": p, "code": c, "message": m}
+            if key in self.reasons:
+                entry["reason"] = self.reasons[key]
+            entries.append(entry)
         path.write_text(json.dumps({"version": 1, "suppress": entries},
                                    indent=2) + "\n")
 
     def filter(self, findings: list[Finding]) -> list[Finding]:
         return [f for f in findings
                 if f.baseline_key() not in self.suppress]
+
+    def rebuild(self, findings: list[Finding]) -> list[tuple[str, str, str]]:
+        """Replace the suppress set with the given findings' keys,
+        keeping reasons for keys that survive. Returns the stale keys
+        that were dropped (they no longer fire)."""
+        current = {f.baseline_key() for f in findings}
+        stale = sorted(self.suppress - current)
+        self.suppress = current
+        self.reasons = {k: r for k, r in self.reasons.items()
+                        if k in current}
+        return stale
 
 
 def load_project(root: Path, package: str = "src/repro") -> AnalysisContext:
@@ -127,13 +152,26 @@ def find_repo_root() -> Path:
     return Path.cwd()
 
 
+def _finding_order(f: Finding) -> tuple:
+    """Deterministic (pass, path, line, code, message) ordering so
+    baseline diffs and CLI output never depend on pass internals."""
+    return (f.pass_id, f.path, f.line, f.code, f.message)
+
+
 class Analyzer:
-    """Runs a set of passes over a context and applies the baseline."""
+    """Runs a set of passes over a context and applies the baseline.
+
+    After :meth:`run`, ``timings`` holds seconds per pass (keyed by
+    pass_id) and ``unfiltered`` the deduped findings before baseline
+    suppression — what ``--update-baseline`` snapshots.
+    """
 
     def __init__(self, passes: list[AnalysisPass],
                  baseline: Baseline | None = None):
         self.passes = passes
         self.baseline = baseline or Baseline()
+        self.timings: dict[str, float] = {}
+        self.unfiltered: list[Finding] = []
 
     def run(self, context: AnalysisContext) -> list[Finding]:
         findings: list[Finding] = []
@@ -143,6 +181,13 @@ class Analyzer:
                     path=mod.path, line=0, code="PARSE001",
                     message=f"file does not parse: {mod.parse_error}",
                     severity=Severity.ERROR, pass_id="framework"))
+        self.timings = {}
         for analysis_pass in self.passes:
+            started = time.perf_counter()
             findings.extend(analysis_pass.run(context))
-        return sorted(self.baseline.filter(findings))
+            self.timings[analysis_pass.pass_id] = (
+                time.perf_counter() - started)
+        deduped = {_finding_order(f): f for f in findings}
+        self.unfiltered = [deduped[k] for k in sorted(deduped)]
+        return sorted(self.baseline.filter(self.unfiltered),
+                      key=_finding_order)

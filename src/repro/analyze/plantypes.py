@@ -1,0 +1,229 @@
+"""Plan typechecking: every SSB query must be well-typed against the
+catalog before any job runs.
+
+The engines validate rows at runtime (``ValidationError`` mid-job,
+after minutes of simulated scan); this pass evaluates each
+:class:`~repro.core.query.StarQuery` in ``repro/ssb/queries.py``
+statically against ``repro/ssb/schema.py``'s catalog, so a malformed
+query is an analyzer error at commit time:
+
+* ``PLAN001`` — unknown fact/dimension table;
+* ``PLAN002`` — unknown column (join keys, predicates, aggregate
+  inputs, group-by, all checked against the owning table's schema);
+* ``PLAN003`` — join key disagreement: the fact FK and dimension PK
+  must match the catalog's FOREIGN_KEYS edge and agree on type;
+* ``PLAN004`` — predicate literal type mismatch (comparing an INT32
+  column to a string, BETWEEN bounds of the wrong type, mixed-type IN
+  lists);
+* ``PLAN005`` — aggregate over a non-numeric input (``sum``/``min``/
+  ``max`` of a STRING column; ``count`` takes anything);
+* ``PLAN006`` — group-key/ORDER BY problems that the runtime
+  constructors cannot see (a group-by column that no joined dimension
+  or the fact table provides), plus any ``QueryError`` a builder raises
+  at construction time.
+
+Findings anchor to the query builder's source line (located by scanning
+``queries.py`` for ``StarQuery(name="...")``). The pass is pure
+catalog-vs-AST work — queries and catalog are injectable for fixtures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Mapping
+
+from repro.analyze.findings import Finding, Severity
+from repro.analyze.framework import AnalysisContext, AnalysisPass
+
+QUERIES_PATH = "repro/ssb/queries.py"
+
+_NUMERIC = ("int32", "int64", "float64")
+
+
+def _default_inputs():
+    from repro.ssb import queries as q
+    from repro.ssb import schema as s
+    return list(q.ssb_queries().values()), s.SCHEMAS, s.FOREIGN_KEYS
+
+
+class PlanTypePass(AnalysisPass):
+    """Typechecks the SSB workload against the catalog."""
+
+    pass_id = "plantypes"
+    description = ("SSB queries must be well-typed against the catalog "
+                   "(tables, columns, join keys, literals, aggregates)")
+
+    def __init__(self, load: Callable | None = None):
+        #: () -> (queries, schemas, foreign_keys); replaceable in tests.
+        self.load = load or _default_inputs
+
+    def run(self, context: AnalysisContext) -> list[Finding]:
+        mod = context.module(QUERIES_PATH)
+        if mod is None or mod.tree is None:
+            return []
+        lines = self._builder_lines(mod.tree)
+        try:
+            queries, schemas, fks = self.load()
+        except Exception as exc:  # a builder raised at construction
+            return [Finding(
+                path=mod.path, line=0, code="PLAN006",
+                message=f"query construction failed: {exc}",
+                severity=Severity.ERROR, pass_id=self.pass_id)]
+        findings: list[Finding] = []
+        for query in queries:
+            line = lines.get(query.name, 0)
+            for code, message in self._check_query(query, schemas, fks):
+                findings.append(Finding(
+                    path=mod.path, line=line, code=code,
+                    message=f"{query.name}: {message}",
+                    severity=Severity.ERROR, pass_id=self.pass_id))
+        return findings
+
+    @staticmethod
+    def _builder_lines(tree: ast.Module) -> dict[str, int]:
+        """Query name -> the StarQuery(name=...) construction line."""
+        lines: dict[str, int] = {}
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "StarQuery"):
+                continue
+            for kw in node.keywords:
+                if (kw.arg == "name"
+                        and isinstance(kw.value, ast.Constant)
+                        and isinstance(kw.value.value, str)):
+                    lines.setdefault(kw.value.value, node.lineno)
+        return lines
+
+    # ------------------------------------------------------------------ #
+
+    def _check_query(self, query, schemas: Mapping,
+                     fks: Mapping[str, tuple[str, str]]):
+        fact = schemas.get(query.fact_table)
+        if fact is None:
+            yield "PLAN001", f"unknown fact table {query.fact_table!r}"
+            return
+
+        dim_schemas = {}
+        for join in query.joins:
+            dim = schemas.get(join.dimension)
+            if dim is None:
+                yield ("PLAN001",
+                       f"unknown dimension table {join.dimension!r}")
+                continue
+            dim_schemas[join.dimension] = dim
+            yield from self._check_join(join, fact, dim, fks)
+            yield from self._check_predicate(
+                join.predicate, dim, f"dimension {join.dimension!r}")
+
+        yield from self._check_predicate(
+            query.fact_predicate, fact, f"fact table {query.fact_table!r}")
+
+        for agg in query.aggregates:
+            yield from self._check_aggregate(agg, fact)
+
+        providers = [fact] + list(dim_schemas.values())
+        for column in query.group_by:
+            owners = [s for s in providers if column in s]
+            if not owners:
+                yield ("PLAN006",
+                       f"group-by column {column!r} is provided by "
+                       f"neither the fact table nor any joined dimension")
+        # ORDER BY membership and arity are enforced by StarQuery's own
+        # constructor; reaching here means they already hold.
+
+    def _check_join(self, join, fact, dim,
+                    fks: Mapping[str, tuple[str, str]]):
+        ok = True
+        if join.fact_fk not in fact:
+            yield ("PLAN002", f"join fact key {join.fact_fk!r} is not a "
+                   f"fact column")
+            ok = False
+        if join.dim_pk not in dim:
+            yield ("PLAN002", f"join key {join.dim_pk!r} is not a column "
+                   f"of dimension {join.dimension!r}")
+            ok = False
+        if not ok:
+            return
+        edge = fks.get(join.fact_fk)
+        if edge is None or edge != (join.dimension, join.dim_pk):
+            expected = (f"; catalog expects "
+                        f"{edge[0]}.{edge[1]}" if edge else "")
+            yield ("PLAN003",
+                   f"join {join.fact_fk!r} -> {join.dimension!r}."
+                   f"{join.dim_pk!r} is not a declared foreign-key "
+                   f"edge{expected}")
+        fk_type = fact.column(join.fact_fk).dtype
+        pk_type = dim.column(join.dim_pk).dtype
+        if fk_type != pk_type:
+            yield ("PLAN003",
+                   f"join key types disagree: {join.fact_fk!r} is "
+                   f"{fk_type.value}, {join.dim_pk!r} is {pk_type.value}")
+
+    def _check_predicate(self, pred, schema, where: str):
+        from repro.core import expressions as E
+
+        if isinstance(pred, E.TruePredicate):
+            return
+        if isinstance(pred, (E.And, E.Or)):
+            for part in pred.parts:
+                yield from self._check_predicate(part, schema, where)
+            return
+        if isinstance(pred, E.Not):
+            yield from self._check_predicate(pred.inner, schema, where)
+            return
+
+        column = getattr(pred, "column", None)
+        if column is None:
+            return
+        if column not in schema:
+            yield ("PLAN002",
+                   f"predicate column {column!r} not in {where}")
+            return
+        dtype = schema.column(column).dtype
+        if isinstance(pred, E.Comparison):
+            literals = [pred.literal]
+        elif isinstance(pred, E.Between):
+            literals = [pred.low, pred.high]
+        elif isinstance(pred, E.InList):
+            literals = list(pred.values)
+        else:
+            literals = []
+        for lit in literals:
+            if not self._literal_fits(lit, dtype):
+                yield ("PLAN004",
+                       f"predicate on {column!r} ({dtype.value}) "
+                       f"compares against {lit!r} "
+                       f"({type(lit).__name__})")
+
+    @staticmethod
+    def _literal_fits(value, dtype) -> bool:
+        if dtype.value in _NUMERIC:
+            return isinstance(value, (int, float)) and not isinstance(
+                value, bool)
+        return isinstance(value, str)
+
+    def _check_aggregate(self, agg, fact):
+        from repro.core import expressions as E
+
+        columns = sorted(agg.expr.columns())
+        missing = [c for c in columns if c not in fact]
+        for column in missing:
+            yield ("PLAN002",
+                   f"aggregate {agg.alias!r} reads {column!r}, which is "
+                   f"not a fact column")
+        if missing or agg.function == "count":
+            return
+        # sum/min/max need numeric inputs; a BinaryOp over numerics is
+        # numeric, so checking the leaf columns suffices.
+        for column in columns:
+            dtype = fact.column(column).dtype
+            if dtype.value not in _NUMERIC:
+                yield ("PLAN005",
+                       f"aggregate {agg.function}({column}) over "
+                       f"non-numeric column ({dtype.value})")
+        if not columns and isinstance(agg.expr, E.Lit):
+            if not isinstance(agg.expr.value, (int, float)):
+                yield ("PLAN005",
+                       f"aggregate {agg.function} over non-numeric "
+                       f"literal {agg.expr.value!r}")

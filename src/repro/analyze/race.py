@@ -26,8 +26,14 @@ from __future__ import annotations
 
 import ast
 import builtins
-from dataclasses import dataclass, field
 
+from repro.analyze.callgraph import (
+    FunctionInfo as _Func,
+    collect_functions,
+    own_statements as _own_statements,
+    reachable,
+    resolve_calls,
+)
 from repro.analyze.findings import Finding, Severity
 from repro.analyze.framework import AnalysisContext, AnalysisPass, SourceModule
 
@@ -39,55 +45,6 @@ MUTATORS = frozenset({
 })
 
 _BUILTIN_NAMES = frozenset(dir(builtins))
-
-
-@dataclass
-class _Func:
-    """One function or method, flattened out of the module AST."""
-
-    qualname: str                  # e.g. "MTMapRunner.run.join_thread"
-    node: ast.FunctionDef | ast.AsyncFunctionDef
-    cls: str | None                # enclosing class name, if a method
-    parent: str | None             # enclosing function qualname, if nested
-    locals: set[str] = field(default_factory=set)
-    global_decls: set[str] = field(default_factory=set)
-    calls: set[str] = field(default_factory=set)  # resolved qualnames
-
-
-def _own_statements(node: ast.AST):
-    """Child statements of ``node`` excluding nested function/class
-    bodies (those are separate scopes/nodes)."""
-    for child in ast.iter_child_nodes(node):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                              ast.ClassDef)):
-            continue
-        yield child
-        yield from _own_statements(child)
-
-
-def _collect_locals(func: _Func) -> None:
-    args = func.node.args
-    for arg in (args.posonlyargs + args.args + args.kwonlyargs):
-        func.locals.add(arg.arg)
-    if args.vararg:
-        func.locals.add(args.vararg.arg)
-    if args.kwarg:
-        func.locals.add(args.kwarg.arg)
-    for stmt in _own_statements(func.node):
-        if isinstance(stmt, ast.Global):
-            func.global_decls.update(stmt.names)
-        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
-            for alias in stmt.names:
-                func.locals.add(alias.asname or alias.name.split(".")[0])
-        elif isinstance(stmt, ast.Name) and isinstance(stmt.ctx, ast.Store):
-            func.locals.add(stmt.id)
-        elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
-            func.locals.add(stmt.name)
-    for child in ast.iter_child_nodes(func.node):
-        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
-                              ast.ClassDef)):
-            func.locals.add(child.name)
-    func.locals -= func.global_decls
 
 
 def _attr_chain(node: ast.AST) -> list[str]:
@@ -143,11 +100,11 @@ class RaceLintPass(AnalysisPass):
 
     def _check_module(self, mod: SourceModule) -> list[Finding]:
         module_globals = self._module_globals(mod.tree)
-        funcs = self._collect_functions(mod.tree)
-        self._resolve_calls(funcs)
-        reachable = self._reachable(funcs)
+        funcs = collect_functions(mod.tree, module_path=mod.path)
+        resolve_calls(funcs)
+        hot = reachable(funcs, self.entries)
         findings: list[Finding] = []
-        for qualname in sorted(reachable):
+        for qualname in sorted(hot):
             findings.extend(
                 self._check_function(mod, funcs[qualname], module_globals))
         return findings
@@ -165,70 +122,6 @@ class RaceLintPass(AnalysisPass):
                         if isinstance(node, ast.Name):
                             names.add(node.id)
         return names
-
-    def _collect_functions(self, tree: ast.Module) -> dict[str, _Func]:
-        funcs: dict[str, _Func] = {}
-
-        def visit(node: ast.AST, cls: str | None, parent: str | None):
-            for child in ast.iter_child_nodes(node):
-                if isinstance(child, ast.ClassDef):
-                    visit(child, child.name, parent)
-                elif isinstance(child, (ast.FunctionDef,
-                                        ast.AsyncFunctionDef)):
-                    qual = (f"{parent}.{child.name}" if parent
-                            else (f"{cls}.{child.name}" if cls
-                                  else child.name))
-                    func = _Func(qualname=qual, node=child, cls=cls,
-                                 parent=parent)
-                    _collect_locals(func)
-                    funcs[qual] = func
-                    visit(child, cls, qual)
-                else:
-                    visit(child, cls, parent)
-
-        visit(tree, None, None)
-        return funcs
-
-    def _resolve_calls(self, funcs: dict[str, _Func]) -> None:
-        by_method: dict[str, list[str]] = {}
-        for qual, func in funcs.items():
-            by_method.setdefault(func.node.name, []).append(qual)
-        for func in funcs.values():
-            for stmt in _own_statements(func.node):
-                if not isinstance(stmt, ast.Call):
-                    continue
-                target = stmt.func
-                if isinstance(target, ast.Name):
-                    # Nested function or module-level function.
-                    nested = f"{func.qualname}.{target.id}"
-                    if nested in funcs:
-                        func.calls.add(nested)
-                    elif target.id in funcs:
-                        func.calls.add(target.id)
-                elif isinstance(target, ast.Attribute):
-                    if (isinstance(target.value, ast.Name)
-                            and target.value.id == "self"
-                            and func.cls is not None
-                            and f"{func.cls}.{target.attr}" in funcs):
-                        func.calls.add(f"{func.cls}.{target.attr}")
-                    else:
-                        # Duck-typed: any same-module method of that name
-                        # (how join_thread reaches StarJoinMapper.map).
-                        func.calls.update(by_method.get(target.attr, ()))
-
-    def _reachable(self, funcs: dict[str, _Func]) -> set[str]:
-        frontier = [qual for qual, func in funcs.items()
-                    if func.node.name in self.entries]
-        seen: set[str] = set()
-        while frontier:
-            qual = frontier.pop()
-            if qual in seen:
-                continue
-            seen.add(qual)
-            frontier.extend(funcs[qual].calls - seen)
-        return seen
-
-    # ------------------------------------------------------------------ #
 
     def _check_function(self, mod: SourceModule, func: _Func,
                         module_globals: set[str]) -> list[Finding]:

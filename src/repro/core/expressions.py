@@ -336,7 +336,9 @@ class Or(Predicate):
             hits = part.evaluate_block(columns, remaining)
             matched.update(hits)
             if hits:
-                remaining = [i for i in remaining if i not in matched]
+                # Rebuilt once per *disjunct* (rarely >3), not per row;
+                # shrinking the candidate list is the point of the pass.
+                remaining = [i for i in remaining if i not in matched]  # analyze: allow-alloc
         return [i for i in selection if i in matched]
 
     def can_match(self, ranges: Ranges) -> bool:

@@ -271,9 +271,13 @@ class StarJoinMapper(Mapper):
 
     # -- the probe pipeline ------------------------------------------------ #
 
-    def process_record(self, get: Callable[[str], Any],
+    def process_record(self, get: Callable[[str], Any],  # analyze: allow-alloc
                        collector: OutputCollector) -> bool:
-        """Probe one fact row; emit on full match. Returns hit/miss."""
+        """Probe one fact row; emit on full match. Returns hit/miss.
+
+        Row-at-a-time by contract (the scalar API); per-row allocation
+        is inherent here, which is exactly why the block path exists.
+        """
         if not self._fact_pred.evaluate(get):
             return False
         aux_values: list[tuple] = []
@@ -387,7 +391,7 @@ class StarJoinMapper(Mapper):
             matched += 1 if process(getter, collector) else 0
         return matched
 
-    def _map_block_late(self, block: RowBlock,
+    def _map_block_late(self, block: RowBlock,  # analyze: allow-alloc (row-wise ablation arm, kept for benchmarking)
                         collector: OutputCollector) -> int:
         """Row-wise late tuple reconstruction (paper 5.3's future-work
         idea), kept as the vectorization-off ablation arm.

@@ -107,7 +107,7 @@ class PartialJoinMapper(StarJoinMapper):
             json.loads(context.conf.require(KEY_PASS_OUTPUT_SCHEMA)))
         self._output_names = output_schema.names
 
-    def process_record(self, get, collector: OutputCollector) -> bool:
+    def process_record(self, get, collector: OutputCollector) -> bool:  # analyze: allow-alloc (scalar API)
         if not self._fact_pred.evaluate(get):
             return False
         aux_values: list[tuple] = []
@@ -124,9 +124,13 @@ class PartialJoinMapper(StarJoinMapper):
         collector.collect(None, row)
         return True
 
-    def _emit_block(self, block, selection, aux_by_join,
+    def _emit_block(self, block, selection, aux_by_join,  # analyze: allow-alloc
                     collector: OutputCollector) -> None:
-        """Vectorized-path hook: emit flattened rows, not aggregates."""
+        """Vectorized-path hook: emit flattened rows, not aggregates.
+
+        Allocates per *surviving* row only — materializing the join
+        output is this stage's job, so the allocation is the payload.
+        """
         columns = block.columns
         tables = self.hash_tables
         out_names = self._output_names

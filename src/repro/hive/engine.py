@@ -217,8 +217,11 @@ class HiveEngine:
         rows = []
         for split in fmt.get_splits(self.fs, conf):
             reader = fmt.get_record_reader(self.fs, split, conf)
-            for _, record in reader:
-                rows.append(tuple(record.values))
+            try:
+                for _, record in reader:
+                    rows.append(tuple(record.values))
+            finally:
+                reader.close()
         return rows
 
     def _stage_conf(self, name: str, query: StarQuery,

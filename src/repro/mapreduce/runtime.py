@@ -199,7 +199,14 @@ class JobRunner:
                     reader = job.input_format.get_record_reader(
                         self.fs, assignment.split, job,
                         reader_node=node_id)
-                    runner.run(reader, mapper, collector, context)
+                    try:
+                        runner.run(reader, mapper, collector, context)
+                    finally:
+                        # Close per attempt: a failed attempt must not
+                        # leak its reader into the retry (fd exhaustion
+                        # under the fault injector).
+                        bytes_read = reader.bytes_read
+                        reader.close()
                     last_error = None
                     break
                 except TaskOutOfMemoryError:
@@ -218,8 +225,6 @@ class JobRunner:
                     f"{context.memory_required_bytes / 2**20:.0f} MB but the "
                     f"slot heap is {heap_per_task / 2**20:.0f} MB",
                     cause=TaskOutOfMemoryError(assignment.task_id))
-            bytes_read = reader.bytes_read
-            reader.close()
 
             pairs = collector.pairs
             if job.combiner_class is not None and pairs:
@@ -270,11 +275,13 @@ class JobRunner:
         if num_reduces == 0:
             # Map-only job: map output goes straight to the output format.
             writer = output_format.get_writer(self.fs, job, 0)
-            for buckets in per_task_buckets:
-                for key, value in buckets[0]:
-                    writer.write(key, value)
-                    output_pairs.append((key, value))
-            writer.close()
+            try:
+                for buckets in per_task_buckets:
+                    for key, value in buckets[0]:
+                        writer.write(key, value)
+                        output_pairs.append((key, value))
+            finally:
+                writer.close()
             output_format.finalize(self.fs, job)
             return [], output_pairs
 
@@ -310,10 +317,12 @@ class JobRunner:
                     f"job {job.name!r} reducer {partition} failed: {exc}",
                     cause=exc) from exc
             writer = output_format.get_writer(self.fs, job, partition)
-            for key, value in collector.pairs:
-                writer.write(key, value)
-                output_pairs.append((key, value))
-            writer.close()
+            try:
+                for key, value in collector.pairs:
+                    writer.write(key, value)
+                    output_pairs.append((key, value))
+            finally:
+                writer.close()
             records_in = sum(len(v) for _, v in groups)
             duration = (self.cost_model.task_start_cost(False)
                         + context.charged_seconds

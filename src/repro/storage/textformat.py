@@ -88,10 +88,12 @@ class TextTableInputFormat(TextInputFormat):
     def get_record_reader(self, fs: MiniDFS, split: InputSplit,
                           conf: JobConf,
                           reader_node: str | None = None) -> RecordReader:
-        inner = super().get_record_reader(fs, split, conf, reader_node)
         assert hasattr(split, "path")
         directory = split.path.rsplit("/", 1)[0]  # type: ignore[attr-defined]
+        # Load the schema before acquiring the reader: a missing/corrupt
+        # table meta must not leak an open line reader.
         meta = TableMeta.load(fs, directory)
+        inner = super().get_record_reader(fs, split, conf, reader_node)
         return _ParsingReader(inner, meta.schema)
 
     def list_input_files(self, fs: MiniDFS, conf: JobConf) -> list[str]:
