@@ -7,10 +7,15 @@ Hive mapjoin 15,142 s over five stages; Hive repartition 17,700 s
 ``python -m repro.bench q21`` to render.
 """
 
+import json
+
 import pytest
 
 from repro.bench import paper_reference as paper
 from repro.bench.figures import q21_breakdown, render_q21
+from repro.core.engine import ClydesdaleEngine
+from repro.ssb.queries import ssb_queries
+from repro.trace.export import to_chrome_trace
 
 
 def test_q21_breakdown_regeneration(benchmark):
@@ -38,6 +43,37 @@ def test_q21_breakdown_regeneration(benchmark):
 
     print()
     print(render_q21(breakdown))
+
+
+def test_q21_phase_breakdown_from_spans(benchmark):
+    """The measured (not modeled) Q2.1 breakdown, read from real spans:
+    a traced run must produce a sound span tree whose build / scan /
+    probe / shuffle / sort totals are all present and whose chrome-trace
+    export validates."""
+    engine = ClydesdaleEngine.with_ssb_data(scale_factor=0.002, trace=True)
+    query = ssb_queries()["Q2.1"]
+
+    result = benchmark(engine.execute, query)
+
+    assert result.rows
+    tree = engine.last_trace
+    assert tree is not None
+    assert tree.violations() == []
+
+    phases = engine.last_stats.phases
+    for phase in ("scan", "build", "probe", "shuffle", "sort"):
+        assert phases.get(phase, 0.0) > 0.0, phase
+    # The star join is probe- and build-dominated, never shuffle-bound:
+    # Q2.1 reduces a handful of (year, brand) groups.
+    assert phases["shuffle"] < phases["build"] + phases["probe"]
+
+    doc = json.loads(json.dumps(to_chrome_trace(tree)))
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(complete) == len(tree)
+    assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in complete)
+    assert {e["name"] for e in complete} >= {
+        "query:Q2.1", "job", "map_task", "scan", "build", "probe",
+        "shuffle", "sort", "aggregate"}
 
 
 def test_q21_stage1_task_structure(benchmark):

@@ -20,6 +20,12 @@ A write is allowed when it is lexically inside a ``with`` block whose
 context expression names a lock (identifier containing ``lock``), or
 when it goes through the thread-local tally pattern (an attribute chain
 passing through a name containing ``local``).
+
+The tracer (``repro/trace/tracer.py``) is a target too: join threads
+open and finish spans concurrently, so its span/start/finish entry
+points are scanned under the same rules — the per-thread span stacks
+(``self._local.stack``) ride the thread-local allowance, and the shared
+span list and id counter must stay behind the tracer's lock.
 """
 
 from __future__ import annotations
@@ -80,8 +86,14 @@ class RaceLintPass(AnalysisPass):
     description = ("unguarded writes to shared state reachable from "
                    "join_thread/map hot paths")
 
-    DEFAULT_TARGETS = ("repro/core/joinjob.py", "repro/mapreduce/runtime.py")
-    DEFAULT_ENTRIES = ("join_thread", "map", "process_record")
+    # The tracer is part of the threaded hot path: join threads open and
+    # finish spans concurrently. Its per-thread span stacks ride the
+    # thread-local allowance (``self._local.stack``); the shared span
+    # list and id counter must stay behind ``self._lock``.
+    DEFAULT_TARGETS = ("repro/core/joinjob.py", "repro/mapreduce/runtime.py",
+                       "repro/trace/tracer.py")
+    DEFAULT_ENTRIES = ("join_thread", "map", "process_record",
+                       "span", "start", "finish", "_finish")
 
     def __init__(self, targets: tuple[str, ...] | None = None,
                  entries: tuple[str, ...] | None = None):

@@ -169,6 +169,11 @@ KEY_SANITIZER = _flag(
     "clydesdale.sanitizer", default=False,
     doc="Runtime shared-state sanitizer: freezes published dimension "
         "hash tables and enforces merge-at-close for thread tallies.")
+KEY_TRACE = _flag(
+    "clydesdale.trace", default=False,
+    doc="Hierarchical span tracing (repro.trace): job/task/thread/phase "
+        "span tree with JSON, chrome://tracing, and flame exporters. "
+        "Off = the no-op tracer; trace points cost nothing.")
 
 # -- Hive baseline keys ------------------------------------------------ #
 KEY_HIVE_FACT_SIDE_FK = _config(
@@ -250,6 +255,7 @@ CTR_REDUCE_OUTPUT_RECORDS = _counter(COUNTER_GROUP_REDUCE,
                                      "output_records")
 CTR_ROWGROUPS_PRUNED = _counter(COUNTER_GROUP_STORAGE, "rowgroups_pruned")
 CTR_ROWS_SKIPPED = _counter(COUNTER_GROUP_STORAGE, "rows_skipped")
+CTR_TRACE_SPANS = _counter(COUNTER_GROUP_JOB, "trace_spans")
 
 CTR_ROWS_PROBED = _counter(COUNTER_GROUP_CLYDESDALE, "rows_probed")
 CTR_ROWS_MATCHED = _counter(COUNTER_GROUP_CLYDESDALE, "rows_matched")

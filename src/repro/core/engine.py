@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.common.keys import KEY_TRACE
 from repro.core.planner import ClydesdaleFeatures, plan_star_join
 from repro.core.query import StarQuery
 from repro.core.result import QueryResult, apply_order_by
@@ -29,6 +30,15 @@ from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim.hardware import ClusterSpec, tiny_cluster
 from repro.ssb.datagen import SSBData, SSBGenerator
 from repro.ssb.loader import Catalog, load_for_clydesdale
+from repro.trace.tracer import (
+    CAT_JOB,
+    CAT_PHASE,
+    CAT_STEP,
+    NULL_TRACER,
+    STATUS_FAILED,
+    SpanTree,
+    Tracer,
+)
 
 
 @dataclass
@@ -46,11 +56,20 @@ class ExecutionStats:
     ht_entries: dict[str, int] = field(default_factory=dict)
     ht_scanned: dict[str, int] = field(default_factory=dict)
     output_groups: int = 0
+    #: Wall-clock seconds per phase span name (scan/build/probe/...),
+    #: from the real span tree; empty when tracing was off.
+    phases: dict[str, float] = field(default_factory=dict)
+    #: The full span tree when tracing was on.
+    trace: SpanTree | None = None
 
     @classmethod
-    def from_job(cls, query_name: str, job: JobResult) -> "ExecutionStats":
+    def from_job(cls, query_name: str, job: JobResult,
+                 trace: SpanTree | None = None) -> "ExecutionStats":
         counters = job.counters
         stats = cls(query_name=query_name, job=job)
+        if trace is not None:
+            stats.trace = trace
+            stats.phases = trace.phase_totals()
         stats.rows_probed = counters.get("clydesdale", "rows_probed")
         stats.rows_matched = counters.get("clydesdale", "rows_matched")
         stats.hdfs_bytes_read = counters.get(Counters.GROUP_HDFS,
@@ -92,7 +111,8 @@ class ClydesdaleEngine:
     def __init__(self, fs: MiniDFS, catalog: Catalog,
                  cluster: ClusterSpec | None = None,
                  cost_model: CostModel | None = None,
-                 features: ClydesdaleFeatures | None = None):
+                 features: ClydesdaleFeatures | None = None,
+                 trace: bool = False):
         self.fs = fs
         self.catalog = catalog
         self.cluster = cluster or tiny_cluster(workers=len(fs.node_ids))
@@ -100,6 +120,10 @@ class ClydesdaleEngine:
         self.features = features or ClydesdaleFeatures()
         self.runner = JobRunner(fs, self.cluster, self.cost_model)
         self.last_stats: ExecutionStats | None = None
+        #: Default for per-call tracing (``clydesdale.trace``).
+        self.trace = trace
+        #: Span tree of the most recent traced ``execute`` call.
+        self.last_trace: SpanTree | None = None
 
     @classmethod
     def with_ssb_data(cls, scale_factor: float = 0.01, seed: int = 42,
@@ -108,7 +132,8 @@ class ClydesdaleEngine:
                       cost_model: CostModel | None = None,
                       features: ClydesdaleFeatures | None = None,
                       row_group_size: int = 25_000,
-                      data: SSBData | None = None) -> "ClydesdaleEngine":
+                      data: SSBData | None = None,
+                      trace: bool = False) -> "ClydesdaleEngine":
         """Generate (or reuse) SSB data and build a ready engine."""
         fs = MiniDFS(num_nodes=num_nodes,
                      placement=CoLocatingPlacementPolicy())
@@ -118,20 +143,27 @@ class ClydesdaleEngine:
         catalog = load_for_clydesdale(fs, data,
                                       row_group_size=row_group_size)
         engine = cls(fs, catalog, cluster=cluster, cost_model=cost_model,
-                     features=features)
+                     features=features, trace=trace)
         engine.data = data
         return engine
 
     def execute(self, query: StarQuery,
-                features: ClydesdaleFeatures | None = None) -> QueryResult:
+                features: ClydesdaleFeatures | None = None,
+                trace: bool | None = None) -> QueryResult:
         """Run a star query; returns ordered rows with simulated timing.
 
         If the dimension hash tables cannot all fit a node's heap at
         once, the engine automatically falls back to the multi-pass
         strategy of paper section 5.1 (one subset of dimensions per
         pass over the data).
+
+        ``trace`` overrides the engine default; when on, the span tree
+        lands on ``last_trace`` and ``last_stats.phases``.
         """
         active = features or self.features
+        enabled = self.trace if trace is None else trace
+        tracer = Tracer() if enabled else NULL_TRACER
+        self.last_trace = None
         from repro.core.multipass import estimate_ht_bytes, plan_passes
         budget = self.cluster.heap_budget_per_node
         worst_case = sum(estimate_ht_bytes(
@@ -144,19 +176,43 @@ class ClydesdaleEngine:
             if len(passes) > 1:
                 return self.execute_multipass(query, passes,
                                               features=active)
-        conf, output = plan_star_join(query, self.catalog, self.cluster,
-                                      self.cost_model, active, fs=self.fs)
-        job = self.runner.run(conf)
-        columns = list(query.group_by) + [a.alias for a in query.aggregates]
-        rows = [tuple(key) + tuple(values)
-                for key, values in output.results]
-        ordered = apply_order_by(rows, columns, query.order_by, query.limit)
-        final_sort = (len(rows) / self.cost_model.final_sort_rows_s
-                      if query.order_by else 0.0)
+        query_span = tracer.start(f"query:{query.name}", CAT_JOB)
+        try:
+            with tracer.span("plan", CAT_STEP):
+                conf, output = plan_star_join(
+                    query, self.catalog, self.cluster, self.cost_model,
+                    active, fs=self.fs)
+            if enabled:
+                conf.set(KEY_TRACE, True)
+                conf.tracer = tracer
+            job = self.runner.run(conf)
+            columns = (list(query.group_by)
+                       + [a.alias for a in query.aggregates])
+            rows = [tuple(key) + tuple(values)
+                    for key, values in output.results]
+            if query.order_by:
+                with tracer.span("sort", CAT_PHASE) as sort_span:
+                    ordered = apply_order_by(rows, columns,
+                                             query.order_by, query.limit)
+                    sort_span.set("rows", len(rows))
+            else:
+                ordered = apply_order_by(rows, columns, query.order_by,
+                                         query.limit)
+            final_sort = (len(rows) / self.cost_model.final_sort_rows_s
+                          if query.order_by else 0.0)
+        except Exception:
+            query_span.finish(STATUS_FAILED)
+            if enabled:
+                self.last_trace = tracer.tree()
+            raise
+        query_span.finish()
         breakdown = dict(job.breakdown)
         if final_sort:
             breakdown["final_sort"] = final_sort
-        self.last_stats = ExecutionStats.from_job(query.name, job)
+        tree = tracer.tree() if enabled else None
+        self.last_trace = tree
+        self.last_stats = ExecutionStats.from_job(query.name, job,
+                                                  trace=tree)
         return QueryResult(
             query_name=query.name,
             columns=columns,
@@ -171,7 +227,8 @@ class ClydesdaleEngine:
         from repro.core.explain import explain_clydesdale
         return explain_clydesdale(query, self.catalog, self.cluster,
                                   self.cost_model,
-                                  features or self.features, fs=self.fs)
+                                  features or self.features, fs=self.fs,
+                                  trace=self.trace)
 
     def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
         """Parse star-join SQL (the dialect the paper prints) and run it.

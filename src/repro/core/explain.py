@@ -42,7 +42,7 @@ def explain_clydesdale(query: StarQuery, catalog: Catalog,
                        cluster: ClusterSpec | None = None,
                        cost_model: CostModel | None = None,
                        features: ClydesdaleFeatures | None = None,
-                       fs=None) -> str:
+                       fs=None, trace: bool = False) -> str:
     """The Clydesdale physical plan as text.
 
     ``fs`` (the filesystem holding the tables) lets the plan show the
@@ -125,6 +125,12 @@ def explain_clydesdale(query: StarQuery, catalog: Catalog,
             f"{k.column} {'DESC' if k.descending else 'ASC'}"
             for k in query.order_by)
         lines.append(f"final: single-process sort by {keys}")
+    if trace:
+        lines.append(
+            "trace: clydesdale.trace on -> span tree "
+            "query > plan/schedule/job > map_task > "
+            "scan/build/join_thread > probe; reduce > "
+            "shuffle/sort/aggregate (exports: json, chrome, flame)")
     return "\n".join(lines)
 
 

@@ -42,6 +42,12 @@ from repro.mapreduce.types import OutputCollector, RecordReader
 from repro.ssb.loader import dim_cache_name
 from repro.storage import serde
 from repro.storage.cif import RowBlock
+from repro.trace.tracer import (
+    CAT_PHASE,
+    CAT_THREAD,
+    NULL_TRACER,
+    STATUS_FAILED,
+)
 
 # Configuration keys and the counter group, re-exported from the
 # central registry in repro.common.keys.
@@ -127,17 +133,21 @@ class StarJoinMapper(Mapper):
         self._local = threading.local()
         self._sanitize = False
         self._closed = False
+        self._tracer = NULL_TRACER
 
     # -- lifecycle --------------------------------------------------------- #
 
     def initialize(self, context: TaskContext) -> None:
         query, fact_schema, dim_schemas = load_query_config(context.conf)
         self.query = query
+        self._tracer = context.tracer
         self._fact_pred = query.fact_predicate
         self._pred_is_true = isinstance(self._fact_pred, TruePredicate)
         self._fk_names = [j.fact_fk for j in query.joins]
-        self.hash_tables = self._build_or_reuse_hash_tables(
-            context, query, dim_schemas)
+        with self._tracer.span("build", CAT_PHASE) as build_span:
+            self.hash_tables = self._build_or_reuse_hash_tables(
+                context, query, dim_schemas)
+            build_span.set("tables", len(self.hash_tables))
         self._probe_order = self._plan_probe_order()
         self._group_plan = self._plan_group_keys(query, fact_schema,
                                                  dim_schemas)
@@ -308,12 +318,17 @@ class StarJoinMapper(Mapper):
 
     def _map_block(self, block: RowBlock, collector: OutputCollector,
                    ) -> None:
-        if self._vectorized:
-            matched = self._map_block_kernels(block, collector)
-        elif self._late_materialization:
-            matched = self._map_block_late(block, collector)
-        else:
-            matched = self._map_block_eager(block, collector)
+        # One span per block batch (never per row): with tracing off
+        # this is two no-op calls on the shared null span.
+        with self._tracer.span("probe", CAT_PHASE) as probe_span:
+            if self._vectorized:
+                matched = self._map_block_kernels(block, collector)
+            elif self._late_materialization:
+                matched = self._map_block_late(block, collector)
+            else:
+                matched = self._map_block_eager(block, collector)
+            probe_span.set("rows", block.num_rows)
+            probe_span.set("matched", matched)
         tally = self._tally()
         tally.probed += block.num_rows
         tally.matched += matched
@@ -504,17 +519,25 @@ class MTMapRunner(MapRunner):
         queue: list[RecordReader] = list(readers)
         queue_lock = threading.Lock()
         errors: list[tuple[str, Exception]] = []
+        tracer = context.tracer
+        task_span = context.span
 
         def join_thread() -> None:
+            # Worker threads have an empty thread-local span stack, so
+            # the task span is passed as the explicit parent.
+            thread_span = tracer.start("join_thread", CAT_THREAD,
+                                       parent=task_span)
             try:
                 while True:
                     with queue_lock:
                         if not queue:
-                            return
+                            break
                         current = queue.pop(0)
                     for key, value in current:
                         mapper.map(key, value, collector, context)
+                thread_span.finish()
             except Exception as exc:  # collected; re-raised after join
+                thread_span.finish(STATUS_FAILED)
                 with queue_lock:
                     errors.append(
                         (threading.current_thread().name, exc))

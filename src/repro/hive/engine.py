@@ -52,9 +52,19 @@ from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim.hardware import ClusterSpec, tiny_cluster
 from repro.ssb.datagen import SSBData, SSBGenerator
 from repro.ssb.loader import Catalog, load_for_hive
+from repro.common.keys import KEY_TRACE
 from repro.storage.rcfile import RCFileInputFormat
 from repro.storage.rowformat import RowInputFormat
 from repro.storage.tablemeta import FORMAT_RCFILE
+from repro.trace.tracer import (
+    CAT_JOB,
+    CAT_PHASE,
+    CAT_STAGE,
+    NULL_TRACER,
+    STATUS_FAILED,
+    SpanTree,
+    Tracer,
+)
 
 PLAN_MAPJOIN = "mapjoin"
 PLAN_REPARTITION = "repartition"
@@ -91,7 +101,8 @@ class HiveEngine:
     def __init__(self, fs: MiniDFS, catalog: Catalog,
                  cluster: ClusterSpec | None = None,
                  cost_model: CostModel | None = None,
-                 default_plan: str = PLAN_MAPJOIN):
+                 default_plan: str = PLAN_MAPJOIN,
+                 trace: bool = False):
         if default_plan not in (PLAN_MAPJOIN, PLAN_REPARTITION):
             raise PlanningError(f"unknown Hive plan {default_plan!r}")
         self.fs = fs
@@ -101,6 +112,11 @@ class HiveEngine:
         self.default_plan = default_plan
         self.runner = JobRunner(fs, self.cluster, self.cost_model)
         self.last_stats: HiveStats | None = None
+        #: Default for per-call tracing (``clydesdale.trace``).
+        self.trace = trace
+        #: Span tree of the most recent traced ``execute`` call.
+        self.last_trace: SpanTree | None = None
+        self._tracer = NULL_TRACER
         #: Monotonic execution id: Hadoop gives every job a unique id,
         #: which keys the distributed cache (re-running a query must not
         #: reuse stale node-local hash-table copies).
@@ -127,12 +143,38 @@ class HiveEngine:
     # ------------------------------------------------------------------ #
 
     def execute(self, query: StarQuery,
-                plan: str | None = None) -> QueryResult:
+                plan: str | None = None,
+                trace: bool | None = None) -> QueryResult:
         """Run the multi-stage Hive plan; may raise
-        :class:`JobFailedError` (e.g. mapjoin OOM)."""
+        :class:`JobFailedError` (e.g. mapjoin OOM).
+
+        ``trace`` overrides the engine default (``clydesdale.trace``);
+        when on, the stage/job span tree lands on ``last_trace``.
+        """
         plan = plan or self.default_plan
         if plan not in (PLAN_MAPJOIN, PLAN_REPARTITION):
             raise PlanningError(f"unknown Hive plan {plan!r}")
+        enabled = self.trace if trace is None else trace
+        tracer = Tracer() if enabled else NULL_TRACER
+        self.last_trace = None
+        self._tracer = tracer
+        query_span = tracer.start(f"query:{query.name}", CAT_JOB)
+        try:
+            result = self._execute_plan(query, plan, tracer)
+        except Exception:
+            query_span.finish(STATUS_FAILED)
+            self._tracer = NULL_TRACER
+            if enabled:
+                self.last_trace = tracer.tree()
+            raise
+        query_span.finish()
+        self._tracer = NULL_TRACER
+        if enabled:
+            self.last_trace = tracer.tree()
+        return result
+
+    def _execute_plan(self, query: StarQuery, plan: str,
+                      tracer) -> QueryResult:
         validate_query(query, self.catalog)
         if any(j.snowflake for j in query.joins):
             raise PlanningError(
@@ -168,29 +210,40 @@ class HiveEngine:
             out_schema = Schema(out_columns)
             stage_dir = f"{scratch}/stage{index}"
             stage_name = f"stage{index}:{plan}-join:{join.dimension}"
-            if plan == PLAN_MAPJOIN:
-                report = self._run_mapjoin_stage(
-                    query, join, aux, stage_name, current_dir,
-                    current_is_fact, current_schema, out_schema,
-                    stage_dir, scratch, first_stage=(index == 1))
-            else:
-                report = self._run_repartition_stage(
-                    query, join, aux, stage_name, current_dir,
-                    current_is_fact, current_schema, out_schema,
-                    stage_dir, first_stage=(index == 1))
+            with tracer.span(stage_name, CAT_STAGE) as stage_span:
+                if plan == PLAN_MAPJOIN:
+                    report = self._run_mapjoin_stage(
+                        query, join, aux, stage_name, current_dir,
+                        current_is_fact, current_schema, out_schema,
+                        stage_dir, scratch, first_stage=(index == 1))
+                else:
+                    report = self._run_repartition_stage(
+                        query, join, aux, stage_name, current_dir,
+                        current_is_fact, current_schema, out_schema,
+                        stage_dir, first_stage=(index == 1))
+                stage_span.set("rows_in", report.rows_in)
+                stage_span.set("rows_out", report.rows_out)
             stats.stages.append(report)
             current_schema = out_schema
             current_dir = stage_dir
             current_is_fact = False
 
-        group_report, output_pairs = self._run_groupby_stage(
-            query, current_schema, current_dir,
-            is_fact=current_is_fact)
+        with tracer.span("groupby", CAT_STAGE):
+            group_report, output_pairs = self._run_groupby_stage(
+                query, current_schema, current_dir,
+                is_fact=current_is_fact)
         stats.stages.append(group_report)
 
         columns = list(query.group_by) + [a.alias for a in query.aggregates]
         rows = [tuple(key) + tuple(values) for key, values in output_pairs]
-        ordered = apply_order_by(rows, columns, query.order_by, query.limit)
+        if query.order_by:
+            with tracer.span("sort", CAT_PHASE) as sort_span:
+                ordered = apply_order_by(rows, columns, query.order_by,
+                                         query.limit)
+                sort_span.set("rows", len(rows))
+        else:
+            ordered = apply_order_by(rows, columns, query.order_by,
+                                     query.limit)
         order_seconds = 0.0
         if query.order_by:
             order_seconds = (self.cost_model.job_overhead_s
@@ -211,6 +264,8 @@ class HiveEngine:
     def _read_dimension(self, dim_meta, columns: list[str]) -> list[tuple]:
         """Master-side scan of a dimension table (projected)."""
         conf = JobConf("hive-master-scan")
+        if self._tracer is not NULL_TRACER:
+            conf.tracer = self._tracer
         conf.set_input_paths(dim_meta.directory)
         fmt = RCFileInputFormat()
         RCFileInputFormat.set_projection(conf, columns)
@@ -236,6 +291,11 @@ class HiveEngine:
             conf.input_format = RowInputFormat()
         conf.enable_jvm_reuse(False)  # Hive does not reuse JVMs (paper 6.4)
         conf.scheduler = FifoScheduler()
+        if self._tracer is not NULL_TRACER:
+            # Stage jobs run on the engine thread, so the runtime's job
+            # span nests under the active stage span.
+            conf.set(KEY_TRACE, True)
+            conf.tracer = self._tracer
         conf.set(KEY_ROWS_RATE, self.cost_model.hive_rows_s_per_slot)
         conf.set(KEY_RELOAD_RATE, self.cost_model.hash_reload_bytes_s)
         conf.set(KEY_HT_BYTES_PER_ENTRY,
@@ -250,12 +310,17 @@ class HiveEngine:
                            first_stage: bool) -> StageReport:
         dim_meta = self.catalog.meta(join.dimension)
         needed = self._dim_columns(join, aux, dim_meta.schema)
-        dim_rows = self._read_dimension(dim_meta, needed)
-        dim_schema = dim_meta.schema.project(needed)
-        cache_path = f"{scratch}/ht_{join.dimension}.bin"
-        entries, _ = build_broadcast_table(
-            self.fs, dim_schema, dim_rows, join.dim_pk, join.predicate,
-            aux, cache_path)
+        # Master-side broadcast-table build (paper 6.3): its own build
+        # phase span, with the dimension scan spans nested inside.
+        with self._tracer.span("build", CAT_PHASE) as build_span:
+            dim_rows = self._read_dimension(dim_meta, needed)
+            dim_schema = dim_meta.schema.project(needed)
+            cache_path = f"{scratch}/ht_{join.dimension}.bin"
+            entries, _ = build_broadcast_table(
+                self.fs, dim_schema, dim_rows, join.dim_pk, join.predicate,
+                aux, cache_path)
+            build_span.set("dimension", join.dimension)
+            build_span.set("entries", entries)
         master_build_s = (len(dim_rows)
                           / self.cost_model.hash_build_rows_s)
 

@@ -26,6 +26,7 @@ from repro.mapreduce.distcache import DistributedCache
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import OutputCollector
 from repro.core.expressions import Predicate
+from repro.trace.tracer import CAT_PHASE
 
 from repro.common.keys import (
     COUNTER_GROUP_HIVE as COUNTER_GROUP,
@@ -90,10 +91,13 @@ class MapJoinMapper(Mapper):
         conf = context.conf
         self._fk = conf.require(KEY_STAGE_FK)
         cache_path = conf.require(KEY_CACHE_FILE)
-        local_name = DistributedCache.local_name(conf.name, cache_path)
-        blob = context.read_node_local(local_name)
-        payload = pickle.loads(blob)
-        self._table = payload["fk_aux"]
+        # The per-task hash-table reload is this stage's build phase.
+        with context.tracer.span("build", CAT_PHASE) as build_span:
+            local_name = DistributedCache.local_name(conf.name, cache_path)
+            blob = context.read_node_local(local_name)
+            payload = pickle.loads(blob)
+            self._table = payload["fk_aux"]
+            build_span.set("entries", len(self._table))
         aux_columns = payload["aux_columns"]
 
         input_schema = Schema.from_dict(
@@ -144,3 +148,6 @@ class MapJoinMapper(Mapper):
         context.charge(self._rows_in / self._probe_rate)
         context.count(COUNTER_GROUP, "stage_rows_in", self._rows_in)
         context.count(COUNTER_GROUP, "stage_rows_out", self._rows_out)
+        if context.span is not None:
+            context.span.set("rows_in", self._rows_in)
+            context.span.set("rows_out", self._rows_out)

@@ -170,6 +170,8 @@ class RepartitionMapper(Mapper):
               context: TaskContext) -> None:
         context.charge(self._rows / self._rate)
         context.count(COUNTER_GROUP, "stage_rows_in", self._rows)
+        if context.span is not None:
+            context.span.set("rows_in", self._rows)
 
 
 class RepartitionReducer(Reducer):

@@ -13,6 +13,7 @@ from typing import Any, Iterable
 from repro.common.errors import ValidationError
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import OutputCollector, RecordReader
+from repro.trace.tracer import NULL_TRACER
 
 
 class TaskContext:
@@ -28,7 +29,7 @@ class TaskContext:
 
     def __init__(self, conf: JobConf, node_id: str, task_id: str,
                  jvm_state: dict, node_local_read, threads: int = 1,
-                 counters=None):
+                 counters=None, tracer=None, span=None):
         self.conf = conf
         self.node_id = node_id
         self.task_id = task_id
@@ -38,6 +39,11 @@ class TaskContext:
         self._counters = counters
         self.charged_seconds = 0.0
         self.memory_required_bytes = 0.0
+        # Tracing: the job's tracer (the no-op one when the flag is off)
+        # and this task's active span, for explicit cross-thread
+        # parenting (MTMapRunner join threads).
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.span = span
 
     def count(self, group: str, name: str, amount: int = 1) -> None:
         """Increment a job counter (no-op when the runtime gave none)."""

@@ -37,9 +37,14 @@ class Counters:
         return self._data.get(group, {}).get(name, 0)
 
     def merge(self, other: "Counters") -> None:
-        for group, names in other._data.items():
-            for name, value in names.items():
-                self._data[group][name] += value
+        """Add ``other``'s counts into this one.
+
+        Goes through the public :meth:`items` iteration so subclasses
+        (and counters backed by other stores) merge correctly instead of
+        having their ``_data`` reached into.
+        """
+        for group, name, value in other.items():
+            self.increment(group, name, value)
 
     def groups(self) -> list[str]:
         return sorted(self._data)

@@ -17,8 +17,10 @@ from repro.common.errors import JobFailedError, TaskOutOfMemoryError
 from repro.common.keys import (
     CTR_ROWGROUPS_PRUNED,
     CTR_ROWS_SKIPPED,
+    CTR_TRACE_SPANS,
     KEY_GRANTED_THREADS,
     KEY_MAP_MAX_ATTEMPTS,
+    KEY_TRACE,
 )
 from repro.hdfs.filesystem import MiniDFS
 from repro.mapreduce.api import MapRunner, TaskContext
@@ -37,6 +39,17 @@ from repro.mapreduce.types import OutputCollector
 from repro.sim.costs import DEFAULT_COST_MODEL, CostModel
 from repro.sim.hardware import ClusterSpec, tiny_cluster
 from repro.sim.scheduler import schedule, schedule_per_node
+from repro.trace.tracer import (
+    CAT_JOB,
+    CAT_PHASE,
+    CAT_STEP,
+    CAT_TASK,
+    NULL_TRACER,
+    STATUS_FAILED,
+    STATUS_RETRIED,
+    Tracer,
+    tracer_for,
+)
 
 
 @dataclass
@@ -91,29 +104,48 @@ class JobRunner:
     def run(self, job: JobConf) -> JobResult:
         """Execute ``job``; raises :class:`JobFailedError` on task failure."""
         job.validate()
+        tracer = tracer_for(job)
+        if tracer is NULL_TRACER and job.get_bool(KEY_TRACE, False):
+            # Flag set without an engine-attached tracer: the runtime
+            # owns one, reachable afterwards as ``job.tracer``.
+            tracer = Tracer()
+            job.tracer = tracer
+        spans_before = tracer.num_spans()
         counters = Counters()
         breakdown: dict[str, float] = {
             "job_overhead": self.cost_model.job_overhead_s}
 
-        cache_report = self._localize_cache(job, breakdown)
-        splits = job.input_format.get_splits(self.fs, job)
-        prune_report = getattr(job.input_format, "last_prune_report", None)
-        if prune_report and prune_report.get(CTR_ROWGROUPS_PRUNED):
-            counters.increment(Counters.GROUP_STORAGE, CTR_ROWGROUPS_PRUNED,
-                               prune_report[CTR_ROWGROUPS_PRUNED])
-            counters.increment(Counters.GROUP_STORAGE, CTR_ROWS_SKIPPED,
-                               prune_report.get(CTR_ROWS_SKIPPED, 0))
-        if not splits:
-            raise JobFailedError(f"job {job.name!r}: input has no splits")
-        scheduler = job.scheduler or FifoScheduler()
-        plan = scheduler.plan(splits, self.fs.live_nodes(), job,
-                              self.cluster)
-        counters.increment(Counters.GROUP_JOB, "map_tasks", len(splits))
+        with tracer.span("job", CAT_JOB) as job_span:
+            job_span.set("job", job.name)
+            cache_report = self._localize_cache(job, breakdown)
+            splits = job.input_format.get_splits(self.fs, job)
+            prune_report = getattr(job.input_format,
+                                   "last_prune_report", None)
+            if prune_report and prune_report.get(CTR_ROWGROUPS_PRUNED):
+                counters.increment(Counters.GROUP_STORAGE,
+                                   CTR_ROWGROUPS_PRUNED,
+                                   prune_report[CTR_ROWGROUPS_PRUNED])
+                counters.increment(Counters.GROUP_STORAGE, CTR_ROWS_SKIPPED,
+                                   prune_report.get(CTR_ROWS_SKIPPED, 0))
+            if not splits:
+                raise JobFailedError(f"job {job.name!r}: input has no splits")
+            scheduler = job.scheduler or FifoScheduler()
+            plan = scheduler.plan(splits, self.fs.live_nodes(), job,
+                                  self.cluster)
+            counters.increment(Counters.GROUP_JOB, "map_tasks", len(splits))
 
-        map_reports, task_buckets = self._run_map_phase(
-            job, plan, counters, breakdown)
-        reduce_reports, output_pairs = self._run_reduce_phase(
-            job, task_buckets, counters, breakdown)
+            with tracer.span("map_phase", CAT_STEP):
+                map_reports, task_buckets = self._run_map_phase(
+                    job, plan, counters, breakdown, tracer)
+            with tracer.span("reduce_phase", CAT_STEP):
+                reduce_reports, output_pairs = self._run_reduce_phase(
+                    job, task_buckets, counters, breakdown, tracer)
+
+            if tracer is not NULL_TRACER:
+                counters.increment(Counters.GROUP_JOB, CTR_TRACE_SPANS,
+                                   tracer.num_spans() - spans_before)
+                for group, name, value in counters.items():
+                    job_span.set(f"{group}.{name}", value)
 
         total = sum(breakdown.values())
         return JobResult(
@@ -143,6 +175,7 @@ class JobRunner:
 
     def _run_map_phase(self, job: JobConf, plan: SchedulePlan,
                        counters: Counters, breakdown: dict[str, float],
+                       tracer=NULL_TRACER,
                        ) -> tuple[list[TaskReport], list[list]]:
         num_reduces = job.num_reduce_tasks()
         partitioner = job.partitioner or HashPartitioner()
@@ -187,12 +220,20 @@ class JobRunner:
                 else:
                     jvm_state = {}
                     reused = False
+                # One span per attempt: a retried task leaves a "failed"
+                # span behind and the retry opens a fresh one, so no
+                # span leaks open across the retry boundary.
+                task_span = tracer.start("map_task", CAT_TASK)
+                task_span.set("task", assignment.task_id)
+                task_span.set("node", node_id)
+                task_span.set("attempt", attempt)
                 context = TaskContext(
                     conf=job, node_id=node_id,
                     task_id=f"{assignment.task_id}-a{attempt}",
                     jvm_state=jvm_state,
                     node_local_read=self._node_local_read,
-                    threads=threads, counters=counters)
+                    threads=threads, counters=counters,
+                    tracer=tracer, span=task_span)
                 collector = OutputCollector()
                 mapper = job.mapper_class() if job.mapper_class else None
                 try:
@@ -207,11 +248,15 @@ class JobRunner:
                         # under the fault injector).
                         bytes_read = reader.bytes_read
                         reader.close()
+                    task_span.finish(STATUS_RETRIED if attempt > 0
+                                     else None)
                     last_error = None
                     break
                 except TaskOutOfMemoryError:
+                    task_span.finish(STATUS_FAILED)
                     raise
                 except Exception as exc:
+                    task_span.finish(STATUS_FAILED)
                     last_error = exc
                     failed_nodes.append(node_id)
             if last_error is not None:
@@ -266,6 +311,7 @@ class JobRunner:
 
     def _run_reduce_phase(self, job: JobConf, per_task_buckets: list,
                           counters: Counters, breakdown: dict[str, float],
+                          tracer=NULL_TRACER,
                           ) -> tuple[list[TaskReport], list]:
         num_reduces = job.num_reduce_tasks()
         output_format: OutputFormat = (job.output_format
@@ -285,12 +331,15 @@ class JobRunner:
             output_format.finalize(self.fs, job)
             return [], output_pairs
 
-        shuffle_records = sum(
-            len(bucket) for buckets in per_task_buckets
-            for bucket in buckets)
-        shuffle_bytes = _estimate_pairs_bytes(per_task_buckets)
-        breakdown["shuffle"] = self.cost_model.network_transfer_cost(
-            shuffle_bytes, self.cluster)
+        with tracer.span("shuffle", CAT_PHASE) as shuffle_span:
+            shuffle_records = sum(
+                len(bucket) for buckets in per_task_buckets
+                for bucket in buckets)
+            shuffle_bytes = _estimate_pairs_bytes(per_task_buckets)
+            breakdown["shuffle"] = self.cost_model.network_transfer_cost(
+                shuffle_bytes, self.cluster)
+            shuffle_span.set("records", shuffle_records)
+            shuffle_span.set("bytes", int(shuffle_bytes))
         counters.increment(Counters.GROUP_SHUFFLE, "records",
                            shuffle_records)
         counters.increment(Counters.GROUP_SHUFFLE, "bytes",
@@ -299,23 +348,38 @@ class JobRunner:
         reduce_reports = []
         reduce_durations = []
         for partition in range(num_reduces):
-            groups = merge_and_group(
-                [buckets[partition] for buckets in per_task_buckets])
-            reducer = job.reducer_class()
-            context = TaskContext(
-                conf=job, node_id=f"reducer-{partition}",
-                task_id=f"r-{partition:05d}", jvm_state={},
-                node_local_read=self._node_local_read)
-            collector = OutputCollector()
-            reducer.initialize(context)
+            reduce_span = tracer.start("reduce_task", CAT_TASK)
+            reduce_span.set("partition", partition)
             try:
-                for key, values in groups:
-                    reducer.reduce(key, values, collector, context)
-                reducer.close(collector, context)
-            except Exception as exc:
-                raise JobFailedError(
-                    f"job {job.name!r} reducer {partition} failed: {exc}",
-                    cause=exc) from exc
+                with tracer.span("sort", CAT_PHASE) as sort_span:
+                    groups = merge_and_group(
+                        [buckets[partition]
+                         for buckets in per_task_buckets])
+                    sort_span.set("groups", len(groups))
+                reducer = job.reducer_class()
+                context = TaskContext(
+                    conf=job, node_id=f"reducer-{partition}",
+                    task_id=f"r-{partition:05d}", jvm_state={},
+                    node_local_read=self._node_local_read,
+                    tracer=tracer, span=reduce_span)
+                collector = OutputCollector()
+                reducer.initialize(context)
+                try:
+                    with tracer.span("aggregate", CAT_PHASE) as agg_span:
+                        for key, values in groups:
+                            reducer.reduce(key, values, collector,
+                                           context)
+                        reducer.close(collector, context)
+                        agg_span.set("output_records",
+                                     len(collector.pairs))
+                except Exception as exc:
+                    raise JobFailedError(
+                        f"job {job.name!r} reducer {partition} failed: "
+                        f"{exc}", cause=exc) from exc
+            except Exception:
+                reduce_span.finish(STATUS_FAILED)
+                raise
+            reduce_span.finish()
             writer = output_format.get_writer(self.fs, job, partition)
             try:
                 for key, value in collector.pairs:

@@ -16,6 +16,7 @@ from repro.common.errors import SchedulerError
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit
 from repro.sim.hardware import ClusterSpec
+from repro.trace.tracer import CAT_STEP, tracer_for
 
 
 @dataclass(frozen=True)
@@ -60,24 +61,30 @@ class TaskScheduler:
              conf: JobConf, cluster: ClusterSpec) -> SchedulePlan:
         if not node_ids:
             raise SchedulerError("no live nodes to schedule on")
-        concurrency = self.concurrency(conf, cluster)
-        load: dict[str, int] = {n: 0 for n in node_ids}
-        node_set = set(node_ids)
-        assignments: list[TaskAssignment] = []
-        for index, split in enumerate(splits):
-            local_hosts = [h for h in split.locations() if h in node_set]
-            if local_hosts:
-                chosen = min(local_hosts, key=lambda n: (load[n], n))
-                data_local = True
-            else:
-                chosen = min(node_ids, key=lambda n: (load[n], n))
-                data_local = False
-            load[chosen] += 1
-            assignments.append(TaskAssignment(
-                task_id=f"m-{index:06d}", split=split, node_id=chosen,
-                data_local=data_local))
-        return SchedulePlan(assignments=assignments,
-                            concurrency_per_node=concurrency)
+        with tracer_for(conf).span("schedule", CAT_STEP) as span:
+            concurrency = self.concurrency(conf, cluster)
+            load: dict[str, int] = {n: 0 for n in node_ids}
+            node_set = set(node_ids)
+            assignments: list[TaskAssignment] = []
+            for index, split in enumerate(splits):
+                local_hosts = [h for h in split.locations()
+                               if h in node_set]
+                if local_hosts:
+                    chosen = min(local_hosts, key=lambda n: (load[n], n))
+                    data_local = True
+                else:
+                    chosen = min(node_ids, key=lambda n: (load[n], n))
+                    data_local = False
+                load[chosen] += 1
+                assignments.append(TaskAssignment(
+                    task_id=f"m-{index:06d}", split=split, node_id=chosen,
+                    data_local=data_local))
+            plan = SchedulePlan(assignments=assignments,
+                                concurrency_per_node=concurrency)
+            span.set("tasks", len(assignments))
+            span.set("concurrency", concurrency)
+            span.set("data_local_fraction", plan.data_local_fraction)
+            return plan
 
 
 class FifoScheduler(TaskScheduler):

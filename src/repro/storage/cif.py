@@ -41,6 +41,7 @@ from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, RecordReader
 from repro.storage.dictionary import decode_cif_column, encode_cif_column
 from repro.storage.tablemeta import FORMAT_CIF, TableMeta
+from repro.trace.tracer import CAT_PHASE, tracer_for
 
 # Configuration keys, re-exported from the central registry.
 from repro.common.keys import (  # noqa: E402  (kept with the format docs)
@@ -380,12 +381,20 @@ class ColumnInputFormat(InputFormat):
         if not isinstance(split, CIFSplit):
             raise StorageError(
                 f"ColumnInputFormat cannot read {type(split).__name__}")
-        meta = TableMeta.load(fs, split.directory)
-        if conf.get_bool(KEY_BLOCK_ITERATION, False):
-            return BCIFRecordReader(
-                fs, split, meta.schema, reader_node,
-                conf.get_int(KEY_BLOCK_ROWS, DEFAULT_BLOCK_ROWS))
-        return CIFRecordReader(fs, split, meta.schema, reader_node)
+        # The reader pulls its column bytes eagerly, so the span around
+        # construction is the split's scan time.
+        with tracer_for(conf).span("scan", CAT_PHASE) as span:
+            meta = TableMeta.load(fs, split.directory)
+            if conf.get_bool(KEY_BLOCK_ITERATION, False):
+                reader: RecordReader = BCIFRecordReader(
+                    fs, split, meta.schema, reader_node,
+                    conf.get_int(KEY_BLOCK_ROWS, DEFAULT_BLOCK_ROWS))
+            else:
+                reader = CIFRecordReader(fs, split, meta.schema,
+                                         reader_node)
+            span.set("split", split.group)
+            span.set("bytes", reader.bytes_read)
+            return reader
 
     @staticmethod
     def _projected_columns(conf: JobConf,

@@ -20,6 +20,7 @@ from repro.hdfs.filesystem import MiniDFS
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, MultiSplit, RecordReader
 from repro.storage.cif import CIFSplit, ColumnInputFormat
+from repro.trace.tracer import CAT_STEP, tracer_for
 
 from repro.common.keys import KEY_SPLITS_PER_MULTI
 
@@ -89,7 +90,13 @@ class MultiColumnInputFormat(ColumnInputFormat):
                           conf: JobConf,
                           reader_node: str | None = None) -> RecordReader:
         if isinstance(split, MultiSplit):
-            readers = [super(MultiColumnInputFormat, self).get_record_reader(
-                fs, child, conf, reader_node) for child in split.splits]
-            return MultiSplitReader(readers)
+            # The child readers each open their own "scan" phase span;
+            # this step span groups them per multi-split.
+            with tracer_for(conf).span("multi_scan", CAT_STEP) as span:
+                readers = [
+                    super(MultiColumnInputFormat, self).get_record_reader(
+                        fs, child, conf, reader_node)
+                    for child in split.splits]
+                span.set("splits", len(readers))
+                return MultiSplitReader(readers)
         return super().get_record_reader(fs, split, conf, reader_node)

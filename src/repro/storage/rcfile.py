@@ -25,6 +25,7 @@ from repro.mapreduce.inputformat import InputFormat
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, RecordReader
 from repro.storage.tablemeta import FORMAT_RCFILE, TableMeta
+from repro.trace.tracer import CAT_PHASE, tracer_for
 
 from repro.common.keys import KEY_RCFILE_COLUMNS
 
@@ -213,11 +214,15 @@ class RCFileInputFormat(InputFormat):
         if not isinstance(split, RCFileSplit):
             raise StorageError(
                 f"RCFileInputFormat cannot read {type(split).__name__}")
-        directory = split.path.rsplit("/", 1)[0]
-        meta = TableMeta.load(fs, directory)
-        columns = self._projected_columns(conf, meta.schema)
-        return RCFileRecordReader(fs, split, meta.schema, columns,
-                                  reader_node)
+        with tracer_for(conf).span("scan", CAT_PHASE) as span:
+            directory = split.path.rsplit("/", 1)[0]
+            meta = TableMeta.load(fs, directory)
+            columns = self._projected_columns(conf, meta.schema)
+            reader = RCFileRecordReader(fs, split, meta.schema, columns,
+                                        reader_node)
+            span.set("path", split.path)
+            span.set("bytes", reader.bytes_read)
+            return reader
 
     @staticmethod
     def _projected_columns(conf: JobConf,

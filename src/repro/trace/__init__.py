@@ -1,0 +1,37 @@
+"""Hierarchical tracing & metrics (see DESIGN.md "Tracing & metrics")."""
+
+from repro.trace.tracer import (
+    CAT_JOB,
+    CAT_PHASE,
+    CAT_STAGE,
+    CAT_STEP,
+    CAT_TASK,
+    CAT_THREAD,
+    NULL_TRACER,
+    PHASE_NAMES,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_OPEN,
+    STATUS_RETRIED,
+    NullSpan,
+    NullTracer,
+    Span,
+    SpanTree,
+    TraceError,
+    Tracer,
+    tracer_for,
+)
+from repro.trace.export import (
+    flame_summary,
+    phase_totals,
+    to_chrome_trace,
+    to_json,
+)
+
+__all__ = [
+    "CAT_JOB", "CAT_PHASE", "CAT_STAGE", "CAT_STEP", "CAT_TASK",
+    "CAT_THREAD", "NULL_TRACER", "PHASE_NAMES", "STATUS_FAILED",
+    "STATUS_OK", "STATUS_OPEN", "STATUS_RETRIED", "NullSpan", "NullTracer",
+    "Span", "SpanTree", "TraceError", "Tracer", "tracer_for",
+    "flame_summary", "phase_totals", "to_chrome_trace", "to_json",
+]

@@ -1,0 +1,121 @@
+"""Trace exporters: JSON, chrome://tracing, and a text flame summary.
+
+Three consumers, three shapes:
+
+* :func:`to_json` — lossless flat list (ids, parentage, attributes) for
+  programmatic diffing and the test suite;
+* :func:`to_chrome_trace` — the Trace Event Format understood by
+  ``chrome://tracing`` and Perfetto: complete ``"X"`` events with
+  microsecond timestamps, one ``tid`` per Python thread;
+* :func:`flame_summary` — a terminal-friendly flame view aggregated by
+  span path, the quick "where did the time go" answer.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.trace.tracer import CAT_PHASE, Span, SpanTree
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _span_dict(span: Span) -> dict[str, Any]:
+    return {
+        "id": span.span_id,
+        "parent": span.parent_id,
+        "name": span.name,
+        "category": span.category,
+        "thread": span.thread,
+        "status": span.status,
+        "start_s": span.start_s,
+        "end_s": span.end_s,
+        "duration_s": span.duration_s,
+        "attrs": {k: _jsonable(v) for k, v in span.attrs.items()},
+    }
+
+
+def to_json(tree: SpanTree) -> dict[str, Any]:
+    """Lossless export: flat span list, start-order, parent links by id."""
+    return {"spans": [_span_dict(s) for s in tree.spans]}
+
+
+def to_chrome_trace(tree: SpanTree) -> dict[str, Any]:
+    """Trace Event Format (chrome://tracing / Perfetto).
+
+    Every finished span becomes one complete ``"X"`` event; timestamps
+    are microseconds relative to the earliest span start, and thread
+    names map to stable integer ``tid`` values (with name metadata
+    events so the UI shows real thread names).
+    """
+    finished = [s for s in tree.spans if s.end_s is not None]
+    epoch = min((s.start_s for s in finished), default=0.0)
+    tids: dict[str, int] = {}
+    for span in finished:
+        if span.thread not in tids:
+            tids[span.thread] = len(tids) + 1
+    events: list[dict[str, Any]] = []
+    for thread, tid in tids.items():
+        events.append({
+            "ph": "M", "pid": 1, "tid": tid, "name": "thread_name",
+            "args": {"name": thread},
+        })
+    for span in finished:
+        args = {k: _jsonable(v) for k, v in span.attrs.items()}
+        args["status"] = span.status
+        events.append({
+            "ph": "X",
+            "pid": 1,
+            "tid": tids[span.thread],
+            "name": span.name,
+            "cat": span.category or "span",
+            "ts": (span.start_s - epoch) * 1e6,
+            "dur": span.duration_s * 1e6,
+            "args": args,
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def flame_summary(tree: SpanTree, width: int = 40) -> str:
+    """Aggregate durations by span path and render a text flame view.
+
+    Paths are ``root;child;leaf`` name chains; sibling spans with the
+    same name fold together. Bars scale to the longest total.
+    """
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    paths: dict[int, str] = {}
+    for span in tree.spans:  # start-order: parents precede children
+        parent_path = paths.get(span.parent_id, "")
+        path = f"{parent_path};{span.name}" if parent_path else span.name
+        paths[span.span_id] = path
+        if span.end_s is None:
+            continue
+        totals[path] = totals.get(path, 0.0) + span.duration_s
+        counts[path] = counts.get(path, 0) + 1
+    if not totals:
+        return "(no finished spans)"
+    peak = max(totals.values()) or 1.0
+    lines = []
+    for path in sorted(totals, key=totals.get, reverse=True):
+        depth = path.count(";")
+        name = path.rsplit(";", 1)[-1]
+        bar = "#" * max(1, int(width * totals[path] / peak))
+        lines.append(f"{totals[path]*1e3:10.3f} ms  {counts[path]:5d}x  "
+                     f"{'  ' * depth}{name}  {bar}")
+    return "\n".join(lines)
+
+
+def phase_totals(tree: SpanTree | None) -> dict[str, float]:
+    """Per-phase wall-clock totals (empty when tracing was off)."""
+    if tree is None:
+        return {}
+    return tree.phase_totals()
+
+
+__all__ = ["to_json", "to_chrome_trace", "flame_summary", "phase_totals",
+           "CAT_PHASE"]

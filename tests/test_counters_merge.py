@@ -1,0 +1,78 @@
+"""Counters.merge algebra: it must go through the public iteration
+protocol (``items``), not reach into ``other._data``, so counters backed
+by other stores merge correctly."""
+
+from __future__ import annotations
+
+from repro.mapreduce.counters import Counters
+
+
+def make(pairs):
+    c = Counters()
+    for group, name, value in pairs:
+        c.increment(group, name, value)
+    return c
+
+
+def test_merge_adds_counts():
+    a = make([("map", "records", 5), ("hdfs", "bytes_read", 100)])
+    b = make([("map", "records", 3), ("map", "spills", 1)])
+    a.merge(b)
+    assert a.get("map", "records") == 8
+    assert a.get("map", "spills") == 1
+    assert a.get("hdfs", "bytes_read") == 100
+
+
+def test_merge_is_commutative():
+    pairs_a = [("map", "records", 5), ("hdfs", "bytes_read", 100)]
+    pairs_b = [("map", "records", 3), ("reduce", "groups", 7)]
+    ab = make(pairs_a)
+    ab.merge(make(pairs_b))
+    ba = make(pairs_b)
+    ba.merge(make(pairs_a))
+    assert ab.as_dict() == ba.as_dict()
+
+
+def test_merge_is_associative():
+    pairs = [
+        [("map", "records", 1)],
+        [("map", "records", 2), ("hdfs", "bytes_read", 10)],
+        [("reduce", "groups", 3)],
+    ]
+    left = make(pairs[0])
+    left.merge(make(pairs[1]))
+    left.merge(make(pairs[2]))
+    bc = make(pairs[1])
+    bc.merge(make(pairs[2]))
+    right = make(pairs[0])
+    right.merge(bc)
+    assert left.as_dict() == right.as_dict()
+
+
+def test_merge_with_empty_is_identity():
+    a = make([("map", "records", 5)])
+    before = a.as_dict()
+    a.merge(Counters())
+    assert a.as_dict() == before
+    empty = Counters()
+    empty.merge(a)
+    assert empty.as_dict() == before
+
+
+def test_merge_uses_public_iteration_not_private_data():
+    class ListBackedCounters(Counters):
+        """A counters impl whose storage is not ``_data`` at all."""
+
+        def __init__(self, triples):
+            super().__init__()  # leaves _data empty on purpose
+            self._triples = list(triples)
+
+        def items(self):
+            return iter(self._triples)
+
+    exotic = ListBackedCounters([("map", "records", 4),
+                                 ("shuffle", "bytes", 9)])
+    target = make([("map", "records", 1)])
+    target.merge(exotic)
+    assert target.get("map", "records") == 5
+    assert target.get("shuffle", "bytes") == 9
