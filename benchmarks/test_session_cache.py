@@ -1,0 +1,72 @@
+"""The serving layer's acceptance number: a warm-cache repeat of Q2.1
+through a Session must run >= 2x faster (wall-clock) than a cold run,
+with the warm run building zero hash tables (``ht_builds == 0``,
+``ht_cache_hits > 0``) and returning byte-identical rows.
+
+Wall-clock, not simulated: this times the reproduction's own execution
+pipeline, where a cache hit skips the per-node dimension decode+build.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import connect
+from repro.reference.engine import ReferenceEngine
+from repro.ssb.queries import ssb_queries
+
+
+@pytest.fixture(scope="module")
+def session(small_data):
+    return connect(backend="clydesdale", data=small_data, num_nodes=4)
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_warm_cache_repeat_2x_faster(session, small_data):
+    query = ssb_queries()["Q2.1"]
+
+    def cold_run():
+        session.invalidate_cache()
+        session.execute(query)
+
+    cold_s = _best_of(cold_run)
+    cold_result = session.execute(query)  # also warms the cache
+    assert session.last_stats.ht_builds == 0  # served by the warm-up
+
+    warm_s = _best_of(lambda: session.execute(query))
+    assert session.last_stats.ht_builds == 0
+    assert session.last_stats.ht_cache_hits > 0
+    assert session.last_stats.ht_cache_misses == 0
+
+    warm_result = session.execute(query)
+    expected = ReferenceEngine.from_ssb(small_data).execute(query)
+    assert warm_result.rows == cold_result.rows == expected.rows
+    assert warm_result.columns == expected.columns
+
+    speedup = cold_s / warm_s
+    stats = session.cache_stats()
+    print(f"\ncold={cold_s * 1000:.1f}ms warm={warm_s * 1000:.1f}ms "
+          f"speedup={speedup:.2f}x "
+          f"(cache: {stats.hits} hits / {stats.misses} misses, "
+          f"{stats.bytes_cached:,} bytes in {stats.entries} entries)")
+    assert speedup >= 2.0, (
+        f"warm repeat only {speedup:.2f}x faster than cold")
+
+
+def test_warm_cache_benefits_sibling_query(session):
+    """Q2.2 shares Q2.1's date-join recipe: a fresh query on a warm
+    session already hits the cache for the shared dimension."""
+    session.invalidate_cache()
+    session.execute(ssb_queries()["Q2.1"])
+    session.execute(ssb_queries()["Q2.2"])
+    assert session.last_stats.ht_cache_hits > 0

@@ -21,11 +21,14 @@ The package layers, bottom to top:
   the paper's published breakdowns.
 - :mod:`repro.bench` — harnesses that regenerate every figure and table.
 
+- :mod:`repro.serve` — query sessions, the cross-query hash-table
+  cache, and the admission-controlled server.
+
 Quickstart::
 
-    from repro import ClydesdaleEngine, ssb_queries
-    engine = ClydesdaleEngine.with_ssb_data(scale_factor=0.01)
-    result = engine.execute(ssb_queries()["Q2.1"])
+    from repro import connect, ssb_queries
+    session = connect(backend="clydesdale", scale_factor=0.01)
+    result = session.execute(ssb_queries()["Q2.1"])
     for row in result.rows:
         print(row)
 """
@@ -53,6 +56,12 @@ def __getattr__(name):
     if name == "MiniDFS":
         from repro.hdfs import MiniDFS
         return MiniDFS
+    if name == "connect":
+        from repro.api import connect
+        return connect
+    if name == "Session":
+        from repro.serve.session import Session
+        return Session
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
@@ -60,7 +69,9 @@ __all__ = [
     "ClydesdaleEngine",
     "HiveEngine",
     "MiniDFS",
+    "Session",
     "StarQuery",
+    "connect",
     "parse_sql",
     "ssb_queries",
     "__version__",

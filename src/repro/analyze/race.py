@@ -91,9 +91,10 @@ class RaceLintPass(AnalysisPass):
     # thread-local allowance (``self._local.stack``); the shared span
     # list and id counter must stay behind ``self._lock``.
     DEFAULT_TARGETS = ("repro/core/joinjob.py", "repro/mapreduce/runtime.py",
-                       "repro/trace/tracer.py")
+                       "repro/trace/tracer.py", "repro/serve/cache.py")
     DEFAULT_ENTRIES = ("join_thread", "map", "process_record",
-                       "span", "start", "finish", "_finish")
+                       "span", "start", "finish", "_finish",
+                       "get", "put", "invalidate")
 
     def __init__(self, targets: tuple[str, ...] | None = None,
                  entries: tuple[str, ...] | None = None):

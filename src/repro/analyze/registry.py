@@ -13,7 +13,13 @@ registry:
 * ``KEYS001`` — config key (dotted literal) not registered;
 * ``KEYS002`` — counter group not registered;
 * ``KEYS003`` — counter name not registered for its group;
-* ``KEYS004`` — registry entry never referenced anywhere (warning).
+* ``KEYS004`` — registry entry never referenced anywhere (warning);
+* ``KEYS005`` — a string literal squats on a reserved namespace
+  (``clydesdale.cache.*`` / ``clydesdale.serve.*`` config keys, or
+  ``ht_cache_*`` counter names) without being registered. Unlike
+  KEYS001/KEYS003 this fires on *any* literal, not just resolved call
+  sites: serving-layer keys travel through dicts and cache-key tuples
+  where call-site resolution cannot see them.
 
 Dict-style ``.get("name")`` calls are ignored unless the key contains a
 dot (configuration style) or the group argument resolves to a known
@@ -30,6 +36,15 @@ from repro.common import keys as default_registry
 
 CONF_METHODS = frozenset({"set", "get", "get_int", "get_float", "get_bool",
                           "get_json", "require"})
+
+#: Config-key namespaces owned by the registry: any literal in them
+#: must be a registered key (KEYS005).
+RESERVED_KEY_PREFIXES = ("clydesdale.cache.", "clydesdale.serve.")
+
+#: Counter-name prefix owned by the registry, with its group.
+RESERVED_COUNTER_PREFIX = "ht_cache_"
+RESERVED_COUNTER_GROUP = "clydesdale"
+
 
 #: Prefix of an f-string key/name (checked against registered prefixes).
 class _Prefix(str):
@@ -118,6 +133,7 @@ class StringKeyRegistryPass(AnalysisPass):
         for node in ast.walk(mod.tree):
             if isinstance(node, ast.Constant) and isinstance(node.value, str):
                 referenced.add(node.value)
+                findings.extend(self._check_reserved(mod, node, node.value))
             elif isinstance(node, ast.Name):
                 value = self.constants.get(node.id)
                 if value is not None:
@@ -202,6 +218,29 @@ class StringKeyRegistryPass(AnalysisPass):
             mod, call, "KEYS003",
             f"counter ({group!r}, {name!r}) is not registered in "
             f"repro.common.keys")]
+
+    def _check_reserved(self, mod: SourceModule, node: ast.AST,
+                        value: str) -> list[Finding]:
+        """KEYS005: reserved-namespace literals must be registered."""
+        for prefix in RESERVED_KEY_PREFIXES:
+            if (value.startswith(prefix) and value != prefix
+                    and not self.registry.is_registered_key(value)):
+                return [self.finding(
+                    mod, node, "KEYS005",
+                    f"literal {value!r} squats on the reserved "
+                    f"configuration namespace {prefix}* but is not "
+                    f"registered in repro.common.keys")]
+        if (value.startswith(RESERVED_COUNTER_PREFIX)
+                and value != RESERVED_COUNTER_PREFIX
+                and not self.registry.is_registered_counter(
+                    RESERVED_COUNTER_GROUP, value)):
+            return [self.finding(
+                mod, node, "KEYS005",
+                f"literal {value!r} squats on the reserved counter-name "
+                f"namespace {RESERVED_COUNTER_PREFIX}* "
+                f"({RESERVED_COUNTER_GROUP} group) but is not "
+                f"registered in repro.common.keys")]
+        return []
 
     @staticmethod
     def _counter_receiver(call: ast.Call) -> bool:

@@ -1,0 +1,95 @@
+"""``repro.api.connect`` — the one way to open a query session.
+
+The three engines historically grew ad-hoc constructors and per-call
+kwargs. This facade normalizes them: pick a backend, get a
+:class:`~repro.serve.session.Session` whose ``execute``/``explain``/
+``sql`` signatures are identical regardless of what runs underneath::
+
+    from repro.api import connect
+
+    session = connect(backend="clydesdale", scale_factor=0.01)
+    result = session.execute(ssb_queries()["Q2.1"])   # cold: builds
+    result = session.execute(ssb_queries()["Q2.1"])   # warm: cache hit
+
+Backend-specific execution options are fixed at connect time
+(``features=`` for Clydesdale, ``plan=`` for Hive); the cross-query
+hash-table cache is on by default (``clydesdale.cache.enabled``) and
+sized by ``clydesdale.cache.ht_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.common.config import Configuration
+from repro.common.errors import ValidationError
+from repro.common.keys import KEY_CACHE_ENABLED, KEY_CACHE_HT_BYTES
+from repro.serve.cache import HashTableCache
+from repro.serve.session import BACKENDS, Session
+
+
+def connect(backend: str = "clydesdale", *,
+            scale_factor: float = 0.01,
+            seed: int = 42,
+            num_nodes: int = 4,
+            data: Any | None = None,
+            features: Any | None = None,
+            plan: str | None = None,
+            trace: bool | None = None,
+            cache: bool | None = None,
+            cache_bytes: int | None = None,
+            slot_share: float | None = None,
+            row_group_size: int = 25_000,
+            cluster: Any | None = None,
+            cost_model: Any | None = None,
+            conf: Configuration | None = None,
+            name: str = "session") -> Session:
+    """Open a :class:`Session` on a freshly-loaded backend.
+
+    ``backend`` is ``"clydesdale"`` (the paper's engine),
+    ``"hive"`` (the baseline), or ``"reference"`` (single-process
+    correctness oracle). ``data`` reuses an existing
+    :class:`~repro.ssb.datagen.SSBData` instead of generating one;
+    ``features``/``plan`` fix the backend-specific execution options;
+    ``cache``/``cache_bytes`` override the ``clydesdale.cache.*``
+    configuration; ``slot_share`` runs every query of this session
+    under a fair-share CPU grant; ``trace`` sets the session's default
+    for ``execute(trace=...)``.
+    """
+    if backend not in BACKENDS:
+        raise ValidationError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}")
+    conf = conf or Configuration()
+    enabled = (cache if cache is not None
+               else conf.get_bool(KEY_CACHE_ENABLED, True))
+    budget = (cache_bytes if cache_bytes is not None
+              else conf.get_int(KEY_CACHE_HT_BYTES, 128 * 1024 * 1024))
+
+    def build(base_data: Any | None) -> Any:
+        if base_data is None:
+            from repro.ssb.datagen import SSBGenerator
+            base_data = SSBGenerator(scale_factor=scale_factor,
+                                     seed=seed).generate()
+        if backend == "clydesdale":
+            from repro.core.engine import ClydesdaleEngine
+            return ClydesdaleEngine.with_ssb_data(
+                num_nodes=num_nodes, cluster=cluster,
+                cost_model=cost_model, features=features,
+                row_group_size=row_group_size, data=base_data)
+        if backend == "hive":
+            from repro.hive.engine import HiveEngine
+            return HiveEngine.with_ssb_data(
+                num_nodes=num_nodes, cluster=cluster,
+                cost_model=cost_model, data=base_data,
+                row_group_size=row_group_size,
+                **({"default_plan": plan} if plan else {}))
+        from repro.reference.engine import ReferenceEngine
+        return ReferenceEngine.from_ssb(base_data)
+
+    engine = build(data)
+    # The reference engine keeps no node-resident state worth caching.
+    ht_cache = (HashTableCache(budget)
+                if enabled and backend != "reference" else None)
+    return Session(engine, cache=ht_cache, trace=trace,
+                   features=features, plan=plan, slot_share=slot_share,
+                   name=name, rebuild=build)

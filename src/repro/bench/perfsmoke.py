@@ -1,10 +1,12 @@
-"""Perf smoke test for the vectorized execution path and zone maps.
+"""Perf smoke test: vectorized execution, zone maps, session cache.
 
 Run as ``python -m repro.bench perfsmoke``: times the selection-vector
 kernel pipeline against the row-wise block loop on one generated fact
-scan, runs a zone-map-pruned query on date-clustered data, and writes
+scan, runs a zone-map-pruned query on date-clustered data, times a
+warm-vs-cold Q2.1 repeat through a cache-carrying session, and writes
 the numbers to ``BENCH_perfsmoke.json`` so CI can flag regressions
-(the vectorized path falling under ~3x, or pruning silently dying).
+(the vectorized path falling under ~3x, pruning silently dying, or the
+hash-table cache no longer skipping builds).
 """
 
 from __future__ import annotations
@@ -114,19 +116,19 @@ def kernel_smoke(scale_factor: float = 0.05) -> dict:
 
 def zonemap_smoke(scale_factor: float = 0.002) -> dict:
     """End-to-end pruning on date-clustered data, checked vs reference."""
-    from repro.core.engine import ClydesdaleEngine
+    from repro.api import connect
     from repro.reference.engine import ReferenceEngine
     from repro.ssb.datagen import SSBGenerator
     from repro.ssb.queries import ssb_queries
 
     data = SSBGenerator(scale_factor=scale_factor, seed=42).generate()
     data.lineorder.sort(key=lambda row: row[ORDERDATE_INDEX])
-    engine = ClydesdaleEngine.with_ssb_data(data=data,
-                                            row_group_size=2000)
+    session = connect(backend="clydesdale", data=data,
+                      row_group_size=2000)
     query = ssb_queries()["Q1.1"]
-    result = engine.execute(query)
+    result = session.execute(query)
     expected = ReferenceEngine.from_ssb(data).execute(query).rows
-    stats = engine.last_stats
+    stats = session.last_stats
     return {
         "query": query.name,
         "rows_match_reference": result.rows == expected,
@@ -136,12 +138,51 @@ def zonemap_smoke(scale_factor: float = 0.002) -> dict:
     }
 
 
+def session_cache_smoke(scale_factor: float = 0.002) -> dict:
+    """Warm-vs-cold Q2.1 through one session: the warm repeat must skip
+    every hash-table build and return byte-identical rows."""
+    from repro.api import connect
+    from repro.reference.engine import ReferenceEngine
+    from repro.ssb.datagen import SSBGenerator
+    from repro.ssb.queries import ssb_queries
+
+    data = SSBGenerator(scale_factor=scale_factor, seed=42).generate()
+    session = connect(backend="clydesdale", data=data, num_nodes=4)
+    query = ssb_queries()["Q2.1"]
+
+    def cold_run():
+        session.invalidate_cache()
+        session.execute(query)
+
+    cold_s = _best_of(cold_run)
+    cold_result = session.execute(query)  # leaves the cache warm
+    warm_s = _best_of(lambda: session.execute(query))
+    warm_stats = session.last_stats
+    warm_result = session.execute(query)
+    expected = ReferenceEngine.from_ssb(data).execute(query).rows
+    cache = session.cache_stats()
+    return {
+        "query": query.name,
+        "cold_s": round(cold_s, 4),
+        "warm_s": round(warm_s, 4),
+        "speedup": round(cold_s / warm_s, 2),
+        "warm_ht_builds": warm_stats.ht_builds,
+        "ht_cache_hits": cache.hits,
+        "ht_cache_misses": cache.misses,
+        "cache_entries": cache.entries,
+        "cache_bytes": cache.bytes_cached,
+        "rows_match_reference": (warm_result.rows == cold_result.rows
+                                 == expected),
+    }
+
+
 def run_perfsmoke(scale_factor: float = 0.05,
                   out_path: str = "BENCH_perfsmoke.json") -> dict:
     """Run both smokes, write ``out_path``, return the combined report."""
     report = {
         "kernels": kernel_smoke(scale_factor=scale_factor),
         "zonemaps": zonemap_smoke(),
+        "session_cache": session_cache_smoke(),
     }
     with open(out_path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
@@ -152,9 +193,9 @@ def run_perfsmoke(scale_factor: float = 0.05,
 def render_perfsmoke(report: dict) -> str:
     kernels = report["kernels"]
     zone = report["zonemaps"]
-    return "\n".join([
-        "Perf smoke: vectorized block execution + zone maps",
-        "=" * 50,
+    lines = [
+        "Perf smoke: vectorized execution + zone maps + session cache",
+        "=" * 60,
         f"fact scan: {kernels['fact_rows']:,} rows, "
         f"vectorized {kernels['vectorized_s'] * 1000:.1f} ms vs "
         f"row-wise {kernels['rowwise_s'] * 1000:.1f} ms "
@@ -164,4 +205,15 @@ def render_perfsmoke(report: dict) -> str:
         f"{zone['rows_skipped']:,} rows skipped, "
         f"{zone['rows_probed']:,} probed, "
         f"reference match: {zone['rows_match_reference']}",
-    ])
+    ]
+    cache = report.get("session_cache")
+    if cache:
+        lines.append(
+            f"session cache ({cache['query']}): cold "
+            f"{cache['cold_s'] * 1000:.1f} ms vs warm "
+            f"{cache['warm_s'] * 1000:.1f} ms -> {cache['speedup']:.2f}x, "
+            f"warm builds {cache['warm_ht_builds']}, "
+            f"{cache['ht_cache_hits']} hits / "
+            f"{cache['ht_cache_misses']} misses, "
+            f"reference match: {cache['rows_match_reference']}")
+    return "\n".join(lines)

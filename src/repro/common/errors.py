@@ -88,6 +88,21 @@ class SchedulerError(MapReduceError):
     """The task scheduler could not place a task."""
 
 
+class AdmissionError(ReproError):
+    """A server rejected a query submission at admission control.
+
+    ``reason`` is ``"saturated"`` when the bounded admission queue is
+    full and ``"session-quota"`` when one session exceeded its in-flight
+    quota; ``session`` names the submitting session when known.
+    """
+
+    def __init__(self, message: str, *, reason: str = "saturated",
+                 session: str | None = None):
+        super().__init__(message)
+        self.reason = reason
+        self.session = session
+
+
 class QueryError(ReproError):
     """A star query is malformed or references unknown tables/columns."""
 

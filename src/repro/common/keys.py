@@ -175,6 +175,28 @@ KEY_TRACE = _flag(
         "span tree with JSON, chrome://tracing, and flame exporters. "
         "Off = the no-op tracer; trace points cost nothing.")
 
+# -- serving-layer keys (repro.serve) ----------------------------------- #
+KEY_CACHE_ENABLED = _flag(
+    "clydesdale.cache.enabled", default=True,
+    doc="Session-level cross-query dimension hash-table cache (the "
+        "per-query analog of the paper's JVM reuse). Off = every "
+        "execute() rebuilds its hash tables from the local dim cache.")
+KEY_CACHE_HT_BYTES = _config(
+    "clydesdale.cache.ht_bytes", kind="int", default=128 * 1024 * 1024,
+    doc="Per-node memory budget for cached dimension hash tables; "
+        "least-recently-used tables are evicted past the budget.")
+KEY_SERVE_MAX_CONCURRENT = _config(
+    "clydesdale.serve.max.concurrent", kind="int", default=4,
+    doc="Queries a ClydesdaleServer runs concurrently (worker slots).")
+KEY_SERVE_QUEUE_DEPTH = _config(
+    "clydesdale.serve.queue.depth", kind="int", default=8,
+    doc="Admitted-but-waiting queries a server holds before rejecting "
+        "submissions with AdmissionError.")
+KEY_SERVE_SESSION_QUOTA = _config(
+    "clydesdale.serve.session.quota", kind="int", default=2,
+    doc="In-flight queries one server session may hold; submissions "
+        "past the quota are rejected with AdmissionError.")
+
 # -- Hive baseline keys ------------------------------------------------ #
 KEY_HIVE_FACT_SIDE_FK = _config(
     "hive.repartition.fact.fk", doc="Repartition join: fact-side FK.")
@@ -262,6 +284,8 @@ CTR_ROWS_MATCHED = _counter(COUNTER_GROUP_CLYDESDALE, "rows_matched")
 CTR_HT_BUILDS = _counter(COUNTER_GROUP_CLYDESDALE, "ht_builds")
 CTR_HT_BUILDS_REUSED = _counter(COUNTER_GROUP_CLYDESDALE,
                                 "ht_builds_reused")
+CTR_HT_CACHE_HITS = _counter(COUNTER_GROUP_CLYDESDALE, "ht_cache_hits")
+CTR_HT_CACHE_MISSES = _counter(COUNTER_GROUP_CLYDESDALE, "ht_cache_misses")
 CTR_HT_ENTRIES_PREFIX = _counter_prefix(COUNTER_GROUP_CLYDESDALE,
                                         "ht_entries:")
 CTR_HT_SCANNED_PREFIX = _counter_prefix(COUNTER_GROUP_CLYDESDALE,

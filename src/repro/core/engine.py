@@ -16,7 +16,9 @@ and execution statistics.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.keys import KEY_TRACE
 from repro.core.planner import ClydesdaleFeatures, plan_star_join
@@ -40,6 +42,10 @@ from repro.trace.tracer import (
     Tracer,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.cache import HashTableCache
+    from repro.serve.session import Session
+
 
 @dataclass
 class ExecutionStats:
@@ -51,6 +57,8 @@ class ExecutionStats:
     rows_matched: int = 0
     hdfs_bytes_read: int = 0
     ht_builds: int = 0
+    ht_cache_hits: int = 0
+    ht_cache_misses: int = 0
     rowgroups_pruned: int = 0
     rows_skipped: int = 0
     ht_entries: dict[str, int] = field(default_factory=dict)
@@ -75,6 +83,9 @@ class ExecutionStats:
         stats.hdfs_bytes_read = counters.get(Counters.GROUP_HDFS,
                                              "bytes_read")
         stats.ht_builds = counters.get("clydesdale", "ht_builds")
+        stats.ht_cache_hits = counters.get("clydesdale", "ht_cache_hits")
+        stats.ht_cache_misses = counters.get("clydesdale",
+                                             "ht_cache_misses")
         stats.rowgroups_pruned = counters.get(Counters.GROUP_STORAGE,
                                               "rowgroups_pruned")
         stats.rows_skipped = counters.get(Counters.GROUP_STORAGE,
@@ -124,6 +135,8 @@ class ClydesdaleEngine:
         self.trace = trace
         #: Span tree of the most recent traced ``execute`` call.
         self.last_trace: SpanTree | None = None
+        #: Lazily-built Session backing the deprecated ``execute`` shim.
+        self._session: "Session | None" = None
 
     @classmethod
     def with_ssb_data(cls, scale_factor: float = 0.01, seed: int = 42,
@@ -150,6 +163,37 @@ class ClydesdaleEngine:
     def execute(self, query: StarQuery,
                 features: ClydesdaleFeatures | None = None,
                 trace: bool | None = None) -> QueryResult:
+        """Deprecated: run a star query through a default :class:`Session`.
+
+        Use ``repro.api.connect(backend="clydesdale")`` and call
+        ``session.execute(query)`` instead; the session API is uniform
+        across all three backends and adds cross-query hash-table
+        caching. This shim keeps the legacy behavior (no cache) and the
+        legacy per-call ``features=`` override.
+        """
+        warnings.warn(
+            "ClydesdaleEngine.execute() is deprecated; create a Session "
+            "with repro.api.connect(backend='clydesdale') and call "
+            "session.execute(query) instead",
+            DeprecationWarning, stacklevel=2)
+        return self._default_session()._legacy_execute(query, trace=trace,
+                                                       features=features)
+
+    def _default_session(self) -> "Session":
+        """A lazily-built cache-less Session backing the legacy API."""
+        session = getattr(self, "_session", None)
+        if session is None:
+            from repro.serve.session import Session
+            session = Session(self, cache=None)
+            self._session = session
+        return session
+
+    def _execute_impl(self, query: StarQuery,
+                      features: ClydesdaleFeatures | None = None,
+                      trace: bool | None = None,
+                      tracer: Tracer | None = None,
+                      ht_cache: "HashTableCache | None" = None,
+                      slot_share: float | None = None) -> QueryResult:
         """Run a star query; returns ordered rows with simulated timing.
 
         If the dimension hash tables cannot all fit a node's heap at
@@ -158,11 +202,18 @@ class ClydesdaleEngine:
         pass over the data).
 
         ``trace`` overrides the engine default; when on, the span tree
-        lands on ``last_trace`` and ``last_stats.phases``.
+        lands on ``last_trace`` and ``last_stats.phases``. A session may
+        instead pass its own ``tracer`` (spans nest under the session
+        span and the session owns the finished tree), a shared
+        ``ht_cache`` of built dimension hash tables, and a fair-share
+        ``slot_share`` granting this query a fraction of the cluster's
+        map slots.
         """
         active = features or self.features
-        enabled = self.trace if trace is None else trace
-        tracer = Tracer() if enabled else NULL_TRACER
+        external = tracer is not None
+        enabled = bool(external or (self.trace if trace is None else trace))
+        if not external:
+            tracer = Tracer() if enabled else NULL_TRACER
         self.last_trace = None
         from repro.core.multipass import estimate_ht_bytes, plan_passes
         budget = self.cluster.heap_budget_per_node
@@ -185,6 +236,11 @@ class ClydesdaleEngine:
             if enabled:
                 conf.set(KEY_TRACE, True)
                 conf.tracer = tracer
+            if ht_cache is not None:
+                conf.ht_cache = ht_cache
+            if slot_share is not None:
+                from repro.mapreduce.fairshare import FairShareScheduler
+                conf.scheduler = FairShareScheduler(slot_share)
             job = self.runner.run(conf)
             columns = (list(query.group_by)
                        + [a.alias for a in query.aggregates])
@@ -202,14 +258,16 @@ class ClydesdaleEngine:
                           if query.order_by else 0.0)
         except Exception:
             query_span.finish(STATUS_FAILED)
-            if enabled:
+            if enabled and not external:
                 self.last_trace = tracer.tree()
             raise
         query_span.finish()
         breakdown = dict(job.breakdown)
         if final_sort:
             breakdown["final_sort"] = final_sort
-        tree = tracer.tree() if enabled else None
+        # With an externally-owned tracer the session span is still open;
+        # the Session attaches the finished tree to last_stats afterwards.
+        tree = tracer.tree() if enabled and not external else None
         self.last_trace = tree
         self.last_stats = ExecutionStats.from_job(query.name, job,
                                                   trace=tree)
@@ -245,7 +303,7 @@ class ClydesdaleEngine:
         from repro.core.sqlparser import parse_sql
         schemas = {table: meta.schema
                    for table, meta in self.catalog.tables.items()}
-        return self.execute(parse_sql(sql_text, schemas, name=name))
+        return self._execute_impl(parse_sql(sql_text, schemas, name=name))
 
     def execute_multipass(self, query: StarQuery,
                           passes: list[list[str]] | None = None,

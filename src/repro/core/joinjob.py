@@ -170,6 +170,10 @@ class StarJoinMapper(Mapper):
     def _build_or_reuse_hash_tables(
             self, context: TaskContext, query: StarQuery,
             dim_schemas: dict[str, Schema]) -> list[DimensionHashTable]:
+        session_cache = getattr(context.conf, "ht_cache", None)
+        if session_cache is not None:
+            return self._tables_via_session_cache(
+                session_cache, context, query, dim_schemas)
         cache_key = f"clydesdale.ht:{query.name}"
         cached = context.jvm_state.get(cache_key)
         if cached is not None:
@@ -178,29 +182,8 @@ class StarJoinMapper(Mapper):
         tables: list[DimensionHashTable] = []
         max_dim_rows = 0
         for join in query.joins:
-            if join.snowflake:
-                branch_tables = {}
-                branch_rows = 0
-                for name in join.all_tables():
-                    blob = context.read_node_local(dim_cache_name(name))
-                    branch_tables[name] = serde.decode_rows(
-                        dim_schemas[name], blob)
-                    branch_rows += len(branch_tables[name])
-                aux = resolve_aux_columns(query, join, dim_schemas)
-                table = DimensionHashTable.build_snowflake(
-                    join, dim_schemas, branch_tables, aux)
-                rows_scanned = branch_rows
-            else:
-                schema = dim_schemas[join.dimension]
-                blob = context.read_node_local(
-                    dim_cache_name(join.dimension))
-                rows = serde.decode_rows(schema, blob)
-                aux = resolve_aux_columns(query, join, dim_schemas)
-                table = DimensionHashTable.build(
-                    dimension=join.dimension, fact_fk=join.fact_fk,
-                    schema=schema, rows=rows, dim_pk=join.dim_pk,
-                    predicate=join.predicate, aux_columns=aux)
-                rows_scanned = len(rows)
+            table, rows_scanned = self._build_one_table(
+                context, query, join, dim_schemas)
             tables.append(table)
             max_dim_rows = max(max_dim_rows, rows_scanned)
             context.count(COUNTER_GROUP,
@@ -214,6 +197,81 @@ class StarJoinMapper(Mapper):
         build_rate = context.conf.get_float(KEY_BUILD_RATE, 160_000.0)
         context.charge(max_dim_rows / build_rate)
         return tables
+
+    def _tables_via_session_cache(
+            self, cache, context: TaskContext, query: StarQuery,
+            dim_schemas: dict[str, Schema]) -> list[DimensionHashTable]:
+        """Resolve hash tables through the session's cross-query cache.
+
+        The cache region is this task's node (tables are node-resident);
+        the key is the exact build recipe — join structure including
+        predicates, plus the auxiliary columns this query gathers — so a
+        different predicate or projection can never alias a cached
+        table. Subsumes the per-job ``jvm_state`` reuse path: a warm
+        query performs no build at all (``ht_builds`` stays 0).
+        """
+        tables: list[DimensionHashTable] = []
+        max_fresh_rows = 0
+        hits = 0
+        misses = 0
+        per_entry = context.conf.get_float(KEY_HT_BYTES_PER_ENTRY, 64.0)
+        for join in query.joins:
+            aux = resolve_aux_columns(query, join, dim_schemas)
+            key = ("clydesdale.ht",
+                   json.dumps(join.to_dict(), sort_keys=True), tuple(aux))
+            hit = cache.get(context.node_id, key)
+            if hit is not None:
+                hits += 1
+                table, rows_scanned = hit
+            else:
+                misses += 1
+                table, rows_scanned = self._build_one_table(
+                    context, query, join, dim_schemas)
+                max_fresh_rows = max(max_fresh_rows, rows_scanned)
+                cache.put(context.node_id, key, (table, rows_scanned),
+                          table.stats.estimated_bytes(per_entry))
+            tables.append(table)
+            context.count(COUNTER_GROUP,
+                          f"ht_entries:{join.dimension}", len(table))
+            context.count(COUNTER_GROUP,
+                          f"ht_scanned:{join.dimension}", rows_scanned)
+        context.count(COUNTER_GROUP, "ht_cache_hits", hits)
+        context.count(COUNTER_GROUP, "ht_cache_misses", misses)
+        if misses:
+            context.count(COUNTER_GROUP, "ht_builds")
+            build_rate = context.conf.get_float(KEY_BUILD_RATE, 160_000.0)
+            context.charge(max_fresh_rows / build_rate)
+        else:
+            context.count(COUNTER_GROUP, "ht_builds_reused")
+        return tables
+
+    @staticmethod
+    def _build_one_table(context: TaskContext, query: StarQuery, join,
+                         dim_schemas: dict[str, Schema],
+                         ) -> tuple[DimensionHashTable, int]:
+        """Build one dimension (or snowflake branch) hash table from the
+        node-local dimension cache. Returns (table, rows scanned)."""
+        if join.snowflake:
+            branch_tables = {}
+            branch_rows = 0
+            for name in join.all_tables():
+                blob = context.read_node_local(dim_cache_name(name))
+                branch_tables[name] = serde.decode_rows(
+                    dim_schemas[name], blob)
+                branch_rows += len(branch_tables[name])
+            aux = resolve_aux_columns(query, join, dim_schemas)
+            table = DimensionHashTable.build_snowflake(
+                join, dim_schemas, branch_tables, aux)
+            return table, branch_rows
+        schema = dim_schemas[join.dimension]
+        blob = context.read_node_local(dim_cache_name(join.dimension))
+        rows = serde.decode_rows(schema, blob)
+        aux = resolve_aux_columns(query, join, dim_schemas)
+        table = DimensionHashTable.build(
+            dimension=join.dimension, fact_fk=join.fact_fk,
+            schema=schema, rows=rows, dim_pk=join.dim_pk,
+            predicate=join.predicate, aux_columns=aux)
+        return table, len(rows)
 
     @staticmethod
     def _plan_group_keys(query: StarQuery, fact_schema: Schema,

@@ -18,7 +18,9 @@ structural overheads the paper attributes to Hive are real here:
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.common.errors import JobFailedError, PlanningError
 from repro.common.schema import Column, Schema
@@ -66,6 +68,10 @@ from repro.trace.tracer import (
     Tracer,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.cache import HashTableCache
+    from repro.serve.session import Session
+
 PLAN_MAPJOIN = "mapjoin"
 PLAN_REPARTITION = "repartition"
 
@@ -89,6 +95,9 @@ class HiveStats:
     query_name: str
     plan: str
     stages: list[StageReport] = field(default_factory=list)
+    #: Session-cache effectiveness for mapjoin broadcast tables.
+    ht_cache_hits: int = 0
+    ht_cache_misses: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -117,6 +126,10 @@ class HiveEngine:
         #: Span tree of the most recent traced ``execute`` call.
         self.last_trace: SpanTree | None = None
         self._tracer = NULL_TRACER
+        #: Session-provided broadcast-table cache, set per execution.
+        self._ht_cache: "HashTableCache | None" = None
+        #: Lazily-built Session backing the deprecated ``execute`` shim.
+        self._session: "Session | None" = None
         #: Monotonic execution id: Hadoop gives every job a unique id,
         #: which keys the distributed cache (re-running a query must not
         #: reuse stale node-local hash-table copies).
@@ -145,31 +158,68 @@ class HiveEngine:
     def execute(self, query: StarQuery,
                 plan: str | None = None,
                 trace: bool | None = None) -> QueryResult:
+        """Deprecated: run a star query through a default :class:`Session`.
+
+        Use ``repro.api.connect(backend="hive")`` and call
+        ``session.execute(query)`` instead; the session API is uniform
+        across all three backends and adds cross-query caching of the
+        mapjoin broadcast tables. This shim keeps the legacy behavior
+        (no cache) and the legacy per-call ``plan=`` override.
+        """
+        warnings.warn(
+            "HiveEngine.execute() is deprecated; create a Session with "
+            "repro.api.connect(backend='hive') and call "
+            "session.execute(query) instead",
+            DeprecationWarning, stacklevel=2)
+        return self._default_session()._legacy_execute(query, trace=trace,
+                                                       plan=plan)
+
+    def _default_session(self) -> "Session":
+        """A lazily-built cache-less Session backing the legacy API."""
+        if self._session is None:
+            from repro.serve.session import Session
+            self._session = Session(self, cache=None)
+        return self._session
+
+    def _execute_impl(self, query: StarQuery,
+                      plan: str | None = None,
+                      trace: bool | None = None,
+                      tracer: Tracer | None = None,
+                      ht_cache: "HashTableCache | None" = None,
+                      ) -> QueryResult:
         """Run the multi-stage Hive plan; may raise
         :class:`JobFailedError` (e.g. mapjoin OOM).
 
         ``trace`` overrides the engine default (``clydesdale.trace``);
-        when on, the stage/job span tree lands on ``last_trace``.
+        when on, the stage/job span tree lands on ``last_trace``. A
+        session may instead pass its own ``tracer`` (the session owns
+        the finished tree) and an ``ht_cache`` reusing master-built
+        mapjoin broadcast tables across queries.
         """
         plan = plan or self.default_plan
         if plan not in (PLAN_MAPJOIN, PLAN_REPARTITION):
             raise PlanningError(f"unknown Hive plan {plan!r}")
-        enabled = self.trace if trace is None else trace
-        tracer = Tracer() if enabled else NULL_TRACER
+        external = tracer is not None
+        enabled = bool(external or (self.trace if trace is None else trace))
+        if not external:
+            tracer = Tracer() if enabled else NULL_TRACER
         self.last_trace = None
         self._tracer = tracer
+        self._ht_cache = ht_cache
         query_span = tracer.start(f"query:{query.name}", CAT_JOB)
         try:
             result = self._execute_plan(query, plan, tracer)
         except Exception:
             query_span.finish(STATUS_FAILED)
             self._tracer = NULL_TRACER
-            if enabled:
+            self._ht_cache = None
+            if enabled and not external:
                 self.last_trace = tracer.tree()
             raise
         query_span.finish()
         self._tracer = NULL_TRACER
-        if enabled:
+        self._ht_cache = None
+        if enabled and not external:
             self.last_trace = tracer.tree()
         return result
 
@@ -310,19 +360,41 @@ class HiveEngine:
                            first_stage: bool) -> StageReport:
         dim_meta = self.catalog.meta(join.dimension)
         needed = self._dim_columns(join, aux, dim_meta.schema)
+        cache_path = f"{scratch}/ht_{join.dimension}.bin"
+        cache_key = ("hive.mapjoin", join.dimension, join.dim_pk,
+                     json.dumps(join.predicate.to_dict(), sort_keys=True),
+                     tuple(needed), tuple(aux))
         # Master-side broadcast-table build (paper 6.3): its own build
-        # phase span, with the dimension scan spans nested inside.
+        # phase span, with the dimension scan spans nested inside. A
+        # session cache short-circuits the scan + build entirely — the
+        # serialized payload is replayed into this execution's scratch
+        # path so the distributed-cache push stays byte-identical.
         with self._tracer.span("build", CAT_PHASE) as build_span:
-            dim_rows = self._read_dimension(dim_meta, needed)
-            dim_schema = dim_meta.schema.project(needed)
-            cache_path = f"{scratch}/ht_{join.dimension}.bin"
-            entries, _ = build_broadcast_table(
-                self.fs, dim_schema, dim_rows, join.dim_pk, join.predicate,
-                aux, cache_path)
+            hit = (self._ht_cache.get("master", cache_key)
+                   if self._ht_cache is not None else None)
+            if hit is not None:
+                entries, payload = hit
+                self.fs.write_file(cache_path, payload, overwrite=True)
+                master_build_s = 0.0
+                if self.last_stats is not None:
+                    self.last_stats.ht_cache_hits += 1
+            else:
+                dim_rows = self._read_dimension(dim_meta, needed)
+                dim_schema = dim_meta.schema.project(needed)
+                entries, _ = build_broadcast_table(
+                    self.fs, dim_schema, dim_rows, join.dim_pk,
+                    join.predicate, aux, cache_path)
+                master_build_s = (len(dim_rows)
+                                  / self.cost_model.hash_build_rows_s)
+                if self._ht_cache is not None:
+                    payload = self.fs.read_file(cache_path)
+                    self._ht_cache.put("master", cache_key,
+                                       (entries, payload), len(payload))
+                    if self.last_stats is not None:
+                        self.last_stats.ht_cache_misses += 1
             build_span.set("dimension", join.dimension)
             build_span.set("entries", entries)
-        master_build_s = (len(dim_rows)
-                          / self.cost_model.hash_build_rows_s)
+            build_span.set("cached", hit is not None)
 
         conf = self._stage_conf(stage_name, query, input_dir, is_fact,
                                 input_schema)

@@ -58,6 +58,28 @@ class FairShareScheduler(CapacityScheduler):
         return super().plan(splits, node_ids, conf, cluster)
 
 
+def validate_shares(shares: dict[str, float]) -> dict[str, float]:
+    """Validate a per-session slot-share assignment.
+
+    Every share must lie in (0, 1] and the shares must not oversubscribe
+    the cluster (sum <= 1). Returns the assignment unchanged so callers
+    can validate-and-store in one expression; raises
+    :class:`SchedulerError` otherwise. The serving layer calls this when
+    sessions with explicit shares attach to one server.
+    """
+    for name, share in shares.items():
+        if not 0.0 < share <= 1.0:
+            raise SchedulerError(
+                f"session {name!r}: slot share must be in (0, 1], "
+                f"got {share}")
+    total = sum(shares.values())
+    if total > 1.0 + 1e-9:
+        raise SchedulerError(
+            f"session shares oversubscribe the cluster: "
+            f"sum={total:.3f} > 1")
+    return shares
+
+
 @dataclass(frozen=True)
 class WorkloadJob:
     """One job in a concurrent mix (for the makespan model)."""

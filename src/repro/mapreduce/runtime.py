@@ -98,6 +98,10 @@ class JobRunner:
         self.cluster = cluster or tiny_cluster(workers=len(fs.node_ids))
         self.cost_model = cost_model or DEFAULT_COST_MODEL
         self.distcache = DistributedCache(fs)
+        #: Optional session-owned cross-job JVM pool: node_id -> jvm_state.
+        #: When set (and the job enables JVM reuse), map tasks of every
+        #: job share it, so a repeat query starts on warm JVMs.
+        self.jvm_pool: dict[str, dict] | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -193,7 +197,14 @@ class JobRunner:
 
         reports: list[TaskReport] = []
         per_task_buckets: list[list[list]] = []
-        node_states: dict[str, dict] = {}
+        # A session may install a cross-job JVM pool (``jvm_pool``) so
+        # consecutive queries land on already-warm JVMs — the serving
+        # layer's extension of the paper's within-job JVM reuse.  The
+        # pool dict is owned (and invalidated) by the session.
+        if self.jvm_pool is not None and jvm_reuse:
+            node_states = self.jvm_pool
+        else:
+            node_states = {}
         durations_by_node: dict[str, list[float]] = {}
 
         max_attempts = job.get_int(KEY_MAP_MAX_ATTEMPTS, 4)

@@ -33,7 +33,12 @@ class ReferenceEngine:
         from repro.ssb.schema import SCHEMAS
         return cls(SCHEMAS, data.tables())
 
-    def execute(self, query: StarQuery) -> QueryResult:
+    def execute(self, query: StarQuery,
+                trace: bool | None = None) -> QueryResult:
+        """Evaluate ``query``. ``trace`` is accepted for API parity with
+        the other engines and ignored — there is nothing to trace in a
+        single-process nested-loop evaluation."""
+        del trace  # uniform Engine signature; no spans to record here
         fact_schema = self.schemas[query.fact_table]
         fact_rows = self.tables[query.fact_table]
         fact_index = {n: i for i, n in enumerate(fact_schema.names)}

@@ -1,0 +1,51 @@
+"""The serving layer: sessions, the hash-table cache, and the server.
+
+Import from here (or use :func:`repro.api.connect`):
+
+>>> from repro.serve import Session, HashTableCache, ClydesdaleServer
+
+Submodules load lazily so ``repro.core`` can reach
+``repro.serve.cache`` without a circular import.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "BACKENDS",
+    "CacheStats",
+    "ClydesdaleServer",
+    "Engine",
+    "HashTableCache",
+    "ServerSession",
+    "ServerStats",
+    "Session",
+    "backend_name",
+]
+
+_EXPORTS = {
+    "BACKENDS": ("repro.serve.session", "BACKENDS"),
+    "CacheStats": ("repro.serve.cache", "CacheStats"),
+    "ClydesdaleServer": ("repro.serve.server", "ClydesdaleServer"),
+    "Engine": ("repro.serve.session", "Engine"),
+    "HashTableCache": ("repro.serve.cache", "HashTableCache"),
+    "ServerSession": ("repro.serve.server", "ServerSession"),
+    "ServerStats": ("repro.serve.server", "ServerStats"),
+    "Session": ("repro.serve.session", "Session"),
+    "backend_name": ("repro.serve.session", "backend_name"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

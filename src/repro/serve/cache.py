@@ -1,0 +1,155 @@
+"""Cross-query dimension hash-table cache (the serving layer's JVM reuse).
+
+Clydesdale's third trick — JVM reuse — amortizes the per-node hash build
+across the map tasks of *one* job.  A :class:`repro.serve.session.Session`
+goes one step further and keeps the built tables alive across *queries*:
+the cache is node-resident (one LRU region per cluster node, mirroring
+where the tables physically live), keyed by the exact build inputs
+``(table(s), predicate, columns)``, and bounded by a per-node byte budget
+(``clydesdale.cache.ht_bytes``).  A warm repeat of a query skips the
+build phase entirely; a catalog reload calls :meth:`HashTableCache.
+invalidate` so no stale dimension rows can ever be served.
+
+The cache is deliberately generic: values are opaque (Clydesdale caches
+built :class:`~repro.core.hashtable.DimensionHashTable` objects, the
+Hive engine caches serialized mapjoin broadcast payloads) and callers
+construct their own hashable keys.  Consumers reach it through
+``conf.ht_cache`` / engine plumbing, never by importing this module from
+``repro.core`` — the core layer stays independent of the serving layer.
+
+Thread safety: a server executes queries from several worker threads, so
+every method takes the cache lock; the race lint scans this module.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    rejected: int = 0      # entries larger than the whole budget
+    invalidations: int = 0
+    entries: int = 0
+    bytes_cached: int = 0
+    budget_bytes: int = 0
+    regions: tuple[str, ...] = field(default_factory=tuple)
+
+    def hit_rate(self) -> float:
+        probes = self.hits + self.misses
+        return self.hits / probes if probes else 0.0
+
+
+@dataclass
+class _Entry:
+    value: Any
+    nbytes: int
+
+
+class HashTableCache:
+    """Node-resident LRU cache of built dimension hash tables.
+
+    ``budget_bytes`` bounds each region (one region per node — the
+    tables are node-resident, so the budget models per-node memory, not
+    cluster-wide memory).  ``get``/``put`` are O(1); eviction pops the
+    least-recently-used entry of the region being written.
+    """
+
+    def __init__(self, budget_bytes: int) -> None:
+        if budget_bytes <= 0:
+            raise ValidationError(
+                f"cache budget must be positive, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        self._lock = threading.RLock()
+        self._regions: dict[str, OrderedDict[Hashable, _Entry]] = {}
+        self._bytes: dict[str, int] = {}
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._rejected = 0
+        self._invalidations = 0
+        self.generation = 0
+
+    # ------------------------------------------------------------------ #
+
+    def get(self, region: str, key: Hashable) -> Any | None:
+        """The cached value, marking it most-recently-used; None on miss."""
+        with self._lock:
+            entries = self._regions.get(region)
+            entry = entries.get(key) if entries is not None else None
+            if entry is None:
+                self._misses += 1
+                return None
+            entries.move_to_end(key)
+            self._hits += 1
+            return entry.value
+
+    def put(self, region: str, key: Hashable, value: Any,
+            nbytes: int) -> bool:
+        """Insert ``value`` charged at ``nbytes``, evicting LRU entries
+        past the region budget. Returns False (and caches nothing) when
+        the value alone exceeds the whole budget."""
+        nbytes = max(0, int(nbytes))
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self._rejected += 1
+                return False
+            entries = self._regions.setdefault(region, OrderedDict())
+            old = entries.pop(key, None)
+            if old is not None:
+                self._bytes[region] -= old.nbytes
+            entries[key] = _Entry(value=value, nbytes=nbytes)
+            self._bytes[region] = self._bytes.get(region, 0) + nbytes
+            self._puts += 1
+            while self._bytes[region] > self.budget_bytes:
+                _, evicted = entries.popitem(last=False)
+                self._bytes[region] -= evicted.nbytes
+                self._evictions += 1
+            return True
+
+    def invalidate(self) -> None:
+        """Drop every cached table (catalog reload / explicit flush)."""
+        with self._lock:
+            self._regions.clear()
+            self._bytes.clear()
+            self._invalidations += 1
+            self.generation += 1
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                rejected=self._rejected,
+                invalidations=self._invalidations,
+                entries=sum(len(r) for r in self._regions.values()),
+                bytes_cached=sum(self._bytes.values()),
+                budget_bytes=self.budget_bytes,
+                regions=tuple(sorted(self._regions)),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(r) for r in self._regions.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"HashTableCache(entries={s.entries}, "
+                f"bytes={s.bytes_cached}/{s.budget_bytes}, "
+                f"hits={s.hits}, misses={s.misses})")

@@ -1,0 +1,210 @@
+"""ClydesdaleServer: concurrent admission over one shared engine.
+
+The ROADMAP's north star is a *serving* workload — many clients, one
+warm engine. This module adds the admission layer on top of
+:class:`~repro.serve.session.Session`:
+
+* one server owns one base session (engine + hash-table cache) and a
+  pool of ``clydesdale.serve.max.concurrent`` worker threads;
+* clients attach via :meth:`ClydesdaleServer.session`, optionally with
+  a fair-share ``share`` — executed queries then run under a
+  :class:`~repro.mapreduce.fairshare.FairShareScheduler` grant, so the
+  simulated timings reflect the reduced CPU slice (paper 5.2);
+* admission is bounded: at most ``max_concurrent`` running plus
+  ``queue_depth`` waiting queries server-wide, and at most
+  ``session_quota`` in-flight queries per session. Past either bound,
+  ``submit``/``execute`` raise a typed
+  :class:`~repro.common.errors.AdmissionError` instead of queueing
+  unboundedly — a saturated server sheds load, it does not melt.
+
+The simulated engines mutate per-query state (``last_stats``, scratch
+directories, the mini-DFS), so workers serialize the actual engine run
+behind one lock; concurrency buys admission/queueing semantics and
+models slot sharing, not real parallel simulation.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+
+from repro.common.config import Configuration
+from repro.common.errors import AdmissionError
+from repro.common.keys import (
+    KEY_SERVE_MAX_CONCURRENT,
+    KEY_SERVE_QUEUE_DEPTH,
+    KEY_SERVE_SESSION_QUOTA,
+)
+from repro.core.query import StarQuery
+from repro.core.result import QueryResult
+from repro.mapreduce.fairshare import validate_shares
+from repro.serve.session import Session
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """Snapshot of a server's admission counters."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    in_flight: int = 0
+
+
+class ServerSession:
+    """One client's handle on a server: quota-tracked submissions that
+    share the server's engine and hash-table cache but run under this
+    session's fair-share grant."""
+
+    def __init__(self, server: "ClydesdaleServer", name: str,
+                 share: float | None):
+        self.server = server
+        self.name = name
+        self.share = share
+        self.in_flight = 0
+
+    def submit(self, query: StarQuery) -> "Future[QueryResult]":
+        """Admit ``query`` and return a future; raises
+        :class:`AdmissionError` when the server or this session is
+        saturated."""
+        return self.server._submit(self, query)
+
+    def execute(self, query: StarQuery) -> QueryResult:
+        """Admit ``query`` and block for its result."""
+        return self.submit(query).result()
+
+
+class ClydesdaleServer:
+    """Admission-controlled multi-session front end over one engine."""
+
+    def __init__(self, session: Session, *,
+                 conf: Configuration | None = None,
+                 max_concurrent: int | None = None,
+                 queue_depth: int | None = None,
+                 session_quota: int | None = None):
+        conf = conf or Configuration()
+        self.base = session
+        self.max_concurrent = (max_concurrent if max_concurrent is not None
+                               else conf.get_int(KEY_SERVE_MAX_CONCURRENT, 4))
+        self.queue_depth = (queue_depth if queue_depth is not None
+                            else conf.get_int(KEY_SERVE_QUEUE_DEPTH, 8))
+        self.session_quota = (session_quota if session_quota is not None
+                              else conf.get_int(KEY_SERVE_SESSION_QUOTA, 2))
+        self._lock = threading.Lock()
+        self._sessions: dict[str, ServerSession] = {}
+        self._in_flight = 0
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._closed = False
+        # Workers serialize on this: the simulated engines are not
+        # reentrant (scratch dirs, last_stats, the mini-DFS).
+        self._engine_lock = threading.Lock()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, self.max_concurrent),
+            thread_name_prefix="clydesdale-serve")
+
+    # ------------------------------------------------------------------ #
+
+    def session(self, name: str, share: float | None = None,
+                ) -> ServerSession:
+        """Attach (or fetch) the named session. ``share`` grants it a
+        fair-share fraction of the cluster's map slots; the shares of
+        all explicitly-shared sessions must not oversubscribe 1.0."""
+        with self._lock:
+            existing = self._sessions.get(name)
+            if existing is not None:
+                if share is not None:
+                    existing.share = share
+                    self._validate_shares()
+                return existing
+            handle = ServerSession(self, name, share)
+            self._sessions[name] = handle
+            try:
+                self._validate_shares()
+            except Exception:
+                del self._sessions[name]
+                raise
+            return handle
+
+    def stats(self) -> ServerStats:
+        with self._lock:
+            return ServerStats(
+                submitted=self._submitted,
+                admitted=self._submitted - self._rejected,
+                rejected=self._rejected,
+                completed=self._completed,
+                failed=self._failed,
+                in_flight=self._in_flight)
+
+    def close(self) -> None:
+        """Stop admitting and wait for in-flight queries to drain."""
+        with self._lock:
+            self._closed = True
+        self._pool.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+
+    def _validate_shares(self) -> None:
+        validate_shares({name: s.share
+                         for name, s in self._sessions.items()
+                         if s.share is not None})
+
+    def _submit(self, session: ServerSession,
+                query: StarQuery) -> "Future[QueryResult]":
+        with self._lock:
+            self._submitted += 1
+            if self._closed:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"server is closed; rejecting {query.name!r}",
+                    reason="closed", session=session.name)
+            if session.in_flight >= self.session_quota:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"session {session.name!r} already has "
+                    f"{session.in_flight} queries in flight "
+                    f"(quota {self.session_quota})",
+                    reason="session-quota", session=session.name)
+            if self._in_flight >= self.max_concurrent + self.queue_depth:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"server saturated: {self._in_flight} queries in "
+                    f"flight (max {self.max_concurrent} running + "
+                    f"{self.queue_depth} queued)",
+                    reason="saturated", session=session.name)
+            self._in_flight += 1
+            session.in_flight += 1
+        return self._pool.submit(self._run, session, query)
+
+    def _run(self, session: ServerSession,
+             query: StarQuery) -> QueryResult:
+        try:
+            with self._engine_lock:
+                base = self.base
+                if session.share is None:
+                    result = base.execute(query)
+                else:
+                    # Borrow the base session's engine/cache under this
+                    # session's fair-share grant for the duration.
+                    shared = Session(base.engine, cache=base.cache,
+                                     trace=False, features=base.features,
+                                     plan=base.plan,
+                                     slot_share=session.share,
+                                     name=session.name)
+                    result = shared.execute(query)
+            with self._lock:
+                self._completed += 1
+            return result
+        except Exception:
+            with self._lock:
+                self._failed += 1
+            raise
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                session.in_flight -= 1

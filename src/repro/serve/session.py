@@ -1,0 +1,290 @@
+"""Query sessions: one uniform API over all three engines.
+
+A :class:`Session` wraps a backend engine (``ClydesdaleEngine``,
+``HiveEngine``, or ``ReferenceEngine``) behind one signature —
+``execute(query, *, trace=None)`` / ``explain(query)`` / ``sql(text)``
+— and carries the state that outlives a single query:
+
+* the cross-query dimension hash-table cache
+  (:class:`~repro.serve.cache.HashTableCache`), probed by Clydesdale's
+  build phase and by Hive's master-side mapjoin build;
+* a cross-job JVM pool (Clydesdale only), so repeat queries start on
+  warm JVMs — together these extend the paper's within-job JVM reuse
+  across queries;
+* session-level tracing: ``execute(trace=True)`` wraps the engine's
+  span tree in a ``session:<query>`` span plus a ``cache`` span with
+  the hit/miss delta of this call.
+
+Backend-specific execution options are fixed at construction time
+(``features=`` for Clydesdale, ``plan=`` for Hive, ``slot_share=`` for
+fair-share scheduling), which is what keeps the per-call surface
+identical across backends. ``repro.api.connect`` is the usual way to
+build one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Protocol, runtime_checkable
+
+from repro.common.errors import ValidationError
+from repro.core.query import StarQuery
+from repro.core.result import QueryResult
+from repro.serve.cache import CacheStats, HashTableCache
+from repro.trace.tracer import (
+    CAT_CACHE,
+    CAT_SESSION,
+    STATUS_FAILED,
+    SpanTree,
+    Tracer,
+)
+
+BACKENDS = ("clydesdale", "hive", "reference")
+
+
+@runtime_checkable
+class Engine(Protocol):
+    """The protocol every backend engine satisfies.
+
+    ``execute`` accepts a :class:`StarQuery` plus backend-specific
+    keyword options and returns a :class:`QueryResult`; every engine
+    also accepts (and may ignore) ``trace=``.
+    """
+
+    def execute(self, query: StarQuery, **options: Any) -> QueryResult:
+        ...  # pragma: no cover - protocol
+
+
+def backend_name(engine: object) -> str:
+    """Which backend an engine object implements, by defining module."""
+    module = type(engine).__module__
+    if ".hive." in module or module.endswith(".hive"):
+        return "hive"
+    if ".reference." in module or module.endswith(".reference"):
+        return "reference"
+    return "clydesdale"
+
+
+class Session:
+    """One client's connection to an engine, with cross-query state.
+
+    ``cache=None`` disables cross-query caching (the deprecation shims
+    use that to preserve legacy engine behavior exactly); pass a
+    :class:`HashTableCache` — or use :func:`repro.api.connect`, which
+    builds one sized by ``clydesdale.cache.ht_bytes`` — to reuse built
+    hash tables across queries.
+    """
+
+    def __init__(self, engine: Engine, *,
+                 cache: HashTableCache | None = None,
+                 trace: bool | None = None,
+                 features: Any | None = None,
+                 plan: str | None = None,
+                 slot_share: float | None = None,
+                 name: str = "session",
+                 rebuild: Callable[[Any], Engine] | None = None):
+        self.backend = backend_name(engine)
+        self._engine = engine
+        self.cache = cache
+        self.name = name
+        #: None defers to the engine's own ``trace`` default.
+        self.trace = trace
+        self.features = features
+        self.plan = plan
+        self.slot_share = slot_share
+        self._rebuild = rebuild
+        #: Span tree of the most recent session-traced ``execute``.
+        self.last_trace: SpanTree | None = None
+        self._install_jvm_pool()
+
+    # ------------------------------------------------------------------ #
+    # The uniform public API.
+    # ------------------------------------------------------------------ #
+
+    @property
+    def engine(self) -> Engine:
+        return self._engine
+
+    @property
+    def last_stats(self) -> Any | None:
+        """The backend's stats for the most recent query (None for the
+        reference engine, which measures nothing)."""
+        return getattr(self._engine, "last_stats", None)
+
+    def execute(self, query: StarQuery, *,
+                trace: bool | None = None) -> QueryResult:
+        """Run ``query`` on the backend; identical signature everywhere.
+
+        ``trace=True`` wraps the engine's spans in a session span and
+        records the cache hit/miss delta; the finished tree lands on
+        ``last_trace`` (and on ``last_stats`` where the backend keeps
+        one).
+        """
+        enabled = self._trace_enabled(trace)
+        if not enabled:
+            self.last_trace = None
+            return self._run_engine(query, tracer=None)
+        tracer = Tracer()
+        before = self.cache.stats() if self.cache is not None else None
+        span = tracer.start(f"session:{query.name}", CAT_SESSION)
+        span.set("backend", self.backend)
+        span.set("session", self.name)
+        try:
+            result = self._run_engine(query, tracer=tracer)
+        except Exception:
+            span.finish(STATUS_FAILED)
+            self.last_trace = tracer.tree()
+            raise
+        if before is not None:
+            after = self.cache.stats()
+            with tracer.span("cache", CAT_CACHE) as cache_span:
+                cache_span.set("hits", after.hits - before.hits)
+                cache_span.set("misses", after.misses - before.misses)
+                cache_span.set("entries", after.entries)
+                cache_span.set("bytes_cached", after.bytes_cached)
+        span.finish()
+        tree = tracer.tree()
+        self.last_trace = tree
+        self._attach_trace(tree)
+        return result
+
+    def explain(self, query: StarQuery) -> str:
+        """Render the physical plan ``execute`` would run (EXPLAIN)."""
+        if self.backend == "clydesdale":
+            return self._engine.explain(query, features=self.features)
+        if self.backend == "hive":
+            from repro.core.explain import explain_hive
+            engine = self._engine
+            plan = self.plan or engine.default_plan
+            return explain_hive(query, engine.catalog, plan=plan,
+                                cluster=engine.cluster,
+                                cost_model=engine.cost_model)
+        lines = [f"REFERENCE PLAN for {query.name}",
+                 "=" * (19 + len(query.name)),
+                 f"scan {query.fact_table} in memory, filter "
+                 f"{query.fact_predicate.to_sql()}"]
+        for join in query.joins:
+            lines.append(f"hash-lookup {join.dimension} on "
+                         f"{join.fact_fk} = {join.dim_pk}")
+        order = ", ".join(
+            f"{key.column} desc" if key.descending else key.column
+            for key in query.order_by)
+        lines.append(f"group by {', '.join(query.group_by) or '()'}; "
+                     f"order by {order or '()'}")
+        return "\n".join(lines)
+
+    def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
+        """Parse star-join SQL and ``execute`` it on this backend."""
+        from repro.core.sqlparser import parse_sql
+        return self.execute(parse_sql(sql_text, self._schemas(),
+                                      name=name))
+
+    # ------------------------------------------------------------------ #
+    # Cache lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def cache_stats(self) -> CacheStats | None:
+        """Cache effectiveness counters; None when caching is off."""
+        return self.cache.stats() if self.cache is not None else None
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached hash table and cool the JVM pool."""
+        if self.cache is not None:
+            self.cache.invalidate()
+        pool = self._jvm_pool()
+        if pool is not None:
+            pool.clear()
+
+    def reload_catalog(self, data: Any) -> None:
+        """Reload the backend onto new base data and invalidate the
+        cache, so no stale dimension rows can be served. Requires the
+        session to have been built by ``repro.api.connect`` (or with an
+        explicit ``rebuild=`` factory)."""
+        if self._rebuild is None:
+            raise ValidationError(
+                "this Session has no rebuild factory; construct it via "
+                "repro.api.connect() to enable reload_catalog()")
+        self._engine = self._rebuild(data)
+        self.invalidate_cache()
+        self._install_jvm_pool()
+
+    def close(self) -> None:
+        """Release session state (cached hash tables, warm JVMs)."""
+        self.invalidate_cache()
+
+    # ------------------------------------------------------------------ #
+    # Internals.
+    # ------------------------------------------------------------------ #
+
+    def _trace_enabled(self, trace: bool | None) -> bool:
+        if trace is not None:
+            return bool(trace)
+        if self.trace is not None:
+            return bool(self.trace)
+        return bool(getattr(self._engine, "trace", False))
+
+    def _run_engine(self, query: StarQuery,
+                    tracer: Tracer | None) -> QueryResult:
+        if self.backend == "clydesdale":
+            return self._engine._execute_impl(
+                query, features=self.features, trace=False,
+                tracer=tracer, ht_cache=self.cache,
+                slot_share=self.slot_share)
+        if self.backend == "hive":
+            return self._engine._execute_impl(
+                query, plan=self.plan, trace=False, tracer=tracer,
+                ht_cache=self.cache)
+        return self._engine.execute(query, trace=tracer is not None)
+
+    def _legacy_execute(self, query: StarQuery,
+                        trace: bool | None = None,
+                        features: Any | None = None,
+                        plan: str | None = None) -> QueryResult:
+        """Backing path of the deprecated ``Engine.execute`` shims: the
+        engine keeps managing tracing (``last_trace`` semantics are
+        unchanged) and the legacy per-call overrides still apply; the
+        session contributes only its cache configuration."""
+        if self.backend == "clydesdale":
+            return self._engine._execute_impl(
+                query, features=features, trace=trace,
+                ht_cache=self.cache, slot_share=self.slot_share)
+        if self.backend == "hive":
+            return self._engine._execute_impl(
+                query, plan=plan, trace=trace, ht_cache=self.cache)
+        return self._engine.execute(query, trace=trace)
+
+    def _attach_trace(self, tree: SpanTree) -> None:
+        """Mirror a session-owned span tree onto the engine's last-run
+        bookkeeping so ``last_stats.phases`` stays populated."""
+        engine = self._engine
+        if hasattr(engine, "last_trace"):
+            engine.last_trace = tree
+        stats = getattr(engine, "last_stats", None)
+        if stats is not None and hasattr(stats, "phases"):
+            stats.trace = tree
+            stats.phases = tree.phase_totals()
+
+    def _schemas(self) -> dict[str, Any]:
+        if self.backend == "reference":
+            return dict(self._engine.schemas)
+        return {table: meta.schema
+                for table, meta in self._engine.catalog.tables.items()}
+
+    def _jvm_pool(self) -> dict | None:
+        runner = getattr(self._engine, "runner", None)
+        return getattr(runner, "jvm_pool", None)
+
+    def _install_jvm_pool(self) -> None:
+        # Cross-job JVM reuse rides along with the cache: both are
+        # session-owned warm state, invalidated together. Hive gets no
+        # pool — the baseline deliberately never reuses JVMs. An
+        # already-warm pool (several sessions sharing one engine) is
+        # kept, not reset.
+        if self.cache is not None and self.backend == "clydesdale":
+            runner = self._engine.runner
+            if getattr(runner, "jvm_pool", None) is None:
+                runner.jvm_pool = {}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cached = "on" if self.cache is not None else "off"
+        return (f"Session(backend={self.backend!r}, name={self.name!r}, "
+                f"cache={cached})")

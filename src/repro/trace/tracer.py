@@ -54,6 +54,8 @@ CAT_STEP = "step"      # structural grouping (map_phase, schedule, ...)
 CAT_TASK = "task"      # one task attempt
 CAT_THREAD = "thread"  # one MTMapRunner join thread
 CAT_PHASE = "phase"    # a measured leaf: scan/build/probe/shuffle/sort/...
+CAT_SESSION = "session"  # one Session.execute() call (repro.serve)
+CAT_CACHE = "cache"    # session hash-table cache bookkeeping
 
 STATUS_OPEN = "open"
 STATUS_OK = "ok"

@@ -163,6 +163,45 @@ class TestStringKeyLint:
         assert StringKeyRegistryPass().run(context) == []
 
 
+RESERVED_FIXTURE = '''
+OPTIONS = {
+    "clydesdale.cache.ht_bytes": 1024,     # registered: ok
+    "clydesdale.cache.zz_bogus": True,     # KEYS005
+    "clydesdale.serve.queue.depth": 8,     # registered: ok
+    "clydesdale.serve.zz_bogus": 1,        # KEYS005
+    "clydesdale.other.key": 2,             # unreserved namespace: ignored
+}
+
+COUNTERS = ["ht_cache_hits", "ht_cache_zz_bogus"]   # second is KEYS005
+'''
+
+
+class TestReservedNamespaceLint:
+    """KEYS005 — reserved serving-layer namespaces must be registered,
+    even in literals the call-site resolution cannot see."""
+
+    def test_seeded_fixture(self):
+        context = fixture_context("fixture_reserved.py", RESERVED_FIXTURE)
+        findings = StringKeyRegistryPass(check_unused=False).run(context)
+        codes = [f.code for f in findings]
+        assert codes == ["KEYS005"] * 3
+        messages = " | ".join(f.message for f in findings)
+        assert "clydesdale.cache.zz_bogus" in messages
+        assert "clydesdale.serve.zz_bogus" in messages
+        assert "ht_cache_zz_bogus" in messages
+        assert "clydesdale.other.key" not in messages
+
+    def test_registered_names_pass(self):
+        source = '''
+        KEYS = ("clydesdale.cache.enabled", "clydesdale.cache.ht_bytes",
+                "clydesdale.serve.max.concurrent",
+                "clydesdale.serve.session.quota")
+        CTRS = ("ht_cache_hits", "ht_cache_misses")
+        '''
+        context = fixture_context("fixture_reserved_ok.py", source)
+        assert StringKeyRegistryPass(check_unused=False).run(context) == []
+
+
 # --------------------------------------------------------------------- #
 # Feature-flag lint
 # --------------------------------------------------------------------- #

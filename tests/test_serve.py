@@ -1,0 +1,581 @@
+"""The serving layer: sessions, the cross-query hash-table cache, the
+admission-controlled server, and the `repro.api.connect` facade.
+
+Covers the redesigned public API (one `execute`/`explain`/`sql`
+signature across all three backends), warm-vs-cold cache semantics
+(`ht_builds == 0` with `ht_cache_hits > 0` on a warm repeat, rows
+byte-identical), explicit invalidation on catalog reload, the
+deprecation shims on the legacy `Engine.execute` entry points, and
+bounded admission with fair-share grants.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.api import connect
+from repro.common.errors import (
+    AdmissionError,
+    ReproError,
+    SchedulerError,
+    ValidationError,
+)
+from repro.mapreduce.fairshare import validate_shares
+from repro.serve.cache import HashTableCache
+from repro.serve.server import ClydesdaleServer
+from repro.serve.session import BACKENDS, Engine, Session, backend_name
+from tests.test_property_random_queries import star_queries
+
+# --------------------------------------------------------------------- #
+# Fixtures: fresh connect()-built sessions over the shared SSB data.
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def clyde_session(ssb_data):
+    return connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def hive_session(ssb_data):
+    return connect(backend="hive", data=ssb_data, num_nodes=4)
+
+
+@pytest.fixture(scope="module")
+def ref_session(ssb_data):
+    return connect(backend="reference", data=ssb_data)
+
+
+# --------------------------------------------------------------------- #
+# HashTableCache unit behavior.
+# --------------------------------------------------------------------- #
+
+
+class TestHashTableCache:
+    def test_put_get_roundtrip(self):
+        cache = HashTableCache(1000)
+        assert cache.put("node0", ("k", 1), "value", 100)
+        assert cache.get("node0", ("k", 1)) == "value"
+        stats = cache.stats()
+        assert stats.hits == 1 and stats.misses == 0
+        assert stats.entries == 1 and stats.bytes_cached == 100
+
+    def test_miss_counts(self):
+        cache = HashTableCache(1000)
+        assert cache.get("node0", "absent") is None
+        assert cache.stats().misses == 1
+
+    def test_regions_are_independent(self):
+        cache = HashTableCache(1000)
+        cache.put("node0", "k", "a", 10)
+        assert cache.get("node1", "k") is None
+        assert cache.get("node0", "k") == "a"
+        cache.put("node1", "k", "b", 10)
+        assert cache.stats().regions == ("node0", "node1")
+        assert cache.get("node1", "k") == "b"
+
+    def test_lru_eviction_order(self):
+        cache = HashTableCache(300)
+        cache.put("n", "a", 1, 100)
+        cache.put("n", "b", 2, 100)
+        cache.put("n", "c", 3, 100)
+        cache.get("n", "a")          # refresh a; b is now LRU
+        cache.put("n", "d", 4, 100)  # over budget -> evict b
+        assert cache.get("n", "b") is None
+        assert cache.get("n", "a") == 1
+        assert cache.get("n", "c") == 3
+        assert cache.get("n", "d") == 4
+        assert cache.stats().evictions == 1
+
+    def test_budget_is_per_region(self):
+        cache = HashTableCache(100)
+        cache.put("n0", "k", "a", 100)
+        cache.put("n1", "k", "b", 100)  # different region, no eviction
+        assert cache.stats().evictions == 0
+        assert cache.stats().bytes_cached == 200
+
+    def test_oversized_entry_rejected(self):
+        cache = HashTableCache(100)
+        cache.put("n", "small", "x", 50)
+        assert not cache.put("n", "huge", "y", 101)
+        # The rejection neither cached the value nor flushed the rest.
+        assert cache.get("n", "huge") is None
+        assert cache.get("n", "small") == "x"
+        assert cache.stats().rejected == 1
+
+    def test_replace_same_key_recharges_bytes(self):
+        cache = HashTableCache(100)
+        cache.put("n", "k", "a", 60)
+        cache.put("n", "k", "b", 80)  # replaces, does not double-charge
+        stats = cache.stats()
+        assert stats.entries == 1 and stats.bytes_cached == 80
+        assert cache.get("n", "k") == "b"
+
+    def test_invalidate_clears_everything(self):
+        cache = HashTableCache(1000)
+        cache.put("n0", "k", "a", 10)
+        cache.put("n1", "k", "b", 10)
+        generation = cache.generation
+        cache.invalidate()
+        assert len(cache) == 0
+        assert cache.generation == generation + 1
+        assert cache.get("n0", "k") is None
+        stats = cache.stats()
+        assert stats.invalidations == 1 and stats.bytes_cached == 0
+
+    def test_hit_rate(self):
+        cache = HashTableCache(1000)
+        assert cache.stats().hit_rate() == 0.0
+        cache.put("n", "k", "v", 1)
+        cache.get("n", "k")
+        cache.get("n", "nope")
+        assert cache.stats().hit_rate() == 0.5
+
+    def test_budget_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            HashTableCache(0)
+        with pytest.raises(ValidationError):
+            HashTableCache(-1)
+
+
+# --------------------------------------------------------------------- #
+# connect(): one signature, three backends.
+# --------------------------------------------------------------------- #
+
+
+class TestConnect:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValidationError, match="unknown backend"):
+            connect(backend="spark")
+
+    def test_backends_constant_matches(self):
+        assert BACKENDS == ("clydesdale", "hive", "reference")
+
+    def test_all_backends_agree_via_uniform_api(
+            self, clyde_session, hive_session, ref_session, queries):
+        query = queries["Q2.1"]
+        results = {name: session.execute(query)
+                   for name, session in [("clydesdale", clyde_session),
+                                         ("hive", hive_session),
+                                         ("reference", ref_session)]}
+        assert (results["clydesdale"].rows == results["hive"].rows
+                == results["reference"].rows)
+        assert (results["clydesdale"].columns == results["hive"].columns
+                == results["reference"].columns)
+
+    def test_backend_detection(self, clyde_session, hive_session,
+                               ref_session):
+        assert clyde_session.backend == "clydesdale"
+        assert hive_session.backend == "hive"
+        assert ref_session.backend == "reference"
+        for session in (clyde_session, hive_session, ref_session):
+            assert backend_name(session.engine) == session.backend
+            assert isinstance(session.engine, Engine)
+
+    def test_reference_gets_no_cache(self, ref_session):
+        assert ref_session.cache is None
+        assert ref_session.cache_stats() is None
+
+    def test_cache_flag_off(self, ssb_data):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          cache=False)
+        assert session.cache is None
+
+    def test_explain_uniform(self, clyde_session, hive_session,
+                             ref_session, queries):
+        query = queries["Q2.1"]
+        for session in (clyde_session, hive_session, ref_session):
+            text = session.explain(query)
+            assert isinstance(text, str) and "date" in text
+
+    def test_sql_uniform(self, clyde_session, ref_session):
+        sql = ("SELECT d_year, sum(lo_revenue) AS revenue "
+               "FROM lineorder, date WHERE lo_orderdate = d_datekey "
+               "AND d_year = 1993 GROUP BY d_year;")
+        got = clyde_session.sql(sql)
+        expected = ref_session.sql(sql)
+        assert got.rows == expected.rows
+
+
+# --------------------------------------------------------------------- #
+# Warm vs cold: the cache must skip the build phase, not change answers.
+# --------------------------------------------------------------------- #
+
+
+class TestWarmCold:
+    def test_warm_repeat_skips_build(self, ssb_data, queries, reference):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        query = queries["Q2.1"]
+        cold = session.execute(query)
+        assert session.last_stats.ht_builds >= 1
+        assert session.last_stats.ht_cache_misses >= 1
+        assert session.last_stats.ht_cache_hits == 0
+
+        warm = session.execute(query)
+        assert session.last_stats.ht_builds == 0
+        assert session.last_stats.ht_cache_hits > 0
+        assert session.last_stats.ht_cache_misses == 0
+        assert warm.rows == cold.rows == reference.execute(query).rows
+        assert warm.columns == cold.columns
+        # Skipping the simulated build charge makes the warm run faster.
+        assert warm.simulated_seconds <= cold.simulated_seconds
+
+    def test_warm_counters_keep_shape(self, ssb_data, queries):
+        """Per-dimension entry/scan counters are identical warm vs cold
+        (the cache serves the same tables it stored)."""
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        query = queries["Q3.1"]
+        session.execute(query)
+        cold_entries = dict(session.last_stats.ht_entries)
+        cold_scanned = dict(session.last_stats.ht_scanned)
+        session.execute(query)
+        assert cold_entries and cold_scanned
+        assert session.last_stats.ht_entries == cold_entries
+        assert session.last_stats.ht_scanned == cold_scanned
+
+    def test_cache_shared_across_queries(self, ssb_data, queries):
+        """Q2.1, Q2.2 and Q2.3 share the identical date join recipe, so
+        the second query hits the cache for it."""
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        session.execute(queries["Q2.1"])
+        session.execute(queries["Q2.2"])
+        assert session.last_stats.ht_cache_hits > 0
+
+    def test_hive_mapjoin_broadcast_cached(self, ssb_data, queries,
+                                           reference):
+        session = connect(backend="hive", data=ssb_data, num_nodes=4)
+        query = queries["Q2.1"]
+        cold = session.execute(query)
+        assert session.last_stats.ht_cache_misses >= 1
+        warm = session.execute(query)
+        assert session.last_stats.ht_cache_hits >= 1
+        assert session.last_stats.ht_cache_misses == 0
+        assert warm.rows == cold.rows == reference.execute(query).rows
+
+    def test_tiny_budget_still_correct(self, ssb_data, queries,
+                                       reference):
+        """A budget too small to hold anything degrades to all-miss,
+        never to wrong answers."""
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4, cache_bytes=1)
+        query = queries["Q2.1"]
+        session.execute(query)
+        result = session.execute(query)
+        assert session.last_stats.ht_cache_hits == 0
+        assert session.last_stats.ht_builds >= 1
+        assert result.rows == reference.execute(query).rows
+        assert session.cache_stats().rejected > 0
+
+
+# --------------------------------------------------------------------- #
+# Property: caching never changes answers (satellite 4).
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(query=star_queries())
+def test_cached_run_byte_identical_to_cold(query, cached_and_cold):
+    cached, cold_session = cached_and_cold
+    cold = cold_session.execute(query)
+    first = cached.execute(query)
+    repeat = cached.execute(query)  # may be served from cache
+    for got in (first, repeat):
+        assert got.columns == cold.columns
+        assert got.rows == cold.rows  # identical values AND order
+
+
+@pytest.fixture(scope="module")
+def cached_and_cold(ssb_data):
+    """One cache-enabled session (warms up across hypothesis examples)
+    and one cache-disabled twin as the cold comparator."""
+    cached = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+    cold = connect(backend="clydesdale", data=ssb_data, num_nodes=4,
+                   cache=False)
+    return cached, cold
+
+
+# --------------------------------------------------------------------- #
+# Invalidation: reload_catalog must never serve stale dimension rows.
+# --------------------------------------------------------------------- #
+
+
+class TestInvalidation:
+    def test_reload_catalog_invalidates(self, ssb_data, queries):
+        from repro.reference.engine import ReferenceEngine
+        from repro.ssb.datagen import SSBGenerator
+
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        query = queries["Q2.1"]
+        old = session.execute(query)
+        assert len(session.cache) > 0
+
+        new_data = SSBGenerator(scale_factor=0.002, seed=7).generate()
+        session.reload_catalog(new_data)
+        assert len(session.cache) == 0
+        assert session.cache.generation == 1
+
+        fresh = session.execute(query)
+        assert session.last_stats.ht_builds >= 1  # cold rebuild
+        assert session.last_stats.ht_cache_hits == 0
+        expected = ReferenceEngine.from_ssb(new_data).execute(query)
+        assert fresh.rows == expected.rows
+        assert fresh.rows != old.rows  # different seed, different data
+
+    def test_invalidate_cache_forces_rebuild(self, ssb_data, queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        query = queries["Q2.1"]
+        session.execute(query)
+        session.invalidate_cache()
+        session.execute(query)
+        assert session.last_stats.ht_builds >= 1
+        assert session.last_stats.ht_cache_hits == 0
+
+    def test_reload_requires_rebuild_factory(self, clydesdale):
+        session = Session(clydesdale, cache=HashTableCache(1024))
+        with pytest.raises(ValidationError, match="rebuild"):
+            session.reload_catalog(None)
+
+
+# --------------------------------------------------------------------- #
+# Deprecation shims (satellite 2).
+# --------------------------------------------------------------------- #
+
+
+class TestDeprecationShims:
+    def test_clydesdale_execute_warns(self, clydesdale, queries):
+        with pytest.warns(DeprecationWarning, match="connect"):
+            clydesdale.execute(queries["Q1.1"])
+
+    def test_hive_execute_warns(self, hive, queries):
+        with pytest.warns(DeprecationWarning, match="connect"):
+            hive.execute(queries["Q1.1"])
+
+    def test_old_and_new_paths_identical_all_queries(
+            self, ssb_data, queries):
+        """The deprecated entry points return the same QueryResult as
+        the Session path on every SSB query."""
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4, cache=False)
+        engine = session.engine
+        for name, query in queries.items():
+            new = session.execute(query)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                old = engine.execute(query)
+            assert old.columns == new.columns, name
+            assert old.rows == new.rows, name
+            assert old.simulated_seconds == pytest.approx(
+                new.simulated_seconds), name
+            assert old.breakdown == pytest.approx(new.breakdown), name
+
+    def test_old_and_new_paths_identical_hive(self, ssb_data, queries):
+        session = connect(backend="hive", data=ssb_data, num_nodes=4,
+                          cache=False)
+        engine = session.engine
+        for name in ("Q1.1", "Q2.1", "Q3.1", "Q4.1"):
+            query = queries[name]
+            new = session.execute(query)
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", DeprecationWarning)
+                old = engine.execute(query)
+            assert old.rows == new.rows, name
+            assert old.simulated_seconds == pytest.approx(
+                new.simulated_seconds), name
+
+    def test_legacy_trace_semantics_preserved(self, ssb_data, queries):
+        """The shim keeps the engine-managed trace shape: the root span
+        is still `query:<name>`, not `session:<name>`."""
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4, cache=False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            session.engine.execute(queries["Q1.1"], trace=True)
+        roots = session.engine.last_trace.roots()
+        assert [s.name for s in roots] == ["query:Q1.1"]
+
+    def test_reference_accepts_trace_kwarg(self, reference, queries):
+        # Satellite 1: uniform signature — the oracle ignores trace=.
+        result = reference.execute(queries["Q1.1"], trace=True)
+        assert result.rows == reference.execute(queries["Q1.1"]).rows
+
+
+# --------------------------------------------------------------------- #
+# Session tracing.
+# --------------------------------------------------------------------- #
+
+
+class TestSessionTrace:
+    def test_session_span_wraps_engine_tree(self, ssb_data, queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4, name="alice")
+        session.execute(queries["Q2.1"], trace=True)
+        tree = session.last_trace
+        assert tree is not None and tree.violations() == []
+        roots = tree.roots()
+        assert [s.name for s in roots] == ["session:Q2.1"]
+        assert roots[0].attrs["backend"] == "clydesdale"
+        assert roots[0].attrs["session"] == "alice"
+        children = {s.name for s in tree.children(roots[0])}
+        assert "query:Q2.1" in children and "cache" in children
+
+    def test_cache_span_carries_delta(self, ssb_data, queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        session.execute(queries["Q2.1"], trace=True)
+        cold_span = session.last_trace.find("cache")[0]
+        assert cold_span.attrs["misses"] > 0
+        assert cold_span.attrs["hits"] == 0
+        session.execute(queries["Q2.1"], trace=True)
+        warm_span = session.last_trace.find("cache")[0]
+        assert warm_span.attrs["hits"] > 0
+        assert warm_span.attrs["misses"] == 0
+        assert warm_span.attrs["entries"] > 0
+
+    def test_trace_mirrored_onto_engine(self, ssb_data, queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        session.execute(queries["Q2.1"], trace=True)
+        assert session.engine.last_trace is session.last_trace
+        assert session.last_stats.phases  # build/scan/probe totals
+
+    def test_untraced_by_default(self, clyde_session, queries):
+        clyde_session.execute(queries["Q1.1"])
+        assert clyde_session.last_trace is None
+
+    def test_hive_session_trace(self, ssb_data, queries):
+        session = connect(backend="hive", data=ssb_data, num_nodes=4)
+        session.execute(queries["Q2.1"], trace=True)
+        tree = session.last_trace
+        assert tree.violations() == []
+        assert [s.name for s in tree.roots()] == ["session:Q2.1"]
+
+    def test_reference_session_trace(self, ref_session, queries):
+        ref_session.execute(queries["Q1.1"], trace=True)
+        tree = ref_session.last_trace
+        assert [s.name for s in tree.roots()] == ["session:Q1.1"]
+
+
+# --------------------------------------------------------------------- #
+# Admission control.
+# --------------------------------------------------------------------- #
+
+
+class TestAdmission:
+    def test_admission_error_typed(self):
+        err = AdmissionError("full", reason="saturated", session="a")
+        assert isinstance(err, ReproError)
+        assert err.reason == "saturated" and err.session == "a"
+
+    def test_saturation_and_quota(self, ssb_data, queries):
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+        server = ClydesdaleServer(base, max_concurrent=1, queue_depth=1,
+                                  session_quota=2)
+        alice = server.session("alice")
+        bob = server.session("bob")
+        query = queries["Q1.1"]
+        futures = []
+        # Stall the workers so admitted queries stay in flight.
+        server._engine_lock.acquire()
+        try:
+            futures.append(alice.submit(query))
+            futures.append(bob.submit(query))  # 2 in flight == 1+1
+            with pytest.raises(AdmissionError) as exc:
+                alice.submit(query)
+            assert exc.value.reason == "saturated"
+            assert exc.value.session == "alice"
+        finally:
+            server._engine_lock.release()
+        results = [f.result(timeout=60) for f in futures]
+        assert all(r.rows == results[0].rows for r in results)
+        stats = server.stats()
+        assert stats.completed == 2 and stats.rejected == 1
+        assert stats.in_flight == 0
+        server.close()
+
+    def test_session_quota(self, ssb_data, queries):
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+        server = ClydesdaleServer(base, max_concurrent=1, queue_depth=8,
+                                  session_quota=1)
+        alice = server.session("alice")
+        server._engine_lock.acquire()
+        try:
+            future = alice.submit(queries["Q1.1"])
+            with pytest.raises(AdmissionError) as exc:
+                alice.submit(queries["Q1.1"])
+            assert exc.value.reason == "session-quota"
+        finally:
+            server._engine_lock.release()
+        future.result(timeout=60)
+        server.close()
+
+    def test_closed_server_rejects(self, ssb_data, queries):
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+        server = ClydesdaleServer(base, max_concurrent=1)
+        server.close()
+        with pytest.raises(AdmissionError) as exc:
+            server.session("late").submit(queries["Q1.1"])
+        assert exc.value.reason == "closed"
+
+    def test_concurrent_clients_share_cache(self, ssb_data, queries):
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+        server = ClydesdaleServer(base, max_concurrent=2, queue_depth=4,
+                                  session_quota=4)
+        query = queries["Q2.1"]
+        futures = [server.session(f"c{i}").submit(query)
+                   for i in range(4)]
+        results = [f.result(timeout=120) for f in futures]
+        assert all(r.rows == results[0].rows for r in results)
+        # The first client built the tables; the rest hit the cache.
+        assert base.cache_stats().hits > 0
+        server.close()
+
+    def test_fair_share_slows_simulated_time(self, ssb_data, queries):
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4,
+                       cache=False)
+        server = ClydesdaleServer(base, max_concurrent=1)
+        full = server.session("full")
+        half = server.session("half", share=0.5)
+        query = queries["Q2.1"]
+        t_full = full.execute(query).simulated_seconds
+        t_half = half.execute(query).simulated_seconds
+        assert t_half >= t_full
+        server.close()
+
+    def test_oversubscribed_shares_rejected(self, ssb_data):
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+        server = ClydesdaleServer(base)
+        server.session("a", share=0.7)
+        with pytest.raises(SchedulerError):
+            server.session("b", share=0.5)
+        assert "b" not in server._sessions  # rolled back
+        server.close()
+
+
+class TestValidateShares:
+    def test_ok(self):
+        shares = {"a": 0.5, "b": 0.5}
+        assert validate_shares(shares) is shares
+
+    def test_empty_ok(self):
+        assert validate_shares({}) == {}
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(SchedulerError):
+            validate_shares({"a": 0.0})
+
+    def test_above_one_rejected(self):
+        with pytest.raises(SchedulerError):
+            validate_shares({"a": 1.5})
+
+    def test_oversubscription_rejected(self):
+        with pytest.raises(SchedulerError):
+            validate_shares({"a": 0.6, "b": 0.6})
