@@ -108,7 +108,9 @@ def sf01_scan():
 
     Only the four columns the query touches are materialized, streamed
     straight out of the generator so the full 17-column table never
-    exists in memory.
+    exists in memory. Blocks come in both representations: encoded
+    typed buffers (slice views, what the reader hands kernels under
+    ``cif.encoded.exec``) and decoded plain lists (the flag-off arm).
     """
     from repro.ssb.datagen import (
         SSBGenerator,
@@ -116,6 +118,8 @@ def sf01_scan():
         part_count,
         supplier_count,
     )
+    from repro.storage.columnvector import ensure_vector
+
     gen = SSBGenerator(scale_factor=SF, seed=7)
     date_rows = gen.gen_date()
     date_keys = [row[0] for row in date_rows]
@@ -129,12 +133,19 @@ def sf01_scan():
             columns[name].append(row[idx])
     schema = SCHEMAS["lineorder"].project(list(names))
     num_rows = len(columns["lo_orderdate"])
-    blocks = [
+    vectors = {name: ensure_vector(values, "<i8")
+               for name, values in columns.items()}
+    vector_blocks = [
+        RowBlock(schema, start,
+                 {name: vec[start:start + BLOCK_ROWS]
+                  for name, vec in vectors.items()})
+        for start in range(0, num_rows, BLOCK_ROWS)]
+    list_blocks = [
         RowBlock(schema, start,
                  {name: values[start:start + BLOCK_ROWS]
                   for name, values in columns.items()})
         for start in range(0, num_rows, BLOCK_ROWS)]
-    return date_rows, blocks, num_rows
+    return date_rows, vector_blocks, list_blocks, num_rows
 
 
 def _q11_mapper(date_rows):
@@ -176,11 +187,14 @@ def _best_of(fn, repeats=3):
 
 
 def test_vectorized_vs_rowwise_fact_scan(sf01_scan):
-    """The tentpole's acceptance number: selection-vector kernels must
-    beat the row-wise block loop by >= 3x on an SF0.1 fact scan."""
+    """The tentpole's acceptance number: encoded selection-vector
+    kernels must beat the row-wise block loop by >= 11x on an SF0.1
+    fact scan (the pre-v2 kernels measured 10.05x; the floor sits
+    above that so the columnar memory model can never silently erode
+    back to list execution)."""
     from repro.mapreduce.types import OutputCollector
 
-    date_rows, blocks, num_rows = sf01_scan
+    date_rows, vector_blocks, list_blocks, num_rows = sf01_scan
     assert num_rows >= 600_000
     mapper = _q11_mapper(date_rows)
 
@@ -189,14 +203,14 @@ def test_vectorized_vs_rowwise_fact_scan(sf01_scan):
 
     def run_vectorized():
         out = OutputCollector()
-        for block in blocks:
+        for block in vector_blocks:
             mapper._map_block_kernels(block, out)
         vec_out.pairs = out.pairs
         return out
 
     def run_rowwise():
         out = OutputCollector()
-        for block in blocks:
+        for block in list_blocks:
             mapper._map_block_eager(block, out)
         row_out.pairs = out.pairs
         return out
@@ -210,5 +224,35 @@ def test_vectorized_vs_rowwise_fact_scan(sf01_scan):
     print(f"\nvectorized={vectorized_s * 1000:.1f}ms "
           f"rowwise={rowwise_s * 1000:.1f}ms "
           f"speedup={speedup:.2f}x over {num_rows:,} rows")
-    assert speedup >= 3.0, (
+    assert speedup >= 11.0, (
         f"vectorized path only {speedup:.2f}x faster than row-wise")
+
+
+def test_encoded_vs_decoded_kernels(sf01_scan):
+    """The columnar_v2 ablation at microbench scale: the same kernel
+    pipeline must run >= 1.4x faster on typed buffers than on decoded
+    lists, and produce identical output."""
+    from repro.mapreduce.types import OutputCollector
+
+    date_rows, vector_blocks, list_blocks, num_rows = sf01_scan
+    mapper = _q11_mapper(date_rows)
+
+    outputs = {}
+
+    def run(label, blocks):
+        out = OutputCollector()
+        for block in blocks:
+            mapper._map_block_kernels(block, out)
+        outputs[label] = sorted(out.pairs)
+
+    encoded_s = _best_of(lambda: run("encoded", vector_blocks))
+    decoded_s = _best_of(lambda: run("decoded", list_blocks))
+    assert outputs["encoded"] == outputs["decoded"]
+
+    speedup = decoded_s / encoded_s
+    print(f"\nencoded={encoded_s * 1000:.1f}ms "
+          f"decoded={decoded_s * 1000:.1f}ms "
+          f"speedup={speedup:.2f}x over {num_rows:,} rows")
+    assert speedup >= 1.4, (
+        f"encoded execution only {speedup:.2f}x faster than decoded "
+        f"lists")

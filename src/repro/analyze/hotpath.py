@@ -16,7 +16,14 @@ flags, **inside loops** of those functions:
 * ``HOT002`` — direct ``.append()``-family calls (the sanctioned idiom
   is prebinding ``add = out.append`` outside the loop, which this rule
   deliberately does not match);
-* ``HOT003`` — string formatting (f-strings, ``%``, ``.format()``).
+* ``HOT003`` — string formatting (f-strings, ``%``, ``.format()``);
+* ``HOT004`` — whole-column materialization of a typed buffer:
+  ``list(...)`` calls and ``.tolist()`` / ``.to_list()`` / ``.take()``
+  / ``.decode()`` calls. A :class:`~repro.storage.columnvector.
+  ColumnVector` decoded per row pays the full O(rows) boxing cost per
+  iteration — the exact tax the columnar memory model v2 removed; the
+  sanctioned idioms are scalar ``vector[i]`` in the loop or one gather
+  before it.
 
 One level interprocedurally: a function *called from inside a loop* of
 a hot function has its own straight-line allocations flagged too —
@@ -54,6 +61,10 @@ ANNOTATION = "analyze: allow-alloc"
 _APPENDERS = frozenset({"append", "add", "extend", "insert", "setdefault",
                         "appendleft"})
 
+#: Methods that materialize a whole typed column (or decode bytes) —
+#: per-row calls to these defeat encoded execution (HOT004).
+_DECODERS = frozenset({"tolist", "to_list", "take", "decode"})
+
 _LOOPS = (ast.For, ast.AsyncFor, ast.While)
 
 
@@ -68,6 +79,11 @@ def _alloc_kind(node: ast.AST) -> tuple[str, str] | None:
             return "HOT002", f".{node.func.attr}() call"
         if node.func.attr == "format":
             return "HOT003", ".format() call"
+        if node.func.attr in _DECODERS:
+            return "HOT004", f".{node.func.attr}() materialization"
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id == "list" and (node.args or node.keywords)):
+        return "HOT004", "list(...) materialization"
     if isinstance(node, ast.JoinedStr):
         return "HOT003", "f-string"
     if (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod)

@@ -9,8 +9,10 @@ Targets:
 * ``q21``    — the section 6.3 Q2.1 stage breakdown
 * ``calibration`` — how each cost constant derives from the paper
 * ``validate`` — run all 13 queries functionally on all engines
-* ``perfsmoke`` — time vectorized kernels vs the row-wise path and a
-  zone-map-pruned query; writes ``BENCH_perfsmoke.json``
+* ``perfsmoke`` — time vectorized kernels vs the row-wise path, the
+  columnar-v2 encoded-vs-decoded ablation, and a zone-map-pruned
+  query; writes ``BENCH_perfsmoke.json``. With ``--check``, exits
+  non-zero when any number falls below its regression floor.
 * ``export`` — write every series to results/*.csv and *.json
 * ``report`` — regenerate the paper-vs-measured markdown report
 * ``all``    — everything above (except export)
@@ -49,6 +51,9 @@ def main(argv: list[str] | None = None) -> int:
                         help="scale factor for functional validation")
     parser.add_argument("--out-dir", default="results",
                         help="output directory for the export target")
+    parser.add_argument("--check", action="store_true",
+                        help="perfsmoke only: fail (exit 1) when a "
+                             "number regresses below its floor")
     args = parser.parse_args(argv)
 
     targets = (TARGETS[:-3] if args.target == "all"
@@ -72,11 +77,21 @@ def main(argv: list[str] | None = None) -> int:
             from repro.model.calibration import calibration_report
             print(calibration_report())
         elif target == "perfsmoke":
-            from repro.bench.perfsmoke import render_perfsmoke, \
-                run_perfsmoke
+            from repro.bench.perfsmoke import (
+                check_floors,
+                render_perfsmoke,
+                run_perfsmoke,
+            )
             report = run_perfsmoke()
             print(render_perfsmoke(report))
             print("wrote BENCH_perfsmoke.json")
+            if args.check:
+                failures = check_floors(report)
+                for failure in failures:
+                    print(f"FLOOR REGRESSION: {failure}")
+                if failures:
+                    return 1
+                print("all perfsmoke floors hold")
         elif target == "export":
             from repro.bench.export import export_all
             for path in export_all(args.out_dir):

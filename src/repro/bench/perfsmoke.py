@@ -2,11 +2,13 @@
 
 Run as ``python -m repro.bench perfsmoke``: times the selection-vector
 kernel pipeline against the row-wise block loop on one generated fact
-scan, runs a zone-map-pruned query on date-clustered data, times a
-warm-vs-cold Q2.1 repeat through a cache-carrying session, and writes
-the numbers to ``BENCH_perfsmoke.json`` so CI can flag regressions
-(the vectorized path falling under ~3x, pruning silently dying, or the
-hash-table cache no longer skipping builds).
+scan, isolates the columnar memory model v2 win (encoded typed buffers
+vs plain lists through the *same* kernels — the ``columnar_v2``
+ablation), runs a zone-map-pruned query on date-clustered data, times
+a warm-vs-cold Q2.1 repeat through a cache-carrying session, and
+writes the numbers to ``BENCH_perfsmoke.json``. ``--check`` compares
+each headline number against :data:`FLOORS` and fails the run (and the
+CI bench job) on any regression instead of just uploading the report.
 """
 
 from __future__ import annotations
@@ -18,9 +20,22 @@ from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import OutputCollector
 from repro.ssb.schema import SCHEMAS
 from repro.storage.cif import RowBlock
+from repro.storage.columnvector import ensure_vector
 
 BLOCK_ROWS = 4096
 ORDERDATE_INDEX = 5  # lineorder schema position of lo_orderdate
+
+#: Regression floors for ``--check``: measured values sit well above
+#: these (see EXPERIMENTS.md); a breach means a real regression, not
+#: runner noise. Keys are dotted paths into the perfsmoke report.
+FLOORS = {
+    # encoded kernels vs the row-wise loop (was 3.0 pre-v2)
+    "kernels.speedup": 8.0,
+    # encoded buffers vs plain lists through the same kernels
+    "columnar_v2.speedup": 1.5,
+    # warm hash-table cache vs cold builds
+    "session_cache.speedup": 1.5,
+}
 
 
 def _q11_query():
@@ -63,8 +78,14 @@ def _best_of(fn, repeats: int = 3) -> float:
     return best
 
 
-def kernel_smoke(scale_factor: float = 0.05) -> dict:
-    """Vectorized vs row-wise wall clock over one Q1.1-shaped scan."""
+def _q11_scan(scale_factor: float):
+    """Q1.1-shaped fact scan as (date_rows, list blocks, vector blocks).
+
+    The vector blocks are slice *views* of four whole-scan typed
+    buffers, exactly how the B-CIF reader cuts blocks from a row group
+    under ``cif.encoded.exec``; the list blocks are the decoded
+    (flag-off) representation of the same data.
+    """
     from repro.ssb.datagen import (
         SSBGenerator,
         customer_count,
@@ -85,33 +106,66 @@ def kernel_smoke(scale_factor: float = 0.05) -> dict:
             columns[name].append(row[idx])
     num_rows = len(columns["lo_orderdate"])
     schema = SCHEMAS["lineorder"].project(list(names))
-    blocks = [
+    vectors = {name: ensure_vector(values, "<i8")
+               for name, values in columns.items()}
+    list_blocks = [
         RowBlock(schema, start,
                  {name: values[start:start + BLOCK_ROWS]
                   for name, values in columns.items()})
         for start in range(0, num_rows, BLOCK_ROWS)]
+    vector_blocks = [
+        RowBlock(schema, start,
+                 {name: vec[start:start + BLOCK_ROWS]
+                  for name, vec in vectors.items()})
+        for start in range(0, num_rows, BLOCK_ROWS)]
+    return date_rows, list_blocks, vector_blocks, num_rows
+
+
+def kernel_smoke(scale_factor: float = 0.05) -> tuple[dict, dict]:
+    """Time the Q1.1 scan three ways; return (kernels, columnar_v2).
+
+    * ``kernels`` — encoded kernels vs the row-wise block loop (the
+      headline speedup);
+    * ``columnar_v2`` — the same kernel pipeline on typed buffers vs on
+      plain lists, isolating what encoded execution itself buys.
+    """
+    date_rows, list_blocks, vector_blocks, num_rows = _q11_scan(
+        scale_factor)
     mapper = _mapper(date_rows)
 
     results: dict[str, list] = {}
 
-    def run(method_name):
+    def run(label, method_name, blocks):
         method = getattr(mapper, method_name)
         out = OutputCollector()
         for block in blocks:
             method(block, out)
-        results[method_name] = sorted(out.pairs)
+        results[label] = sorted(out.pairs)
 
-    vectorized_s = _best_of(lambda: run("_map_block_kernels"))
-    rowwise_s = _best_of(lambda: run("_map_block_eager"))
-    if results["_map_block_kernels"] != results["_map_block_eager"]:
+    encoded_s = _best_of(
+        lambda: run("encoded", "_map_block_kernels", vector_blocks))
+    decoded_s = _best_of(
+        lambda: run("decoded", "_map_block_kernels", list_blocks))
+    rowwise_s = _best_of(
+        lambda: run("rowwise", "_map_block_eager", list_blocks))
+    if not (results["encoded"] == results["decoded"]
+            == results["rowwise"]):
         raise AssertionError(
-            "vectorized and row-wise paths disagree on the smoke query")
-    return {
+            "encoded, decoded and row-wise paths disagree on the smoke "
+            "query")
+    kernels = {
         "fact_rows": num_rows,
-        "vectorized_s": round(vectorized_s, 4),
+        "vectorized_s": round(encoded_s, 4),
         "rowwise_s": round(rowwise_s, 4),
-        "speedup": round(rowwise_s / vectorized_s, 2),
+        "speedup": round(rowwise_s / encoded_s, 2),
     }
+    columnar_v2 = {
+        "fact_rows": num_rows,
+        "encoded_s": round(encoded_s, 4),
+        "decoded_s": round(decoded_s, 4),
+        "speedup": round(decoded_s / encoded_s, 2),
+    }
+    return kernels, columnar_v2
 
 
 def zonemap_smoke(scale_factor: float = 0.002) -> dict:
@@ -178,9 +232,11 @@ def session_cache_smoke(scale_factor: float = 0.002) -> dict:
 
 def run_perfsmoke(scale_factor: float = 0.05,
                   out_path: str = "BENCH_perfsmoke.json") -> dict:
-    """Run both smokes, write ``out_path``, return the combined report."""
+    """Run all smokes, write ``out_path``, return the combined report."""
+    kernels, columnar_v2 = kernel_smoke(scale_factor=scale_factor)
     report = {
-        "kernels": kernel_smoke(scale_factor=scale_factor),
+        "kernels": kernels,
+        "columnar_v2": columnar_v2,
         "zonemaps": zonemap_smoke(),
         "session_cache": session_cache_smoke(),
     }
@@ -188,6 +244,32 @@ def run_perfsmoke(scale_factor: float = 0.05,
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return report
+
+
+def check_floors(report: dict,
+                 floors: dict[str, float] | None = None) -> list[str]:
+    """Regressions against :data:`FLOORS` as human-readable failures.
+
+    Correctness markers in the report (``rows_match_reference``) are
+    checked too: a smoke that no longer matches the reference engine is
+    a failure even though it has no numeric floor.
+    """
+    failures: list[str] = []
+    for path, floor in (floors if floors is not None
+                        else FLOORS).items():
+        section, _, field = path.partition(".")
+        value = report.get(section, {}).get(field)
+        if value is None:
+            failures.append(f"{path}: missing from the report")
+        elif value < floor:
+            failures.append(f"{path}: {value} is below the floor "
+                            f"{floor}")
+    for section, body in sorted(report.items()):
+        if isinstance(body, dict) and \
+                body.get("rows_match_reference") is False:
+            failures.append(f"{section}: rows no longer match the "
+                            f"reference engine")
+    return failures
 
 
 def render_perfsmoke(report: dict) -> str:
@@ -200,6 +282,15 @@ def render_perfsmoke(report: dict) -> str:
         f"vectorized {kernels['vectorized_s'] * 1000:.1f} ms vs "
         f"row-wise {kernels['rowwise_s'] * 1000:.1f} ms "
         f"-> {kernels['speedup']:.2f}x",
+    ]
+    ablation = report.get("columnar_v2")
+    if ablation:
+        lines.append(
+            f"columnar v2 (same kernels): encoded "
+            f"{ablation['encoded_s'] * 1000:.1f} ms vs decoded lists "
+            f"{ablation['decoded_s'] * 1000:.1f} ms "
+            f"-> {ablation['speedup']:.2f}x")
+    lines += [
         f"zone maps ({zone['query']}, date-clustered): "
         f"{zone['rowgroups_pruned']} row groups / "
         f"{zone['rows_skipped']:,} rows skipped, "

@@ -127,6 +127,12 @@ KEY_BLOCK_ITERATION = _flag(
 KEY_BLOCK_ROWS = _config(
     "cif.block.rows", kind="int", default=1024,
     doc="Rows per RowBlock batch under cif.block.iteration.")
+KEY_ENCODED_EXEC = _flag(
+    "cif.encoded.exec", default=True,
+    doc="Columnar memory model v2: CIF readers hand kernels typed "
+        "zero-copy buffers (NumericVector / DictionaryVector) and "
+        "dictionary predicates run in code space. Off = decode every "
+        "column to a plain Python list (the columnar_v2 ablation arm).")
 KEY_ZONEMAP_FILTER = _config(
     "cif.zonemap.filter", kind="json",
     doc="Serialized predicate used to prune row groups via zone maps.")

@@ -12,10 +12,19 @@ Besides the row-at-a-time ``evaluate(get)``, every predicate supports two
 batch protocols used by the vectorized block pipeline:
 
 * ``evaluate_block(columns, selection)`` — the selection-vector kernel.
-  ``columns`` maps column name to a whole column vector (plain list) and
+  ``columns`` maps column name to a whole column (a plain list or a
+  typed :class:`~repro.storage.columnvector.ColumnVector`) and
   ``selection`` is an ordered list of candidate row positions; the kernel
-  returns the ordered sub-list of positions whose rows satisfy the
+  returns the ordered subsequence of positions whose rows satisfy the
   predicate, without building a per-row getter.
+* ``evaluate_mask(columns, num_rows)`` — the whole-block verdict mask
+  (columnar memory model v2). Returns one boolean numpy array over all
+  ``num_rows`` positions, or ``None`` when the predicate cannot run on
+  the block's buffers (plain lists, mixed-type literals); callers fall
+  back to ``evaluate_block``. On dictionary-encoded columns the literal
+  is translated to code space once — an ``=`` against a value absent
+  from the dictionary short-circuits to an all-False mask without
+  touching a single row.
 * ``can_match(ranges)`` — the zone-map test. ``ranges`` maps column name
   to that column's (min, max) over a row group; the method returns False
   only when *no* row in the group can possibly satisfy the predicate, so
@@ -29,11 +38,19 @@ import operator
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Mapping, Sequence
 
+import numpy as np
+
 from repro.common.errors import QueryError
+from repro.storage.columnvector import (
+    ColumnVector,
+    DictionaryVector,
+    NumericVector,
+    as_index_array,
+)
 
 Getter = Callable[[str], Any]
 
-#: Column vectors for one block: name -> list of values.
+#: Column vectors for one block: name -> plain list or ColumnVector.
 Columns = Mapping[str, Sequence[Any]]
 
 #: Per-column (min, max) statistics for one row group.
@@ -77,6 +94,14 @@ class Predicate(ABC):
             if evaluate(getter):
                 append(i)
         return out
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        """One boolean verdict per block position, or ``None`` when the
+        predicate cannot run on these buffers (see the module docstring).
+        Kernels AND the masks of the whole pipeline before any survivor
+        materializes — the fused filter+probe pass."""
+        return None
 
     def can_match(self, ranges: Ranges) -> bool:
         """Could any row in a group with these (min, max) stats match?
@@ -134,6 +159,10 @@ class TruePredicate(Predicate):
                        selection: Sequence[int]) -> list[int]:
         return list(selection)
 
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        return np.ones(num_rows, dtype=bool)
+
     def columns(self) -> set[str]:
         return set()
 
@@ -158,11 +187,56 @@ class Comparison(Predicate):
         return _OPS[self.op](get(self.column), self.literal)
 
     def evaluate_block(self, columns: Columns,
-                       selection: Sequence[int]) -> list[int]:
+                       selection: Sequence[int]):
         values = columns[self.column]
+        if isinstance(values, ColumnVector):
+            mask = self._column_mask(values)
+            if mask is not None:
+                sel = as_index_array(selection)
+                return sel[mask[sel]]
         op = _OPS[self.op]
         literal = self.literal
         return [i for i in selection if op(values[i], literal)]
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        values = columns[self.column]
+        if isinstance(values, ColumnVector):
+            return self._column_mask(values)
+        return None
+
+    def _column_mask(self, vector: ColumnVector) -> np.ndarray | None:
+        """Whole-column verdicts on a typed buffer; ``None`` when the
+        literal cannot be compared in the buffer's domain (the row-wise
+        loop then reproduces exact Python semantics)."""
+        literal = self.literal
+        if isinstance(vector, NumericVector):
+            if not isinstance(literal, (int, float)):
+                return None
+            try:
+                return _OPS[self.op](vector.data, literal)
+            except (TypeError, OverflowError):
+                return None
+        if isinstance(vector, DictionaryVector):
+            dictionary = vector.dictionary
+            codes = vector.codes
+            # Code-space comparison: translate the literal once. An
+            # equality against a value absent from the dictionary can
+            # match no row — the whole-block short-circuit.
+            if self.op == "=":
+                code = dictionary.code_of(literal)
+                return (np.zeros(len(codes), dtype=bool) if code is None
+                        else codes == code)
+            if self.op == "!=":
+                code = dictionary.code_of(literal)
+                return (np.ones(len(codes), dtype=bool) if code is None
+                        else codes != code)
+            op = _OPS[self.op]
+            verdict = dictionary.predicate_mask(
+                ("cmp", self.op, literal),
+                lambda entry: op(entry, literal))
+            return verdict[codes]
+        return None
 
     def can_match(self, ranges: Ranges) -> bool:
         bounds = ranges.get(self.column)
@@ -211,10 +285,40 @@ class Between(Predicate):
         return self.low <= value <= self.high
 
     def evaluate_block(self, columns: Columns,
-                       selection: Sequence[int]) -> list[int]:
+                       selection: Sequence[int]):
         values = columns[self.column]
+        if isinstance(values, ColumnVector):
+            mask = self._column_mask(values)
+            if mask is not None:
+                sel = as_index_array(selection)
+                return sel[mask[sel]]
         low, high = self.low, self.high
         return [i for i in selection if low <= values[i] <= high]
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        values = columns[self.column]
+        if isinstance(values, ColumnVector):
+            return self._column_mask(values)
+        return None
+
+    def _column_mask(self, vector: ColumnVector) -> np.ndarray | None:
+        low, high = self.low, self.high
+        if isinstance(vector, NumericVector):
+            if not (isinstance(low, (int, float))
+                    and isinstance(high, (int, float))):
+                return None
+            try:
+                data = vector.data
+                return (data >= low) & (data <= high)
+            except (TypeError, OverflowError):
+                return None
+        if isinstance(vector, DictionaryVector):
+            verdict = vector.dictionary.predicate_mask(
+                ("between", low, high),
+                lambda entry: low <= entry <= high)
+            return verdict[vector.codes]
+        return None
 
     def can_match(self, ranges: Ranges) -> bool:
         bounds = ranges.get(self.column)
@@ -253,10 +357,42 @@ class InList(Predicate):
         return get(self.column) in self.values
 
     def evaluate_block(self, columns: Columns,
-                       selection: Sequence[int]) -> list[int]:
+                       selection: Sequence[int]):
         values = columns[self.column]
+        if isinstance(values, ColumnVector):
+            mask = self._column_mask(values)
+            if mask is not None:
+                sel = as_index_array(selection)
+                return sel[mask[sel]]
         members = self.values  # prebuilt frozenset probe
         return [i for i in selection if values[i] in members]
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        values = columns[self.column]
+        if isinstance(values, ColumnVector):
+            return self._column_mask(values)
+        return None
+
+    def _column_mask(self, vector: ColumnVector) -> np.ndarray | None:
+        if isinstance(vector, NumericVector):
+            # Non-numeric members can never equal a numeric value
+            # (frozenset membership is equality-based), so they drop out
+            # of the probe list instead of poisoning the array compare.
+            members = [v for v in self._ordered
+                       if isinstance(v, (int, float))]
+            if not members:
+                return np.zeros(len(vector), dtype=bool)
+            try:
+                return np.isin(vector.data, members)
+            except (TypeError, OverflowError):
+                return None
+        if isinstance(vector, DictionaryVector):
+            members = self.values
+            verdict = vector.dictionary.predicate_mask(
+                ("in", members), lambda entry: entry in members)
+            return verdict[vector.codes]
+        return None
 
     def can_match(self, ranges: Ranges) -> bool:
         bounds = ranges.get(self.column)
@@ -292,13 +428,24 @@ class And(Predicate):
         return all(p.evaluate(get) for p in self.parts)
 
     def evaluate_block(self, columns: Columns,
-                       selection: Sequence[int]) -> list[int]:
-        survivors = list(selection)
+                       selection: Sequence[int]):
+        survivors: Sequence[int] = selection
         for part in self.parts:  # each conjunct shrinks the selection
-            if not survivors:
+            # len(), not truthiness: survivors may be an index array.
+            if len(survivors) == 0:
                 break
             survivors = part.evaluate_block(columns, survivors)
         return survivors
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        mask = None
+        for part in self.parts:
+            part_mask = part.evaluate_mask(columns, num_rows)
+            if part_mask is None:
+                return None
+            mask = part_mask if mask is None else mask & part_mask
+        return mask
 
     def can_match(self, ranges: Ranges) -> bool:
         return all(p.can_match(ranges) for p in self.parts)
@@ -335,11 +482,21 @@ class Or(Predicate):
                 break
             hits = part.evaluate_block(columns, remaining)
             matched.update(hits)
-            if hits:
+            if len(hits):  # len(), not truthiness: may be an index array
                 # Rebuilt once per *disjunct* (rarely >3), not per row;
                 # shrinking the candidate list is the point of the pass.
                 remaining = [i for i in remaining if i not in matched]  # analyze: allow-alloc
         return [i for i in selection if i in matched]
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        mask = None
+        for part in self.parts:
+            part_mask = part.evaluate_mask(columns, num_rows)
+            if part_mask is None:
+                return None
+            mask = part_mask if mask is None else mask | part_mask
+        return mask
 
     def can_match(self, ranges: Ranges) -> bool:
         return any(p.can_match(ranges) for p in self.parts)
@@ -368,6 +525,11 @@ class Not(Predicate):
                        selection: Sequence[int]) -> list[int]:
         hits = set(self.inner.evaluate_block(columns, selection))
         return [i for i in selection if i not in hits]
+
+    def evaluate_mask(self, columns: Columns,
+                      num_rows: int) -> np.ndarray | None:
+        inner = self.inner.evaluate_mask(columns, num_rows)
+        return None if inner is None else ~inner
 
     def can_match(self, ranges: Ranges) -> bool:
         # Inverting interval logic is unsound in general (a group whose
@@ -424,6 +586,14 @@ class ValueExpr(ABC):
     def evaluate(self, get: Getter) -> Any:
         ...
 
+    def evaluate_vector(self, columns: Columns, selection: Sequence[int]):
+        """Values at the selected positions as one numpy array (or one
+        scalar, broadcast by the caller); ``None`` when the expression
+        cannot run on these buffers — the caller then falls back to the
+        per-row ``evaluate``. Used by the vectorized emit to gather
+        measures for final survivors only."""
+        return None
+
     @abstractmethod
     def columns(self) -> set[str]:
         ...
@@ -455,6 +625,12 @@ class Col(ValueExpr):
     def evaluate(self, get: Getter) -> Any:
         return get(self.name)
 
+    def evaluate_vector(self, columns: Columns, selection: Sequence[int]):
+        values = columns.get(self.name)
+        if isinstance(values, NumericVector):
+            return values.gather(selection)
+        return None
+
     def columns(self) -> set[str]:
         return {self.name}
 
@@ -473,6 +649,11 @@ class Lit(ValueExpr):
 
     def evaluate(self, get: Getter) -> Any:
         return self.value
+
+    def evaluate_vector(self, columns: Columns, selection: Sequence[int]):
+        if isinstance(self.value, (int, float)):
+            return self.value  # scalar; the caller broadcasts
+        return None
 
     def columns(self) -> set[str]:
         return set()
@@ -498,6 +679,19 @@ class BinaryOp(ValueExpr):
     def evaluate(self, get: Getter) -> Any:
         return _ARITH[self.op](self.left.evaluate(get),
                                self.right.evaluate(get))
+
+    def evaluate_vector(self, columns: Columns, selection: Sequence[int]):
+        if self.op == "/":
+            # Python raises ZeroDivisionError where numpy yields inf;
+            # keep division on the exact scalar path.
+            return None
+        left = self.left.evaluate_vector(columns, selection)
+        if left is None:
+            return None
+        right = self.right.evaluate_vector(columns, selection)
+        if right is None:
+            return None
+        return _ARITH[self.op](left, right)
 
     def columns(self) -> set[str]:
         return self.left.columns() | self.right.columns()

@@ -12,9 +12,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Sequence
 
+import numpy as np
+
 from repro.common.errors import QueryError
 from repro.common.schema import Schema
 from repro.core.expressions import Predicate
+from repro.storage.columnvector import NumericVector, as_index_array
+
+#: Dense-lookup bounds: keys must be ints whose span is at most
+#: max(_DENSE_MIN_SLOTS, _DENSE_SPREAD_FACTOR * entries) slots, so a
+#: sparse key space can never blow up memory.
+_DENSE_MIN_SLOTS = 1024
+_DENSE_SPREAD_FACTOR = 8
 
 
 class _RowGetter:
@@ -58,6 +67,54 @@ class DimensionHashTable:
         self._table = table
         self.aux_columns = aux_columns
         self.stats = stats
+        # Built eagerly: published tables are frozen by the sanitizer,
+        # so a lazily-attached cache would raise on first probe.
+        self._dense = self._build_dense(table)
+
+    @staticmethod
+    def _build_dense(table: dict):
+        """A code-space view of the table for vectorized probes.
+
+        Dimension primary keys are dense small ints (datekey, custkey
+        …), so the dict maps onto an offset array: ``lookup[key - lo]``
+        is the entry's position in ``aux_rows`` or -1 for a join miss.
+        Returns ``(lookup, lo, hi, aux_rows)``, or ``None`` when keys
+        are not ints or too sparse (the dict path still works).
+        """
+        if not table:
+            return None
+        for key in table:
+            if not isinstance(key, int) or isinstance(key, bool):
+                return None
+        lo = min(table)
+        hi = max(table)
+        spread = hi - lo + 1
+        if spread > max(_DENSE_MIN_SLOTS,
+                        _DENSE_SPREAD_FACTOR * len(table)):
+            return None
+        lookup = np.full(spread, -1, dtype=np.int64)
+        aux_rows = []
+        for position, (key, aux) in enumerate(table.items()):
+            lookup[key - lo] = position
+            aux_rows.append(aux)
+        return lookup, lo, hi, tuple(aux_rows)
+
+    def hit_mask(self, keys: Sequence[Any]) -> np.ndarray | None:
+        """Join-hit verdicts for a whole FK column in one pass.
+
+        The probe half of the fused filter+probe kernel: the caller ANDs
+        this with the fact-predicate mask before materializing anything.
+        ``None`` when the column is not a typed buffer or the table has
+        no dense view — the staged ``probe_block`` path still applies.
+        """
+        dense = self._dense
+        if dense is None or not isinstance(keys, NumericVector):
+            return None
+        lookup, lo, hi, _ = dense
+        data = keys.data
+        in_range = (data >= lo) & (data <= hi)
+        offsets = np.where(in_range, data - lo, 0)
+        return in_range & (lookup[offsets] >= 0)
 
     @classmethod
     def build(cls, dimension: str, fact_fk: str, schema: Schema,
@@ -116,13 +173,25 @@ class DimensionHashTable:
         return self._table.get(key)
 
     def probe_block(self, keys: Sequence[Any], selection: Sequence[int],
-                    ) -> tuple[list[int], list[tuple]]:
+                    ) -> tuple[Sequence[int], list[tuple]]:
         """Probe a whole column of foreign keys at selected positions.
 
         Returns (surviving positions, their aux tuples) in one pass with
         the dict's ``.get`` hoisted to a local — the vectorized
-        counterpart of calling :meth:`probe` per row.
+        counterpart of calling :meth:`probe` per row. On a typed key
+        buffer with a dense view the whole probe runs in numpy: one
+        bounds-checked gather instead of a per-row dict lookup.
         """
+        dense = self._dense
+        if dense is not None and isinstance(keys, NumericVector):
+            lookup, lo, hi, aux_rows = dense
+            sel = as_index_array(selection)
+            data = keys.data[sel]
+            in_range = (data >= lo) & (data <= hi)
+            entry = lookup[np.where(in_range, data - lo, 0)]
+            hit = in_range & (entry >= 0)
+            return (sel[hit],
+                    [aux_rows[j] for j in entry[hit].tolist()])
         get = self._table.get
         positions: list[int] = []
         aux_out: list[tuple] = []
@@ -138,6 +207,11 @@ class DimensionHashTable:
     def gather_aux(self, keys: Sequence[Any],
                    selection: Sequence[int]) -> list[tuple]:
         """Aux tuples for positions already known to hit (no filtering)."""
+        dense = self._dense
+        if dense is not None and isinstance(keys, NumericVector):
+            lookup, lo, _hi, aux_rows = dense
+            entry = lookup[keys.data[as_index_array(selection)] - lo]
+            return [aux_rows[j] for j in entry.tolist()]
         get = self._table.get
         return [get(keys[i]) for i in selection]
 

@@ -31,10 +31,13 @@ import json
 import threading
 from typing import Any, Callable, Sequence
 
+import numpy as np
+
 from repro.common.errors import MapReduceError, QueryError, SanitizerError
 from repro.common.schema import Schema
 from repro.core.expressions import TruePredicate, _ColumnsRowGetter
 from repro.core.hashtable import DimensionHashTable
+from repro.storage.columnvector import gather_values
 from repro.core.query import StarQuery
 from repro.mapreduce.api import MapRunner, Mapper, Reducer, TaskContext
 from repro.mapreduce.job import JobConf
@@ -121,6 +124,7 @@ class StarJoinMapper(Mapper):
         self._fk_names: list[str] = []
         self._group_plan: list[tuple[str, int, int]] = []
         self._agg_fns: list[Callable[[Callable[[str], Any]], Any]] = []
+        self._agg_vec_fns: list[Callable] = []
         self._fact_pred = None
         self._pred_is_true = False
         self._probe_order: list[int] = []
@@ -152,6 +156,8 @@ class StarJoinMapper(Mapper):
         self._group_plan = self._plan_group_keys(query, fact_schema,
                                                  dim_schemas)
         self._agg_fns = [self._make_agg_fn(agg) for agg in query.aggregates]
+        self._agg_vec_fns = [self._make_agg_vec(agg)
+                             for agg in query.aggregates]
         self._late_materialization = context.conf.get_bool(
             KEY_LATE_MATERIALIZATION, False)
         self._vectorized = context.conf.get_bool(KEY_VECTORIZED, True)
@@ -309,6 +315,15 @@ class StarJoinMapper(Mapper):
         expr = agg.expr
         return expr.evaluate
 
+    @staticmethod
+    def _make_agg_vec(agg) -> Callable:
+        """The batch form of :meth:`_make_agg_fn`: (columns, selection)
+        -> numpy array, broadcastable scalar, or None (unsupported)."""
+        if agg.function == "count":
+            return lambda columns, selection: 1
+        expr = agg.expr
+        return expr.evaluate_vector
+
     def _plan_probe_order(self) -> list[int]:
         """Join indexes ordered most-selective-first (early-out ordering).
 
@@ -395,27 +410,33 @@ class StarJoinMapper(Mapper):
                            collector: OutputCollector) -> int:
         """Vectorized pipeline: selection vector in, survivors out.
 
-        The fact predicate and every hash-table probe each make one pass
-        over raw column lists, shrinking the shared selection vector;
-        probes run most-selective-first and the whole block bails as
-        soon as the selection empties. Like the late-materialization
-        path, group keys and measures are only materialized for final
+        On typed buffers the fact predicate and every probe fuse into
+        one selection-shrinking pass (:meth:`_map_block_fused`); blocks
+        the fused kernel cannot run on fall through to the staged
+        pipeline below: predicate and probes each make one pass over
+        the columns, shrinking the shared selection, most selective
+        table first, bailing as soon as the selection empties. Either
+        way, group keys and measures are only materialized for final
         survivors — vectorization subsumes late reconstruction.
         """
+        fused = self._map_block_fused(block, collector)
+        if fused is not None:
+            return fused
         columns = block.columns
         selection: Sequence[int] = range(block.num_rows)
         if not self._pred_is_true:
             selection = self._fact_pred.evaluate_block(columns, selection)
-            if not selection:
+            # len(), not truthiness: selections may be index arrays.
+            if len(selection) == 0:
                 return 0
         tables = self.hash_tables
         fk_names = self._fk_names
-        aux_by_join: list[list[tuple]] = [()] * len(tables)
+        aux_by_join: list[Sequence[tuple]] = [()] * len(tables)
         order = self._probe_order
         for join_index in order:
             selection, aux = tables[join_index].probe_block(
                 columns[fk_names[join_index]], selection)
-            if not selection:
+            if len(selection) == 0:
                 return 0
             aux_by_join[join_index] = aux
         # Each probe's aux list is aligned with the selection *it*
@@ -427,30 +448,98 @@ class StarJoinMapper(Mapper):
         self._emit_block(block, selection, aux_by_join, collector)
         return len(selection)
 
+    def _map_block_fused(self, block: RowBlock,
+                         collector: OutputCollector) -> int | None:
+        """Fused filter+probe over typed buffers, or ``None`` when any
+        stage cannot run on this block (plain-list columns, non-dense
+        tables) — the staged kernels then take over.
+
+        One boolean verdict mask per stage — the fact predicate's
+        :meth:`~repro.core.expressions.Predicate.evaluate_mask` and each
+        table's :meth:`~repro.core.hashtable.DimensionHashTable.hit_mask`
+        — ANDed over the whole block with an any() early-out, so doomed
+        rows die without a selection vector ever being built; survivors
+        materialize in a single flatnonzero at the end.
+        """
+        columns = block.columns
+        mask = None
+        if not self._pred_is_true:
+            mask = self._fact_pred.evaluate_mask(columns, block.num_rows)
+            if mask is None:
+                return None
+            if not mask.any():
+                return 0
+        tables = self.hash_tables
+        fk_names = self._fk_names
+        for join_index in self._probe_order:
+            hits = tables[join_index].hit_mask(
+                columns[fk_names[join_index]])
+            if hits is None:
+                return None
+            mask = hits if mask is None else mask & hits
+            if not mask.any():
+                return 0
+        selection = (np.flatnonzero(mask) if mask is not None
+                     else np.arange(block.num_rows))
+        aux_by_join: list[Sequence[tuple]] = [
+            tables[join_index].gather_aux(
+                columns[fk_names[join_index]], selection)
+            for join_index in range(len(tables))]
+        self._emit_block(block, selection, aux_by_join, collector)
+        return len(selection)
+
     def _emit_block(self, block: RowBlock, selection: Sequence[int],
                     aux_by_join: Sequence[Sequence[tuple]],
                     collector: OutputCollector) -> None:
         """Materialize group keys and measures for surviving positions.
 
-        Subclasses that emit something other than (group-key, aggregate
-        contributions) — e.g. the multipass partial join — override this
-        hook; the selection/probe kernels above are shared.
+        Column-at-a-time: each group-by source and each measure is
+        gathered for the whole survivor set up front (one buffer gather
+        per column on typed vectors), leaving only tuple assembly in the
+        per-row loop. Subclasses that emit something other than
+        (group-key, aggregate contributions) — e.g. the multipass
+        partial join — override this hook; the selection/probe kernels
+        above are shared.
         """
         columns = block.columns
         group_by = self.query.group_by
-        plan = self._group_plan
-        agg_fns = self._agg_fns
-        getter = _ColumnsRowGetter(columns)
+        key_sources = [
+            gather_values(columns[group_by[position]], selection)
+            if source == "fact"
+            else [aux[aux_index] for aux in aux_by_join[join_index]]
+            for position, (source, join_index, aux_index)
+            in enumerate(self._group_plan)]
+        measure_columns = [
+            self._measure_values(index, columns, selection)
+            for index in range(len(self._agg_vec_fns))]
         collect = collector.collect
-        for k, i in enumerate(selection):
-            getter.row = i
-            group_key = tuple(
-                columns[group_by[position]][i] if source == "fact"
-                else aux_by_join[join_index][k][aux_index]
-                for position, (source, join_index, aux_index)
-                in enumerate(plan))
-            values = tuple(fn(getter) for fn in agg_fns)
-            collect(group_key, values)
+        for k in range(len(selection)):
+            collect(tuple(col[k] for col in key_sources),
+                    tuple(col[k] for col in measure_columns))
+
+    def _measure_values(self, index: int, columns: dict,
+                        selection: Sequence[int]) -> Sequence[Any]:
+        """One aggregate's per-survivor contributions, vectorized when
+        the expression supports it, row-wise otherwise.
+
+        Vector results come back as numpy arrays and are converted with
+        ``.tolist()`` so only Python scalars reach collectors (byte-
+        identity with the row-wise path); broadcastable scalars (count's
+        constant 1) are expanded without arithmetic.
+        """
+        out = self._agg_vec_fns[index](columns, selection)
+        if out is None:
+            fn = self._agg_fns[index]
+            getter = _ColumnsRowGetter(columns)
+            values: list[Any] = []
+            append = values.append
+            for i in selection:
+                getter.row = i
+                append(fn(getter))
+            return values
+        if isinstance(out, np.ndarray):
+            return out.tolist()
+        return [out] * len(selection)
 
     def _map_block_eager(self, block: RowBlock,
                          collector: OutputCollector) -> int:

@@ -36,7 +36,11 @@ from repro.mapreduce.scheduler import CapacityScheduler, FifoScheduler
 from repro.sim.costs import CostModel
 from repro.sim.hardware import ClusterSpec
 from repro.ssb.loader import Catalog
-from repro.storage.cif import KEY_BLOCK_ITERATION, ColumnInputFormat
+from repro.storage.cif import (
+    KEY_BLOCK_ITERATION,
+    KEY_ENCODED_EXEC,
+    ColumnInputFormat,
+)
 from repro.storage.multicif import MultiColumnInputFormat
 from repro.storage.rowformat import read_row_table
 from repro.storage.tablemeta import FORMAT_CIF
@@ -63,6 +67,10 @@ class ClydesdaleFeatures:
     vectorized: bool = True
     #: Row-group skipping from per-group min/max statistics.
     zone_maps: bool = True
+    #: Columnar memory model v2: typed zero-copy buffers out of the CIF
+    #: readers, code-space dictionary predicates, fused filter+probe
+    #: kernels (off = decode every column to a plain list).
+    encoded_exec: bool = True
 
     def describe(self) -> str:
         off = [name for name, on in (
@@ -71,7 +79,8 @@ class ClydesdaleFeatures:
             ("block-iteration", self.block_iteration),
             ("jvm-reuse", self.jvm_reuse),
             ("vectorized", self.vectorized),
-            ("zone-maps", self.zone_maps)) if not on]
+            ("zone-maps", self.zone_maps),
+            ("encoded-exec", self.encoded_exec)) if not on]
         return "all features on" if not off else f"disabled: {', '.join(off)}"
 
 
@@ -227,6 +236,7 @@ def plan_star_join(query: StarQuery, catalog: Catalog,
 
     conf.set(KEY_BLOCK_ITERATION, features.block_iteration)
     conf.set(KEY_VECTORIZED, features.vectorized)
+    conf.set(KEY_ENCODED_EXEC, features.encoded_exec)
     if features.late_materialization:
         from repro.core.joinjob import KEY_LATE_MATERIALIZATION
         conf.set(KEY_LATE_MATERIALIZATION, True)

@@ -39,7 +39,11 @@ from repro.hdfs.filesystem import MiniDFS
 from repro.mapreduce.inputformat import InputFormat
 from repro.mapreduce.job import JobConf
 from repro.mapreduce.types import InputSplit, RecordReader
-from repro.storage.dictionary import decode_cif_column, encode_cif_column
+from repro.storage.dictionary import (
+    decode_cif_column,
+    decode_cif_column_vector,
+    encode_cif_column,
+)
 from repro.storage.tablemeta import FORMAT_CIF, TableMeta
 from repro.trace.tracer import CAT_PHASE, tracer_for
 
@@ -48,6 +52,7 @@ from repro.common.keys import (  # noqa: E402  (kept with the format docs)
     KEY_BLOCK_ITERATION,
     KEY_BLOCK_ROWS,
     KEY_CIF_COLUMNS,
+    KEY_ENCODED_EXEC,
     KEY_ZONEMAP_FILTER,
 )
 
@@ -133,12 +138,18 @@ def group_descriptors(meta: TableMeta) -> list[dict]:
 
 
 class RowBlock:
-    """A batch of rows in columnar form — what B-CIF readers return."""
+    """A batch of rows in columnar form — what B-CIF readers return.
+
+    Column values are plain lists or typed
+    :class:`~repro.storage.columnvector.ColumnVector` buffers (under
+    ``cif.encoded.exec``); both are sequence-compatible, and vector
+    blocks are zero-copy slices of the row group's buffers.
+    """
 
     __slots__ = ("schema", "base_row", "columns", "num_rows")
 
     def __init__(self, schema: Schema, base_row: int,
-                 columns: dict[str, list]):
+                 columns: dict[str, Sequence]):
         self.schema = schema
         self.base_row = base_row
         self.columns = columns
@@ -147,7 +158,7 @@ class RowBlock:
             raise StorageError(f"ragged RowBlock: lengths {lengths}")
         self.num_rows = lengths.pop() if lengths else 0
 
-    def column(self, name: str) -> list:
+    def column(self, name: str) -> Sequence:
         try:
             return self.columns[name]
         except KeyError as exc:
@@ -197,17 +208,20 @@ class _CIFReaderBase(RecordReader):
     """Shared column-loading machinery for row and block readers."""
 
     def __init__(self, fs: MiniDFS, split: CIFSplit, schema: Schema,
-                 reader_node: str | None):
+                 reader_node: str | None, encoded: bool = True):
         self._split = split
         self._schema = schema.project(list(split.columns))
         self._bytes = 0
-        self._columns: dict[str, list] = {}
+        # Encoded execution keeps each column as a typed zero-copy view
+        # of the file bytes (ColumnVector); the ablation arm decodes to
+        # plain lists, the pre-v2 representation.
+        decode = decode_cif_column_vector if encoded else decode_cif_column
+        self._columns: dict[str, Sequence] = {}
         for name in split.columns:
             path = column_path(split.directory, split.group, name)
             data = fs.read_file(path, reader_node=reader_node)
             self._bytes += len(data)
-            self._columns[name] = decode_cif_column(
-                schema.column(name).dtype, data)
+            self._columns[name] = decode(schema.column(name).dtype, data)
         lengths = {len(v) for v in self._columns.values()}
         if len(lengths) > 1:
             raise StorageError(
@@ -227,8 +241,8 @@ class CIFRecordReader(_CIFReaderBase):
     """Row-at-a-time iteration: yields (global row id, Record)."""
 
     def __init__(self, fs: MiniDFS, split: CIFSplit, schema: Schema,
-                 reader_node: str | None):
-        super().__init__(fs, split, schema, reader_node)
+                 reader_node: str | None, encoded: bool = True):
+        super().__init__(fs, split, schema, reader_node, encoded)
         self._cursor = 0
         self._col_lists = [self._columns[n] for n in self._schema.names]
 
@@ -246,8 +260,9 @@ class BCIFRecordReader(_CIFReaderBase):
     """Block iteration: yields (base row id, RowBlock) batches."""
 
     def __init__(self, fs: MiniDFS, split: CIFSplit, schema: Schema,
-                 reader_node: str | None, block_rows: int):
-        super().__init__(fs, split, schema, reader_node)
+                 reader_node: str | None, block_rows: int,
+                 encoded: bool = True):
+        super().__init__(fs, split, schema, reader_node, encoded)
         if block_rows <= 0:
             raise StorageError("block_rows must be positive")
         self._block_rows = block_rows
@@ -258,6 +273,8 @@ class BCIFRecordReader(_CIFReaderBase):
             return None
         start = self._cursor
         end = min(start + self._block_rows, self._num_rows)
+        # Slicing a ColumnVector is a view — blocks share the row
+        # group's buffers, the zero-copy handoff contract.
         block = RowBlock(
             self._schema, self._split.base_row + start,
             {name: values[start:end]
@@ -274,6 +291,8 @@ class ColumnInputFormat(InputFormat):
     * ``cif.columns`` — JSON list of column names to read (default: all);
     * ``cif.block.iteration`` — return :class:`RowBlock` batches (B-CIF);
     * ``cif.block.rows`` — batch size for block iteration;
+    * ``cif.encoded.exec`` — hand kernels typed zero-copy buffers
+      instead of decoded lists (columnar memory model v2);
     * ``cif.zonemap.filter`` — serialized predicate for row-group
       pruning (see :meth:`set_zonemap_filter`).
 
@@ -385,13 +404,15 @@ class ColumnInputFormat(InputFormat):
         # construction is the split's scan time.
         with tracer_for(conf).span("scan", CAT_PHASE) as span:
             meta = TableMeta.load(fs, split.directory)
+            encoded = conf.get_bool(KEY_ENCODED_EXEC, True)
             if conf.get_bool(KEY_BLOCK_ITERATION, False):
                 reader: RecordReader = BCIFRecordReader(
                     fs, split, meta.schema, reader_node,
-                    conf.get_int(KEY_BLOCK_ROWS, DEFAULT_BLOCK_ROWS))
+                    conf.get_int(KEY_BLOCK_ROWS, DEFAULT_BLOCK_ROWS),
+                    encoded)
             else:
                 reader = CIFRecordReader(fs, split, meta.schema,
-                                         reader_node)
+                                         reader_node, encoded)
             span.set("split", split.group)
             span.set("bytes", reader.bytes_read)
             return reader

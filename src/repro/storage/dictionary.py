@@ -18,9 +18,17 @@ from __future__ import annotations
 import struct
 from typing import Sequence
 
+import numpy as np
+
 from repro.common.errors import StorageError
 from repro.common.types import DataType
 from repro.storage import serde
+from repro.storage.columnvector import (
+    ColumnVector,
+    DictionaryVector,
+    NumericVector,
+    StringDictionary,
+)
 
 MARKER_PLAIN = 0x00
 MARKER_DICT = 0x01
@@ -28,6 +36,9 @@ MARKER_DICT = 0x01
 _U32 = struct.Struct("<I")
 
 _CODE_FORMATS = {1: "B", 2: "<H", 4: "<I"}
+
+#: numpy dtypes matching the fixed code widths (little-endian).
+_CODE_DTYPES = {1: np.dtype("u1"), 2: np.dtype("<u2"), 4: np.dtype("<u4")}
 
 
 def _code_width(dict_size: int) -> int:
@@ -62,16 +73,18 @@ def encode_dictionary(values: Sequence[str]) -> bytes:
     return b"".join(parts)
 
 
-def decode_dictionary(data: bytes) -> list[str]:
-    """Inverse of :func:`encode_dictionary`."""
-    if len(data) < 9:
+def _parse_dictionary(data: bytes, base: int = 0,
+                      ) -> tuple[int, list[str], int, int]:
+    """Parse the header + entry table of a dictionary payload starting
+    at ``base``. Returns (count, entries, code width, codes offset)."""
+    if len(data) < base + 9:
         raise StorageError("dictionary column truncated (header)")
-    count = _U32.unpack_from(data, 0)[0]
-    dict_size = _U32.unpack_from(data, 4)[0]
-    width = data[8]
+    count = _U32.unpack_from(data, base)[0]
+    dict_size = _U32.unpack_from(data, base + 4)[0]
+    width = data[base + 8]
     if width not in _CODE_FORMATS:
         raise StorageError(f"bad dictionary code width {width}")
-    offset = 9
+    offset = base + 9
     entries: list[str] = []
     for _ in range(dict_size):
         if offset + 4 > len(data):
@@ -82,18 +95,26 @@ def decode_dictionary(data: bytes) -> list[str]:
             raise StorageError("dictionary column truncated (entry)")
         entries.append(data[offset:offset + length].decode("utf-8"))
         offset += length
-    packer = struct.Struct(_CODE_FORMATS[width])
-    expected = offset + count * width
-    if len(data) < expected:
+    if len(data) < offset + count * width:
         raise StorageError("dictionary column truncated (codes)")
-    values = []
-    for _ in range(count):
-        code = packer.unpack_from(data, offset)[0]
-        if code >= dict_size:
-            raise StorageError(f"dictionary code {code} out of range")
-        values.append(entries[code])
-        offset += width
-    return values
+    return count, entries, width, offset
+
+
+def _codes_array(data: bytes, count: int, width: int,
+                 offset: int) -> np.ndarray:
+    """Zero-copy view over the fixed-width code section."""
+    return np.frombuffer(data, dtype=_CODE_DTYPES[width], count=count,
+                         offset=offset)
+
+
+def decode_dictionary(data: bytes) -> list[str]:
+    """Inverse of :func:`encode_dictionary`."""
+    count, entries, width, offset = _parse_dictionary(data)
+    codes = _codes_array(data, count, width, offset)
+    if count and int(codes.max()) >= len(entries):
+        raise StorageError(
+            f"dictionary code {int(codes.max())} out of range")
+    return [entries[code] for code in codes.tolist()]
 
 
 def encode_cif_column(dtype: DataType, values: Sequence,
@@ -122,6 +143,37 @@ def decode_cif_column(dtype: DataType, data: bytes) -> list:
             raise StorageError(
                 f"dictionary marker on non-string column ({dtype.value})")
         return decode_dictionary(payload)
+    raise StorageError(f"unknown CIF column marker 0x{marker:02x}")
+
+
+def decode_cif_column_vector(dtype: DataType,
+                             data: bytes) -> ColumnVector | list:
+    """Decode a CIF column file into a typed buffer (encoded execution).
+
+    Fixed-width columns become a :class:`NumericVector` viewing the file
+    bytes in place; dictionary-encoded strings stay in code space as a
+    :class:`DictionaryVector` (codes are the on-disk array, zero-copy).
+    Plain-stored strings have no fixed-width representation and fall
+    back to the ordinary list decode.
+    """
+    if not data:
+        raise StorageError("empty CIF column file")
+    marker = data[0]
+    if marker == MARKER_PLAIN:
+        if dtype in serde._NP_DTYPES:
+            return NumericVector(
+                serde.decode_column_array(dtype, data, offset=1))
+        return serde.decode_column(dtype, data[1:])
+    if marker == MARKER_DICT:
+        if dtype is not DataType.STRING:
+            raise StorageError(
+                f"dictionary marker on non-string column ({dtype.value})")
+        count, entries, width, offset = _parse_dictionary(data, base=1)
+        codes = _codes_array(data, count, width, offset)
+        if count and int(codes.max()) >= len(entries):
+            raise StorageError(
+                f"dictionary code {int(codes.max())} out of range")
+        return DictionaryVector(codes, StringDictionary(entries))
     raise StorageError(f"unknown CIF column marker 0x{marker:02x}")
 
 

@@ -98,5 +98,7 @@ class MultiColumnInputFormat(ColumnInputFormat):
                         fs, child, conf, reader_node)
                     for child in split.splits]
                 span.set("splits", len(readers))
+                span.set("bytes",
+                         sum(r.bytes_read for r in readers))
                 return MultiSplitReader(readers)
         return super().get_record_reader(fs, split, conf, reader_node)

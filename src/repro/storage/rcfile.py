@@ -17,7 +17,10 @@ import json
 import struct
 from typing import Sequence
 
+import numpy as np
+
 from repro.common.errors import StorageError
+from repro.common.types import DataType
 from repro.common.record import Record
 from repro.common.schema import Schema
 from repro.hdfs.filesystem import MiniDFS
@@ -42,6 +45,33 @@ def _encode_text_column(values: Sequence) -> bytes:
         parts.append(_U32.pack(len(raw)))
         parts.append(raw)
     return b"".join(parts)
+
+
+def _parse_text_column(dtype: DataType, values: list[str]) -> list:
+    """Bulk text→type parse: one numpy conversion for a whole numeric
+    section instead of ``len(values)`` ``int()``/``float()`` calls.
+
+    Any value numpy cannot parse (or an int32 range violation) falls
+    back to per-value :meth:`DataType.coerce`, which either handles it
+    or raises the same :class:`SchemaError` the row-wise path always
+    raised — bulk parsing changes speed, never behaviour.
+    """
+    if dtype in (DataType.INT32, DataType.INT64):
+        try:
+            parsed = np.asarray(values, dtype=np.int64)
+        except (ValueError, OverflowError):
+            return [dtype.coerce(v) for v in values]
+        if dtype is DataType.INT32 and len(parsed) and not (
+                -(2 ** 31) <= int(parsed.min())
+                and int(parsed.max()) < 2 ** 31):
+            return [dtype.coerce(v) for v in values]
+        return parsed.tolist()
+    if dtype is DataType.FLOAT64:
+        try:
+            return np.asarray(values, dtype=np.float64).tolist()
+        except (ValueError, OverflowError):
+            return [dtype.coerce(v) for v in values]
+    return [dtype.coerce(v) for v in values]
 
 
 def _decode_text_column(data: bytes, count: int) -> list[str]:
@@ -166,9 +196,8 @@ class RCFileRecordReader(RecordReader):
                 data = fs.read_range(split.path, section_offset,
                                      section_len, reader_node=reader_node)
                 self._bytes += len(data)
-                self._columns[col.name] = [
-                    col.dtype.coerce(v)
-                    for v in _decode_text_column(data, row_count)]
+                self._columns[col.name] = _parse_text_column(
+                    col.dtype, _decode_text_column(data, row_count))
             section_offset += section_len
         self._num_rows = row_count
         self._cursor = 0

@@ -70,22 +70,39 @@ def encode_column(dtype: DataType, values: Sequence[Any]) -> bytes:
     return b"".join(parts)
 
 
+def decode_column_array(dtype: DataType, data: bytes,
+                        offset: int = 0) -> np.ndarray:
+    """Zero-copy numpy view over a fixed-width column's packed payload.
+
+    ``offset`` points at the ``u32 count`` header inside ``data``. The
+    returned array aliases the (immutable) bytes, so it is read-only —
+    the buffer contract of :class:`repro.storage.columnvector`.
+    """
+    if dtype not in _NP_DTYPES:
+        raise StorageError(
+            f"{dtype.value} is not a fixed-width column type")
+    if len(data) < offset + 4:
+        raise StorageError("column data truncated (missing count header)")
+    count = _U32.unpack_from(data, offset)[0]
+    width = dtype.fixed_width
+    expected = offset + 4 + count * width
+    if len(data) < expected:
+        raise StorageError(
+            f"column data truncated: want {expected} bytes, "
+            f"have {len(data)}")
+    return np.frombuffer(data, dtype=_NP_DTYPES[dtype], count=count,
+                         offset=offset + 4)
+
+
 def decode_column(dtype: DataType, data: bytes) -> list:
     """Deserialize a column produced by :func:`encode_column`."""
     if len(data) < 4:
         raise StorageError("column data truncated (missing count header)")
     count = _U32.unpack_from(data, 0)[0]
     if dtype in _PACK_CODES:
-        width = dtype.fixed_width
-        expected = 4 + count * width
-        if len(data) < expected:
-            raise StorageError(
-                f"column data truncated: want {expected} bytes, "
-                f"have {len(data)}")
         # numpy bulk-decodes the packed array far faster than struct;
         # .tolist() yields plain Python ints/floats for downstream code.
-        return np.frombuffer(data, dtype=_NP_DTYPES[dtype], count=count,
-                             offset=4).tolist()
+        return decode_column_array(dtype, data).tolist()
     values = []
     offset = 4
     for _ in range(count):

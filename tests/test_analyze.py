@@ -20,6 +20,7 @@ from repro.analyze import (
 )
 from repro.analyze.contracts import ExceptionContractPass
 from repro.analyze.flags import FeatureFlagPass
+from repro.analyze.hotpath import HotPathPass
 from repro.analyze.race import RaceLintPass
 from repro.analyze.registry import StringKeyRegistryPass
 from repro.analyze.sanitizer import FrozenTableDict, freeze_table
@@ -112,6 +113,63 @@ class TestRaceLint:
     def test_repo_hot_paths_are_clean(self):
         context = load_project(find_repo_root())
         assert RaceLintPass().run(context) == []
+
+
+# --------------------------------------------------------------------- #
+# Hotpath HOT004: per-row vector materialization
+# --------------------------------------------------------------------- #
+
+HOT004_FIXTURE = '''
+class Kernel:
+    def _map_block(self, block, out):
+        vec = block.columns["v"]
+        decoded = vec.to_list()               # before the loop: allowed
+        collect = out.collect
+        for i in range(block.num_rows):
+            rows = list(vec)                  # HOT004: list(...) per row
+            values = vec.tolist()             # HOT004: .tolist() per row
+            one = vec.take(selection)         # HOT004: .take() per row
+            text = block.raw[i].decode()      # HOT004: .decode() per row
+            collect(vec[i])                   # scalar access: allowed
+            empty = list()                    # no-arg list(): allowed
+'''
+
+
+class TestHotPathDecodeLint:
+    def run_pass(self, source):
+        context = fixture_context("src/repro/core/fixture.py", source)
+        return HotPathPass().run(context)
+
+    def test_seeded_fixture(self):
+        findings = self.run_pass(HOT004_FIXTURE)
+        codes = [f.code for f in findings]
+        assert codes == ["HOT004"] * 4
+        messages = " | ".join(f.message for f in findings)
+        assert "list(...)" in messages
+        assert ".tolist()" in messages
+        assert ".take()" in messages
+        assert ".decode()" in messages
+
+    def test_gather_before_loop_is_clean(self):
+        findings = self.run_pass('''
+            class Kernel:
+                def _map_block(self, block, out):
+                    values = block.columns["v"].take(selection)
+                    collect = out.collect
+                    for k in range(len(selection)):
+                        collect(values[k])
+        ''')
+        assert findings == []
+
+    def test_allow_alloc_suppresses_hot004(self):
+        findings = self.run_pass('''
+            class Kernel:
+                def _map_block(self, block, out):
+                    for i in range(block.num_rows):
+                        row = list(block.columns["v"])  # analyze: allow-alloc
+                        out.collect(row)
+        ''')
+        assert findings == []
 
 
 # --------------------------------------------------------------------- #
