@@ -1,6 +1,13 @@
 #!/usr/bin/env bash
 # Tier-1 verification: project static analysis, pyflakes (when
 # available), and the full test suite. Run from the repo root.
+#
+# The analyzer step runs every registered pass. To iterate on a single
+# pass while developing, invoke it directly:
+#   PYTHONPATH=src python -m repro.analyze --list-passes
+#   PYTHONPATH=src python -m repro.analyze --only=locks,lockorder
+# --update-baseline respects --only: it re-baselines just the selected
+# passes and leaves other passes' suppressions untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

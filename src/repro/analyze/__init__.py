@@ -1,9 +1,20 @@
 """Project-specific static analysis and runtime sanitizers.
 
-``python -m repro.analyze`` runs seven passes over ``src/repro``:
+``python -m repro.analyze`` runs nine passes over ``src/repro``
+(``--list-passes`` enumerates them, ``--only=<pass>[,<pass>]`` runs a
+subset):
 
 * :mod:`repro.analyze.race` — unguarded shared-state writes reachable
-  from the threaded join hot path;
+  from the threaded join hot path, judged against lockset facts;
+* :mod:`repro.analyze.locks` (``locks``) — interprocedural lockset
+  dataflow: fields of lock-owning classes accessed under inconsistent
+  locksets (RACE101), written with no lock held (RACE102), and
+  explicitly acquired locks that leak through early returns or
+  exception paths (RACE103);
+* :mod:`repro.analyze.locks` (``lockorder``) — the global lock
+  acquisition-order graph: cycles are potential deadlocks (LOCK001)
+  and every nested acquisition must follow the hierarchy declared in
+  :data:`repro.common.keys.LOCK_HIERARCHY` (LOCK002);
 * :mod:`repro.analyze.registry` — config keys and counters must be
   registered in :mod:`repro.common.keys`;
 * :mod:`repro.analyze.flags` — feature flags need defaults and a
@@ -18,12 +29,17 @@
 * :mod:`repro.analyze.plantypes` — the SSB workload typechecks against
   the catalog (tables, columns, join keys, literals, aggregates).
 
-The last three are built on :mod:`repro.analyze.cfg` (per-function
-control-flow graphs), :mod:`repro.analyze.dataflow` (worklist fixpoint
-solver), and :mod:`repro.analyze.callgraph` (project call graph).
+The dataflow-backed passes are built on :mod:`repro.analyze.cfg`
+(per-function control-flow graphs), :mod:`repro.analyze.dataflow`
+(worklist fixpoint solver), and :mod:`repro.analyze.callgraph`
+(project call graph).
 
 :mod:`repro.analyze.sanitizer` is the runtime half: hash-table freeze
-proxies enabled by the ``clydesdale.sanitizer`` flag.
+proxies enabled by the ``clydesdale.sanitizer`` flag, plus the
+lock-discipline wrappers (:class:`~repro.analyze.sanitizer.
+TrackedRLock`, :func:`~repro.analyze.sanitizer.guard_fields`) that
+enforce the declared acquisition order and guarded-field access at
+runtime in tests.
 """
 
 from repro.analyze.findings import (Finding, Severity, render_github,
@@ -39,10 +55,12 @@ def default_passes():
     from repro.analyze.flags import FeatureFlagPass
     from repro.analyze.hotpath import HotPathPass
     from repro.analyze.lifecycle import LifecyclePass
+    from repro.analyze.locks import LockDisciplinePass, LockOrderPass
     from repro.analyze.plantypes import PlanTypePass
     from repro.analyze.race import RaceLintPass
     from repro.analyze.registry import StringKeyRegistryPass
-    return [RaceLintPass(), StringKeyRegistryPass(), FeatureFlagPass(),
+    return [RaceLintPass(), LockDisciplinePass(), LockOrderPass(),
+            StringKeyRegistryPass(), FeatureFlagPass(),
             ExceptionContractPass(), LifecyclePass(), HotPathPass(),
             PlanTypePass()]
 

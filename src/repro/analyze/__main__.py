@@ -1,5 +1,8 @@
 """CLI: ``python -m repro.analyze [--fail-on=error] [--format=text]``.
 
+``--list-passes`` enumerates the suite; ``--only=race,locks`` runs a
+subset (and scopes ``--update-baseline`` to those passes' entries).
+
 Exit codes: 0 — no finding at or above the fail threshold; 1 — at
 least one such finding; 2 — usage or I/O error.
 """
@@ -43,11 +46,37 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timings", action="store_true",
         help="print per-pass wall time to stderr")
+    parser.add_argument(
+        "--only", default=None, metavar="PASS[,PASS]",
+        help="run only these passes (comma-separated pass ids; see "
+             "--list-passes); --update-baseline then rewrites only "
+             "their baseline entries")
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list the available pass ids and exit")
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    passes = default_passes()
+    if args.list_passes:
+        width = max(len(p.pass_id) for p in passes)
+        for p in passes:
+            print(f"{p.pass_id:<{width}}  {p.description}")
+        return 0
+    only = None
+    if args.only is not None:
+        only = {name.strip() for name in args.only.split(",")
+                if name.strip()}
+        known = {p.pass_id for p in passes}
+        unknown = sorted(only - known)
+        if unknown or not only:
+            print(f"error: unknown pass id(s) "
+                  f"{', '.join(unknown) or '(none given)'}; choose from "
+                  f"{', '.join(sorted(known))}", file=sys.stderr)
+            return 2
+        passes = [p for p in passes if p.pass_id in only]
     if args.fail_on == "never":
         threshold = None
     else:
@@ -81,7 +110,7 @@ def main(argv: list[str] | None = None) -> int:
         baseline = Baseline()
 
     context = load_project(root)
-    analyzer = Analyzer(default_passes(), baseline)
+    analyzer = Analyzer(passes, baseline)
     findings = analyzer.run(context)
 
     if args.timings:
@@ -93,7 +122,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.update_baseline:
         if baseline_path is None:
             baseline_path = root / "scripts" / "analyze_baseline.json"
-        stale = analyzer.baseline.rebuild(analyzer.unfiltered)
+        stale = analyzer.baseline.rebuild(analyzer.unfiltered,
+                                          pass_ids=only)
         for key in stale:
             print(f"warning: dropping stale baseline entry "
                   f"{key[0]} [{key[1]}] {key[2]!r} (no longer fires)",

@@ -79,29 +79,37 @@ class Baseline:
     Keys are line-insensitive (path, code, message) triples so routine
     edits above a suppressed site do not resurrect it. Each entry may
     carry a one-line ``reason`` saying why it is a false positive;
-    reasons survive ``--update-baseline`` rewrites.
+    reasons survive ``--update-baseline`` rewrites. Entries also record
+    which pass produced them so ``--update-baseline --only=<pass>``
+    can rewrite one pass's entries without touching the rest.
     """
 
     suppress: set[tuple[str, str, str]] = field(default_factory=set)
     reasons: dict[tuple[str, str, str], str] = field(default_factory=dict)
+    passes: dict[tuple[str, str, str], str] = field(default_factory=dict)
 
     @classmethod
     def load(cls, path: Path) -> "Baseline":
         data = json.loads(path.read_text())
         suppress = set()
         reasons = {}
+        passes = {}
         for e in data.get("suppress", []):
             key = (e["path"], e["code"], e["message"])
             suppress.add(key)
             if e.get("reason"):
                 reasons[key] = e["reason"]
-        return cls(suppress=suppress, reasons=reasons)
+            if e.get("pass"):
+                passes[key] = e["pass"]
+        return cls(suppress=suppress, reasons=reasons, passes=passes)
 
     def save(self, path: Path) -> None:
         entries = []
         for key in sorted(self.suppress):
             p, c, m = key
             entry = {"path": p, "code": c, "message": m}
+            if key in self.passes:
+                entry["pass"] = self.passes[key]
             if key in self.reasons:
                 entry["reason"] = self.reasons[key]
             entries.append(entry)
@@ -112,15 +120,30 @@ class Baseline:
         return [f for f in findings
                 if f.baseline_key() not in self.suppress]
 
-    def rebuild(self, findings: list[Finding]) -> list[tuple[str, str, str]]:
+    def rebuild(self, findings: list[Finding],
+                pass_ids: set[str] | None = None,
+                ) -> list[tuple[str, str, str]]:
         """Replace the suppress set with the given findings' keys,
         keeping reasons for keys that survive. Returns the stale keys
-        that were dropped (they no longer fire)."""
-        current = {f.baseline_key() for f in findings}
-        stale = sorted(self.suppress - current)
-        self.suppress = current
+        that were dropped (they no longer fire).
+
+        With ``pass_ids``, only entries recorded under those passes are
+        rewritten (a partial run's findings only cover those passes);
+        entries from other passes — including pre-pass-tracking entries
+        with no recorded pass — are kept as-is.
+        """
+        current = {f.baseline_key(): f.pass_id for f in findings}
+        if pass_ids is None:
+            kept: set[tuple[str, str, str]] = set()
+        else:
+            kept = {key for key in self.suppress
+                    if self.passes.get(key) not in pass_ids}
+        stale = sorted(self.suppress - kept - set(current))
+        self.suppress = kept | set(current)
         self.reasons = {k: r for k, r in self.reasons.items()
-                        if k in current}
+                        if k in self.suppress}
+        self.passes = {k: p for k, p in self.passes.items() if k in kept}
+        self.passes.update({k: p for k, p in current.items() if p})
         return stale
 
 

@@ -16,10 +16,15 @@ reachable from the threaded entry points (``join_thread`` and the
 * ``RACE003`` — mutating calls on closure variables of a thread body or
   on module globals.
 
-A write is allowed when it is lexically inside a ``with`` block whose
-context expression names a lock (identifier containing ``lock``), or
-when it goes through the thread-local tally pattern (an attribute chain
-passing through a name containing ``local``).
+A write is allowed when the lockset analysis
+(:mod:`repro.analyze.locks`) proves a lock is held at the statement —
+including locks acquired in a caller and propagated through the call
+graph — or when the attribute chain routes through a *declared*
+thread-local holder (an attribute assigned ``threading.local()`` in the
+owning class). The pre-v2 lexical heuristics (context expression
+containing the substring ``lock``, chain component containing
+``local``) are gone: a ``with`` block only counts if it acquires a lock
+the model can actually see declared.
 
 The tracer (``repro/trace/tracer.py``) is a target too: join threads
 open and finish spans concurrently, so its span/start/finish entry
@@ -33,15 +38,10 @@ from __future__ import annotations
 import ast
 import builtins
 
-from repro.analyze.callgraph import (
-    FunctionInfo as _Func,
-    collect_functions,
-    own_statements as _own_statements,
-    reachable,
-    resolve_calls,
-)
-from repro.analyze.findings import Finding, Severity
+from repro.analyze.callgraph import FunctionInfo as _Func
+from repro.analyze.findings import Finding
 from repro.analyze.framework import AnalysisContext, AnalysisPass, SourceModule
+from repro.analyze.locks import LocksetAnalysis, shared_analysis
 
 #: Method names that mutate their receiver in place.
 MUTATORS = frozenset({
@@ -67,18 +67,6 @@ def _attr_chain(node: ast.AST) -> list[str]:
     return []
 
 
-def _names_a_lock(expr: ast.AST) -> bool:
-    chain = _attr_chain(expr)
-    if isinstance(expr, ast.Call):
-        chain = _attr_chain(expr.func)
-    return any("lock" in part.lower() for part in chain)
-
-
-def _is_threadlocal_chain(chain: list[str]) -> bool:
-    """True for attribute chains routed through a thread-local holder."""
-    return any("local" in part.lower() for part in chain[:-1])
-
-
 class RaceLintPass(AnalysisPass):
     """Flags unguarded shared-state writes on threaded hot paths."""
 
@@ -102,24 +90,38 @@ class RaceLintPass(AnalysisPass):
         self.entries = tuple(entries) if entries else self.DEFAULT_ENTRIES
 
     def run(self, context: AnalysisContext) -> list[Finding]:
+        analysis = shared_analysis(context, self.targets, self.entries)
         findings: list[Finding] = []
         for target in self.targets:
             mod = context.module(target)
             if mod is not None and mod.tree is not None:
-                findings.extend(self._check_module(mod))
+                findings.extend(self._check_module(mod, analysis))
         return findings
 
     # ------------------------------------------------------------------ #
 
-    def _check_module(self, mod: SourceModule) -> list[Finding]:
+    def _check_module(self, mod: SourceModule,
+                      analysis: LocksetAnalysis) -> list[Finding]:
         module_globals = self._module_globals(mod.tree)
-        funcs = collect_functions(mod.tree, module_path=mod.path)
-        resolve_calls(funcs)
-        hot = reachable(funcs, self.entries)
+        # Same-module closure from the entry points (cross-module duck
+        # edges would pull driver-side code into the hot set).
+        funcs = {qual: func
+                 for (path, qual), func in analysis.graph.functions.items()
+                 if path == mod.path}
+        entries = set(self.entries)
+        frontier = [qual for qual, func in funcs.items()
+                    if func.node.name in entries or qual in entries]
+        hot: set[str] = set()
+        while frontier:
+            qual = frontier.pop()
+            if qual in hot:
+                continue
+            hot.add(qual)
+            frontier.extend(funcs[qual].calls - hot)
         findings: list[Finding] = []
-        for qualname in sorted(hot):
-            findings.extend(
-                self._check_function(mod, funcs[qualname], module_globals))
+        for qual in sorted(hot):
+            findings.extend(self._check_function(
+                mod, funcs[qual], module_globals, analysis))
         return findings
 
     @staticmethod
@@ -137,8 +139,22 @@ class RaceLintPass(AnalysisPass):
         return names
 
     def _check_function(self, mod: SourceModule, func: _Func,
-                        module_globals: set[str]) -> list[Finding]:
+                        module_globals: set[str],
+                        analysis: LocksetAnalysis) -> list[Finding]:
         findings: list[Finding] = []
+        key = (mod.path, func.qualname)
+        threadlocals = (analysis.model.threadlocal_attrs.get(
+            (mod.path, func.cls), frozenset()) if func.cls else frozenset())
+
+        def guarded_at(node: ast.AST) -> bool:
+            """A lock is provably held when ``node`` executes."""
+            return bool(analysis.lockset_at(key, node))
+
+        def is_threadlocal(chain: list[str]) -> bool:
+            """``self._local.x`` where ``_local`` is a declared
+            ``threading.local()`` holder of this class."""
+            return (len(chain) >= 3 and chain[0] == "self"
+                    and chain[1] in threadlocals)
 
         def shared_base(name: str) -> str | None:
             """Classify a bare name as shared state, or None if local."""
@@ -150,16 +166,16 @@ class RaceLintPass(AnalysisPass):
                 return "closure variable"
             return None
 
-        def check_write(target: ast.AST, node: ast.AST, guarded: bool):
+        def check_write(target: ast.AST, node: ast.AST):
             chain = _attr_chain(target)
             if isinstance(target, ast.Name):
-                if target.id in func.global_decls and not guarded:
+                if target.id in func.global_decls and not guarded_at(node):
                     findings.append(self.finding(
                         mod, node, "RACE001",
                         f"{func.qualname} writes module global "
                         f"{target.id!r} without holding a lock"))
             elif chain and chain[0] == "self":
-                if guarded or _is_threadlocal_chain(chain):
+                if guarded_at(node) or is_threadlocal(chain):
                     return
                 findings.append(self.finding(
                     mod, node, "RACE002",
@@ -167,9 +183,9 @@ class RaceLintPass(AnalysisPass):
                     f"{'.'.join(chain)!r} on the threaded hot path "
                     f"without holding a lock"))
             elif isinstance(target, ast.Subscript):
-                check_write(target.value, node, guarded)
+                check_write(target.value, node)
 
-        def check_call(call: ast.Call, guarded: bool):
+        def check_call(call: ast.Call):
             if not (isinstance(call.func, ast.Attribute)
                     and call.func.attr in MUTATORS):
                 return
@@ -177,13 +193,13 @@ class RaceLintPass(AnalysisPass):
             chain = _attr_chain(base)
             if isinstance(base, ast.Name):
                 kind = shared_base(base.id)
-                if kind is not None and not guarded:
+                if kind is not None and not guarded_at(call):
                     findings.append(self.finding(
                         mod, call, "RACE003",
                         f"{func.qualname} mutates {kind} {base.id!r} via "
                         f".{call.func.attr}() without holding a lock"))
             elif chain and chain[0] == "self":
-                if guarded or _is_threadlocal_chain(chain):
+                if guarded_at(call) or is_threadlocal(chain):
                     return
                 findings.append(self.finding(
                     mod, call, "RACE002",
@@ -191,26 +207,21 @@ class RaceLintPass(AnalysisPass):
                     f"{'.'.join(chain)!r} via .{call.func.attr}() on the "
                     f"threaded hot path without holding a lock"))
 
-        def walk(node: ast.AST, guarded: bool):
+        def walk(node: ast.AST):
             for child in ast.iter_child_nodes(node):
                 if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
                                       ast.ClassDef)):
                     continue
-                child_guarded = guarded
-                if isinstance(child, ast.With):
-                    if any(_names_a_lock(item.context_expr)
-                           for item in child.items):
-                        child_guarded = True
                 if isinstance(child, (ast.Assign, ast.AnnAssign,
                                       ast.AugAssign)):
                     targets = (child.targets
                                if isinstance(child, ast.Assign)
                                else [child.target])
                     for target in targets:
-                        check_write(target, child, guarded)
+                        check_write(target, child)
                 elif isinstance(child, ast.Call):
-                    check_call(child, guarded)
-                walk(child, child_guarded)
+                    check_call(child)
+                walk(child)
 
-        walk(func.node, False)
+        walk(func.node)
         return findings

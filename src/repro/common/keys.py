@@ -304,6 +304,83 @@ CTR_HIVE_GROUPBY_ROWS_IN = _counter(COUNTER_GROUP_HIVE, "groupby_rows_in")
 
 
 # --------------------------------------------------------------------- #
+# Lock hierarchy (concurrency discipline).
+#
+# Every long-lived threading lock in the code base is declared here with
+# a rank; locks may only be acquired in strictly increasing rank order,
+# which makes deadlock impossible by construction. The static lock-order
+# pass (repro.analyze.locks, LOCK001/LOCK002) checks every nested
+# acquisition it can see against this table, and the runtime sanitizer
+# (repro.analyze.sanitizer.TrackedRLock) enforces the same order on the
+# threads of a test run. ``site`` pins the declaration to the code:
+# ``<repo path>:<Owner>.<attr>`` of the assignment that creates the
+# lock, which is how the static pass maps a lock it discovered back to
+# its declared rank.
+# --------------------------------------------------------------------- #
+
+@dataclass(frozen=True)
+class LockRank:
+    """One declared lock in the global acquisition hierarchy."""
+
+    name: str            # runtime name, e.g. "serve.cache"
+    rank: int            # acquisition order; must strictly increase
+    site: str            # "<repo path>:<Owner>.<attr>" creating the lock
+    doc: str
+
+
+#: name -> LockRank for every declared lock, the global hierarchy.
+LOCK_HIERARCHY: dict[str, LockRank] = {}
+
+
+def _lock_rank(name: str, rank: int, site: str, doc: str) -> str:
+    LOCK_HIERARCHY[name] = LockRank(name=name, rank=rank, site=site,
+                                    doc=doc)
+    return name
+
+
+LOCK_SERVER_ENGINE = _lock_rank(
+    "server.engine", 10,
+    "src/repro/serve/server.py:ClydesdaleServer._engine_lock",
+    "Serializes engine execution in ClydesdaleServer._run; held across "
+    "a whole query, so it must come before every lock the engine takes.")
+LOCK_SERVER_ADMISSION = _lock_rank(
+    "server.admission", 20,
+    "src/repro/serve/server.py:ClydesdaleServer._lock",
+    "Guards server admission state: sessions, in-flight/quota counters, "
+    "per-session shares, and the closed flag.")
+LOCK_SERVE_CACHE = _lock_rank(
+    "serve.cache", 30,
+    "src/repro/serve/cache.py:HashTableCache._lock",
+    "Guards the cross-query hash-table cache: regions, LRU order, byte "
+    "budget, hit/miss/eviction counters, and the generation stamp.")
+LOCK_TRACER = _lock_rank(
+    "trace.tracer", 40,
+    "src/repro/trace/tracer.py:Tracer._lock",
+    "Guards the tracer's shared span list and span-id counter (span "
+    "parentage rides a per-thread stack, not this lock).")
+LOCK_JOIN_MAPPER = _lock_rank(
+    "join.mapper", 50,
+    "src/repro/core/joinjob.py:StarJoinMapper._lock",
+    "Guards the mapper's cross-thread tally registry; taken once per "
+    "thread at tally registration and once at close, never per row.")
+LOCK_JOIN_QUEUE = _lock_rank(
+    "join.queue", 60,
+    "src/repro/core/joinjob.py:MTMapRunner.run.queue_lock",
+    "Guards the reader work queue and error list shared by join "
+    "threads; innermost: nothing may be acquired under it.")
+
+
+def lock_rank(name: str) -> LockRank:
+    """The declared :class:`LockRank` for ``name`` (KeyError if absent)."""
+    return LOCK_HIERARCHY[name]
+
+
+def lock_ranks_by_site() -> dict[str, LockRank]:
+    """The hierarchy keyed by declaration site, for the static pass."""
+    return {rank.site: rank for rank in LOCK_HIERARCHY.values()}
+
+
+# --------------------------------------------------------------------- #
 # Query helpers (used by repro.analyze and by tests).
 # --------------------------------------------------------------------- #
 

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from repro.common.errors import ValidationError
+from repro.common.keys import LOCK_SERVE_CACHE
 
 
 @dataclass(frozen=True)
@@ -66,12 +67,24 @@ class HashTableCache:
     least-recently-used entry of the region being written.
     """
 
-    def __init__(self, budget_bytes: int) -> None:
+    #: Counter fields the lock guards; ``sanitize=True`` enforces this
+    #: at runtime via :func:`repro.analyze.sanitizer.guard_fields`.
+    GUARDED_FIELDS = ("_regions", "_bytes", "_hits", "_misses", "_puts",
+                      "_evictions", "_rejected", "_invalidations",
+                      "generation")
+
+    def __init__(self, budget_bytes: int, *,
+                 sanitize: bool = False) -> None:
         if budget_bytes <= 0:
             raise ValidationError(
                 f"cache budget must be positive, got {budget_bytes}")
         self.budget_bytes = int(budget_bytes)
-        self._lock = threading.RLock()
+        if sanitize:
+            # Dev-tool layer, imported only when the sanitizer is on.
+            from repro.analyze.sanitizer import TrackedRLock
+            self._lock = TrackedRLock(LOCK_SERVE_CACHE)
+        else:
+            self._lock = threading.RLock()
         self._regions: dict[str, OrderedDict[Hashable, _Entry]] = {}
         self._bytes: dict[str, int] = {}
         self._hits = 0
@@ -81,6 +94,9 @@ class HashTableCache:
         self._rejected = 0
         self._invalidations = 0
         self.generation = 0
+        if sanitize:
+            from repro.analyze.sanitizer import guard_fields
+            guard_fields(self, self._lock, self.GUARDED_FIELDS)
 
     # ------------------------------------------------------------------ #
 

@@ -35,6 +35,8 @@ from repro.common.keys import (
     KEY_SERVE_MAX_CONCURRENT,
     KEY_SERVE_QUEUE_DEPTH,
     KEY_SERVE_SESSION_QUOTA,
+    LOCK_SERVER_ADMISSION,
+    LOCK_SERVER_ENGINE,
 )
 from repro.core.query import StarQuery
 from repro.core.result import QueryResult
@@ -80,11 +82,17 @@ class ServerSession:
 class ClydesdaleServer:
     """Admission-controlled multi-session front end over one engine."""
 
+    #: Admission state the lock guards; ``sanitize=True`` enforces this
+    #: at runtime via :func:`repro.analyze.sanitizer.guard_fields`.
+    GUARDED_FIELDS = ("_in_flight", "_submitted", "_rejected",
+                      "_completed", "_failed", "_closed")
+
     def __init__(self, session: Session, *,
                  conf: Configuration | None = None,
                  max_concurrent: int | None = None,
                  queue_depth: int | None = None,
-                 session_quota: int | None = None):
+                 session_quota: int | None = None,
+                 sanitize: bool = False):
         conf = conf or Configuration()
         self.base = session
         self.max_concurrent = (max_concurrent if max_concurrent is not None
@@ -93,7 +101,16 @@ class ClydesdaleServer:
                             else conf.get_int(KEY_SERVE_QUEUE_DEPTH, 8))
         self.session_quota = (session_quota if session_quota is not None
                               else conf.get_int(KEY_SERVE_SESSION_QUOTA, 2))
-        self._lock = threading.Lock()
+        if sanitize:
+            # Dev-tool layer, imported only when the sanitizer is on.
+            from repro.analyze.sanitizer import TrackedRLock
+            self._lock = TrackedRLock(LOCK_SERVER_ADMISSION)
+            self._engine_lock = TrackedRLock(LOCK_SERVER_ENGINE)
+        else:
+            self._lock = threading.Lock()
+            # Workers serialize on this: the simulated engines are not
+            # reentrant (scratch dirs, last_stats, the mini-DFS).
+            self._engine_lock = threading.Lock()
         self._sessions: dict[str, ServerSession] = {}
         self._in_flight = 0
         self._submitted = 0
@@ -101,12 +118,12 @@ class ClydesdaleServer:
         self._completed = 0
         self._failed = 0
         self._closed = False
-        # Workers serialize on this: the simulated engines are not
-        # reentrant (scratch dirs, last_stats, the mini-DFS).
-        self._engine_lock = threading.Lock()
         self._pool = ThreadPoolExecutor(
             max_workers=max(1, self.max_concurrent),
             thread_name_prefix="clydesdale-serve")
+        if sanitize:
+            from repro.analyze.sanitizer import guard_fields
+            guard_fields(self, self._lock, self.GUARDED_FIELDS)
 
     # ------------------------------------------------------------------ #
 

@@ -21,9 +21,12 @@ from repro.analyze import (
 from repro.analyze.contracts import ExceptionContractPass
 from repro.analyze.flags import FeatureFlagPass
 from repro.analyze.hotpath import HotPathPass
+from repro.analyze.locks import LockDisciplinePass, LockOrderPass
 from repro.analyze.race import RaceLintPass
 from repro.analyze.registry import StringKeyRegistryPass
-from repro.analyze.sanitizer import FrozenTableDict, freeze_table
+from repro.analyze.sanitizer import (FrozenTableDict, TrackedRLock,
+                                     freeze_table)
+from repro.serve.cache import HashTableCache
 from repro.common import keys
 from repro.common.errors import MapReduceError, SanitizerError
 from repro.core.joinjob import (
@@ -55,6 +58,10 @@ import threading
 counts = {}
 
 class Worker:
+    def __init__(self):
+        self.lock = threading.Lock()
+        self._local = threading.local()
+
     def map(self, value):
         self.rows += 1                  # RACE002: unguarded self write
         self.helper(value)
@@ -103,12 +110,50 @@ class TestRaceLint:
 
     def test_clean_module_passes(self):
         findings = self.run_pass('''
+            import threading
+
             class Worker:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
                 def map(self, value):
                     with self.lock:
                         self.rows += 1
         ''')
         assert findings == []
+
+    def test_guard_from_caller_counts(self):
+        # The pre-v2 lexical check could not see a lock acquired in the
+        # caller; the lockset analysis propagates it through the call
+        # graph into the private helper.
+        findings = self.run_pass('''
+            import threading
+
+            class Worker:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def map(self, value):
+                    with self.lock:
+                        self._bump(value)
+
+                def _bump(self, value):
+                    self.rows += 1
+        ''')
+        assert findings == []
+
+    def test_substring_heuristics_are_gone(self):
+        # "lock" in the context-expression name and "local" in the
+        # attribute chain no longer count unless the lock model sees an
+        # actual declaration.
+        findings = self.run_pass('''
+            class Worker:
+                def map(self, value):
+                    with self.lock:            # never declared as a Lock
+                        self.rows += 1
+                    self._local.tally = value  # never threading.local()
+        ''')
+        assert sorted(f.code for f in findings) == ["RACE002", "RACE002"]
 
     def test_repo_hot_paths_are_clean(self):
         context = load_project(find_repo_root())
@@ -116,8 +161,419 @@ class TestRaceLint:
 
 
 # --------------------------------------------------------------------- #
-# Hotpath HOT004: per-row vector materialization
+# Lockset discipline (RACE101-103) and lock order (LOCK001-002)
 # --------------------------------------------------------------------- #
+
+def _locks_pass(path, source, entries):
+    context = fixture_context(path, source)
+    return LockDisciplinePass(scopes=(path,), entries=entries).run(context)
+
+
+def _order_pass(path, source, entries, hierarchy):
+    context = fixture_context(path, source)
+    return LockOrderPass(scopes=(path,), entries=entries,
+                         hierarchy=hierarchy).run(context)
+
+
+class TestLockDiscipline:
+    PATH = "fixture_locks.py"
+
+    def test_race101_inconsistent_locksets(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self.lock:
+                        self.count += 1
+
+                def peek(self):
+                    return self.count       # read without the lock
+        ''', entries=("bump", "peek"))
+        assert [f.code for f in findings] == ["RACE101"]
+        assert "Box.count" in findings[0].message
+        assert "Box.peek" in findings[0].message
+
+    def test_race102_unlocked_write(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.items = []
+
+                def push(self, value):
+                    self.items.append(value)
+        ''', entries=("push",))
+        assert [f.code for f in findings] == ["RACE102"]
+        assert "Box.items" in findings[0].message
+
+    def test_interprocedural_guard_is_seen(self):
+        # The write sits in a private helper; the lock is acquired in
+        # the public caller. Lockset propagation keeps this clean.
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.count = 0
+
+                def bump(self):
+                    with self.lock:
+                        self._bump_impl()
+
+                def _bump_impl(self):
+                    self.count += 1
+        ''', entries=("bump",))
+        assert findings == []
+
+    def test_race103_early_return_leak(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def leaky(self, flag):
+                    self.lock.acquire()
+                    if flag:
+                        return 0            # leaks the lock
+                    self.lock.release()
+                    return 1
+        ''', entries=("leaky",))
+        assert [f.code for f in findings] == ["RACE103"]
+        assert "some return paths but not others" in findings[0].message
+
+    def test_race103_exception_leak(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def risky(self, work):
+                    self.lock.acquire()
+                    result = work()         # may raise with lock held
+                    self.lock.release()
+                    return result
+        ''', entries=("risky",))
+        assert [f.code for f in findings] == ["RACE103"]
+        assert "exception path" in findings[0].message
+
+    def test_race103_try_finally_is_clean(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+
+                def careful(self, work):
+                    self.lock.acquire()
+                    try:
+                        return work()
+                    finally:
+                        self.lock.release()
+        ''', entries=("careful",))
+        assert findings == []
+
+    def test_allow_unlocked_annotation(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self.count = 0
+
+                def reset(self):  # analyze: allow-unlocked
+                    self.count = 0
+        ''', entries=("reset",))
+        assert findings == []
+
+    def test_threadlocal_and_init_writes_exempt(self):
+        findings = _locks_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.lock = threading.Lock()
+                    self._local = threading.local()
+                    self.count = 0          # pre-publication: exempt
+
+                def stash(self, value):
+                    self._local.tally = value
+        ''', entries=("stash",))
+        assert findings == []
+
+    def test_repo_is_lockset_clean(self):
+        context = load_project(find_repo_root())
+        assert LockDisciplinePass().run(context) == []
+
+
+class TestLockOrder:
+    PATH = "fixture_order.py"
+    HIERARCHY = {
+        "fixture_order.py:Box.alpha": ("box.alpha", 10),
+        "fixture_order.py:Box.beta": ("box.beta", 20),
+    }
+
+    def test_lock001_cycle(self):
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.Lock()
+                    self.beta = threading.Lock()
+
+                def forward(self):
+                    with self.alpha:
+                        with self.beta:
+                            pass
+
+                def backward(self):
+                    with self.beta:
+                        with self.alpha:
+                            pass
+        ''', entries=("forward", "backward"), hierarchy=self.HIERARCHY)
+        assert [f.code for f in findings] == ["LOCK001"]
+        assert "potential deadlock" in findings[0].message
+        assert "Box.alpha" in findings[0].message
+        assert "Box.beta" in findings[0].message
+
+    def test_lock001_nonreentrant_self_acquire(self):
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.Lock()
+
+                def outer(self):
+                    with self.alpha:
+                        self._inner()
+
+                def _inner(self):
+                    with self.alpha:
+                        pass
+        ''', entries=("outer",), hierarchy=self.HIERARCHY)
+        assert [f.code for f in findings] == ["LOCK001"]
+        assert "self-deadlock" in findings[0].message
+
+    def test_reentrant_self_acquire_is_clean(self):
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.RLock()
+
+                def outer(self):
+                    with self.alpha:
+                        self._inner()
+
+                def _inner(self):
+                    with self.alpha:
+                        pass
+        ''', entries=("outer",), hierarchy=self.HIERARCHY)
+        assert findings == []
+
+    def test_lock002_rank_violation(self):
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.Lock()
+                    self.beta = threading.Lock()
+
+                def backward(self):
+                    with self.beta:
+                        with self.alpha:
+                            pass
+        ''', entries=("backward",), hierarchy=self.HIERARCHY)
+        assert [f.code for f in findings] == ["LOCK002"]
+        assert "box.alpha" in findings[0].message
+        assert "strictly increasing rank" in findings[0].message
+
+    def test_lock002_undeclared_lock(self):
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.Lock()
+                    self.gamma = threading.Lock()
+
+                def nest(self):
+                    with self.alpha:
+                        with self.gamma:
+                            pass
+        ''', entries=("nest",), hierarchy=self.HIERARCHY)
+        assert [f.code for f in findings] == ["LOCK002"]
+        assert "no declared rank" in findings[0].message
+        assert "Box.gamma" in findings[0].message
+
+    def test_declared_order_is_clean(self):
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.Lock()
+                    self.beta = threading.Lock()
+
+                def forward(self):
+                    with self.alpha:
+                        with self.beta:
+                            pass
+        ''', entries=("forward",), hierarchy=self.HIERARCHY)
+        assert findings == []
+
+    def test_order_through_call_chain(self):
+        # beta is acquired inside a helper called under alpha: the
+        # acquisition-order edge must still be seen (acq-within).
+        findings = _order_pass(self.PATH, '''
+            import threading
+
+            class Box:
+                def __init__(self):
+                    self.alpha = threading.Lock()
+                    self.beta = threading.Lock()
+
+                def backward(self):
+                    with self.beta:
+                        self._grab()
+
+                def _grab(self):
+                    with self.alpha:
+                        pass
+        ''', entries=("backward",), hierarchy=self.HIERARCHY)
+        assert [f.code for f in findings] == ["LOCK002"]
+
+    def test_repo_order_is_clean(self):
+        context = load_project(find_repo_root())
+        assert LockOrderPass().run(context) == []
+
+    def test_repo_hierarchy_covers_every_lock(self):
+        # Every lock the model discovers in the repo must carry a
+        # declared rank — undeclared locks would dodge LOCK002.
+        from repro.analyze.locks import SCOPES, THREAD_ENTRIES, shared_analysis
+        context = load_project(find_repo_root())
+        analysis = shared_analysis(context, SCOPES, THREAD_ENTRIES)
+        declared = set(keys.lock_ranks_by_site())
+        assert set(analysis.model.decls) == declared
+
+
+# --------------------------------------------------------------------- #
+# Runtime lock-discipline sanitizer: TrackedRLock + guard_fields
+# --------------------------------------------------------------------- #
+
+class TestTrackedRLock:
+    def test_enforces_declared_order(self):
+        low = TrackedRLock("test.low", rank=10)
+        high = TrackedRLock("test.high", rank=20)
+        with low:
+            with high:          # increasing rank: fine
+                pass
+        with high:
+            with pytest.raises(SanitizerError, match="lock-order inversion"):
+                low.acquire()
+        assert not low.held() and not high.held()
+
+    def test_reentrant_acquire_allowed(self):
+        lock = TrackedRLock("test.re", rank=10)
+        with lock:
+            with lock:
+                assert lock.held()
+        assert not lock.held()
+
+    def test_release_without_hold_raises(self):
+        lock = TrackedRLock("test.rel", rank=10)
+        with pytest.raises(SanitizerError, match="does not hold"):
+            lock.release()
+
+    def test_unknown_name_requires_explicit_rank(self):
+        with pytest.raises(SanitizerError, match="no declared rank"):
+            TrackedRLock("not.in.hierarchy")
+
+    def test_declared_names_resolve_ranks(self):
+        engine = TrackedRLock(keys.LOCK_SERVER_ENGINE)
+        cache = TrackedRLock(keys.LOCK_SERVE_CACHE)
+        assert engine.rank < cache.rank
+
+    def test_injected_inversion_caught_across_threads(self):
+        # Fault injection: thread A takes locks in declared order,
+        # thread B inverts it. Only B must trip the sanitizer.
+        low = TrackedRLock("test.inj.low", rank=10)
+        high = TrackedRLock("test.inj.high", rank=20)
+        errors = []
+
+        def well_ordered():
+            with low:
+                with high:
+                    pass
+
+        def inverted():
+            try:
+                with high:
+                    with low:
+                        pass
+            except SanitizerError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=well_ordered),
+                   threading.Thread(target=inverted)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(errors) == 1
+        assert "lock-order inversion" in str(errors[0])
+
+
+class TestGuardFields:
+    def test_unguarded_write_caught(self):
+        # The frozen-table sanitizer cannot express this: guarded state
+        # is mutable, just only under its lock.
+        cache = HashTableCache(1024, sanitize=True)
+        cache.put("n0", "k", "v", 16)       # under the lock: fine
+        assert cache.get("n0", "k") == "v"
+        with pytest.raises(SanitizerError, match="unguarded write"):
+            cache._hits = 99
+        with cache._lock:                   # under the lock: allowed
+            cache._hits += 1
+        assert cache.stats().hits == 2
+
+    def test_plain_cache_unaffected(self):
+        cache = HashTableCache(1024)
+        cache._hits = 99                    # no sanitizer: no guard
+        assert cache.stats().hits == 99
+
+    def test_server_guarded_fields(self):
+        from repro.serve.server import ClydesdaleServer
+
+        class _Engine:
+            pass
+
+        from repro.serve.session import Session
+        server = ClydesdaleServer(
+            Session.__new__(Session), sanitize=True, max_concurrent=1)
+        try:
+            with pytest.raises(SanitizerError, match="unguarded write"):
+                server._submitted = 7
+            assert server.stats().submitted == 0
+        finally:
+            server.close()
 
 HOT004_FIXTURE = '''
 class Kernel:
@@ -396,6 +852,41 @@ class TestFramework:
     def test_cli_rejects_bad_severity(self, capsys):
         from repro.analyze.__main__ import main
         assert main(["--fail-on", "fatal"]) == 2
+
+    def test_cli_list_passes(self, capsys):
+        from repro.analyze.__main__ import main
+        assert main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for pass_id in ("race", "locks", "lockorder", "keys", "flags",
+                        "contracts", "lifecycle", "hotpath", "plantypes"):
+            assert pass_id in out
+
+    def test_cli_only_runs_subset(self, capsys):
+        from repro.analyze.__main__ import main
+        assert main(["--only", "locks,lockorder"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_cli_only_rejects_unknown_pass(self, capsys):
+        from repro.analyze.__main__ import main
+        assert main(["--only", "nosuchpass"]) == 2
+        assert "unknown pass id" in capsys.readouterr().err
+
+    def test_baseline_partial_rebuild_scoped_to_pass(self, tmp_path):
+        stays = Finding(path="a.py", line=1, code="HOT001", message="m",
+                        pass_id="hotpath")
+        gone = Finding(path="b.py", line=2, code="RACE102", message="n",
+                       pass_id="locks")
+        baseline = Baseline()
+        baseline.rebuild([stays, gone])
+        # A locks-only rerun with no findings: the locks entry is
+        # stale, the hotpath entry must survive untouched.
+        stale = baseline.rebuild([], pass_ids={"locks"})
+        assert stale == [gone.baseline_key()]
+        assert baseline.suppress == {stays.baseline_key()}
+        # Round-trips with the pass recorded.
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        assert Baseline.load(path).passes[stays.baseline_key()] == "hotpath"
 
 
 # --------------------------------------------------------------------- #

@@ -1,0 +1,264 @@
+"""Multi-threaded hammer tests for the concurrent subsystems.
+
+Barrier-started thread gangs pound the hash-table cache, the server's
+admission machinery, and the fair-share grant path, all with the
+lock-discipline sanitizer on (``TrackedRLock`` + ``guard_fields``), and
+then assert the bookkeeping adds up exactly: every counter a consistent
+function of the operations performed, no lost updates, no lock-order
+violation raised along the way.
+
+The CI concurrency-stress job repeats this file under several
+``PYTHONHASHSEED`` values and thread counts; ``CLYDESDALE_HAMMER_THREADS``
+overrides the gang size locally.
+"""
+
+import os
+import threading
+
+import pytest
+
+from repro.common.errors import AdmissionError, SchedulerError
+from repro.mapreduce.fairshare import FairShareScheduler, validate_shares
+from repro.serve.cache import HashTableCache
+from repro.serve.server import ClydesdaleServer
+from repro.sim.hardware import tiny_cluster
+
+THREADS = int(os.environ.get("CLYDESDALE_HAMMER_THREADS", "8"))
+ROUNDS = 60
+
+
+def _hammer(worker, parties=THREADS):
+    """Run ``worker(thread_index)`` on a barrier-started gang; re-raise
+    the first failure so assertion errors inside threads fail the test."""
+    barrier = threading.Barrier(parties)
+    failures = []
+
+    def body(index):
+        barrier.wait()
+        try:
+            worker(index)
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            failures.append(exc)
+
+    threads = [threading.Thread(target=body, args=(i,))
+               for i in range(parties)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if failures:
+        raise failures[0]
+
+
+class TestCacheHammer:
+    def test_stats_stay_consistent(self):
+        cache = HashTableCache(budget_bytes=64 * 1024, sanitize=True)
+        gets = [0] * THREADS
+        puts_ok = [0] * THREADS
+        invalidations = [0] * THREADS
+
+        def worker(index):
+            region = f"node{index % 3}"
+            for i in range(ROUNDS):
+                key = (index, i % 7)
+                if cache.get(region, key) is None:
+                    if cache.put(region, key, ("table", index, i), 128):
+                        puts_ok[index] += 1
+                gets[index] += 1
+                if i % 25 == 24 and index == 0:
+                    cache.invalidate()
+                    invalidations[index] += 1
+
+        _hammer(worker)
+        stats = cache.stats()
+        assert stats.hits + stats.misses == sum(gets)
+        assert stats.puts == sum(puts_ok)
+        assert stats.invalidations == sum(invalidations)
+        assert cache.generation == stats.invalidations
+        assert stats.entries == len(cache)
+        assert 0 <= stats.bytes_cached <= stats.budget_bytes * 3
+        assert stats.rejected == 0
+
+    def test_eviction_respects_budget_under_contention(self):
+        # Budget of 4 entries per region: concurrent putters must never
+        # leave a region over budget, and every byte must be accounted.
+        cache = HashTableCache(budget_bytes=512, sanitize=True)
+
+        def worker(index):
+            for i in range(ROUNDS):
+                cache.put("shared", (index, i), "v", 128)
+
+        _hammer(worker)
+        stats = cache.stats()
+        assert stats.bytes_cached <= 512
+        assert stats.entries <= 4
+        assert stats.puts == THREADS * ROUNDS
+        assert stats.evictions == stats.puts - stats.entries
+
+    def test_oversized_puts_all_rejected(self):
+        cache = HashTableCache(budget_bytes=64, sanitize=True)
+
+        def worker(index):
+            for i in range(ROUNDS):
+                assert not cache.put("r", (index, i), "big", 1024)
+
+        _hammer(worker)
+        stats = cache.stats()
+        assert stats.rejected == THREADS * ROUNDS
+        assert stats.puts == 0 and stats.entries == 0
+
+
+class _StubSession:
+    """Stands in for serve.session.Session: executes instantly."""
+
+    def __init__(self):
+        self.executed = 0
+
+    def execute(self, query):
+        self.executed += 1
+        return ("ok", getattr(query, "name", "?"))
+
+
+class _StubQuery:
+    name = "hammer-q"
+
+
+class TestServerAdmissionHammer:
+    def test_grant_bookkeeping_adds_up(self):
+        server = ClydesdaleServer(
+            _StubSession(), sanitize=True,
+            max_concurrent=4, queue_depth=8, session_quota=THREADS * ROUNDS)
+        handle = server.session("hammer")
+        completed = [0] * THREADS
+        rejected = [0] * THREADS
+
+        def worker(index):
+            futures = []
+            for _ in range(ROUNDS):
+                try:
+                    futures.append(handle.submit(_StubQuery()))
+                except AdmissionError:
+                    rejected[index] += 1
+                if len(futures) >= 4:
+                    for f in futures:
+                        f.result()
+                    completed[index] += len(futures)
+                    futures = []
+            for f in futures:
+                f.result()
+            completed[index] += len(futures)
+
+        try:
+            _hammer(worker)
+        finally:
+            server.close()
+        stats = server.stats()
+        assert stats.submitted == THREADS * ROUNDS
+        assert stats.rejected == sum(rejected)
+        assert stats.completed == sum(completed) == \
+            stats.submitted - stats.rejected
+        assert stats.failed == 0
+        assert stats.in_flight == 0
+
+    def test_session_quota_enforced_per_session(self):
+        server = ClydesdaleServer(
+            _StubSession(), sanitize=True,
+            max_concurrent=2, queue_depth=THREADS * ROUNDS,
+            session_quota=3)
+        admitted = [0] * THREADS
+        rejected = [0] * THREADS
+
+        def worker(index):
+            handle = server.session(f"s{index}")
+            futures = []
+            for _ in range(ROUNDS):
+                try:
+                    futures.append(handle.submit(_StubQuery()))
+                    admitted[index] += 1
+                except AdmissionError as exc:
+                    assert exc.reason == "session-quota"
+                    rejected[index] += 1
+                    for f in futures:
+                        f.result()
+                    futures = []
+            for f in futures:
+                f.result()
+            assert handle.in_flight == 0
+
+        try:
+            _hammer(worker)
+        finally:
+            server.close()
+        stats = server.stats()
+        assert stats.submitted == THREADS * ROUNDS
+        assert stats.rejected == sum(rejected)
+        assert stats.completed == sum(admitted)
+        assert stats.in_flight == 0
+
+
+class TestFairShareGrantHammer:
+    def test_concurrent_share_grants_never_oversubscribe(self):
+        # Each thread repeatedly attaches a session with a 2/THREADS
+        # share: at most half the gang can win; the losers must see a
+        # SchedulerError, and the winners' shares must sum <= 1.
+        server = ClydesdaleServer(_StubSession(), sanitize=True)
+        share = 2.0 / THREADS
+        granted = [0] * THREADS
+
+        def worker(index):
+            try:
+                server.session(f"grant{index}", share=share)
+                granted[index] = 1
+            except SchedulerError:
+                pass
+
+        try:
+            _hammer(worker)
+        finally:
+            server.close()
+        shares = {name: s.share
+                  for name, s in server._sessions.items()
+                  if s.share is not None}
+        assert validate_shares(shares) == shares
+        assert sum(granted) == len(shares) == THREADS // 2
+
+    def test_granted_slots_consistent_across_threads(self):
+        cluster = tiny_cluster(workers=4, map_slots=6)
+        results = [[None] * ROUNDS for _ in range(THREADS)]
+
+        def worker(index):
+            scheduler = FairShareScheduler(share=0.5)
+            for i in range(ROUNDS):
+                results[index][i] = scheduler.granted_slots(cluster)
+
+        _hammer(worker)
+        assert {slot for row in results for slot in row} == {3}
+
+
+class TestHammerWithSanitizerPanics:
+    def test_injected_inversion_is_caught_under_load(self):
+        # The static pass cannot see this ordering (it is data-driven
+        # at runtime); TrackedRLock must catch it even mid-hammer.
+        from repro.analyze.sanitizer import TrackedRLock
+        from repro.common.errors import SanitizerError
+
+        low = TrackedRLock("hammer.low", rank=1)
+        high = TrackedRLock("hammer.high", rank=2)
+        caught = [0] * THREADS
+
+        def worker(index):
+            for i in range(ROUNDS):
+                if (index + i) % 2:
+                    with low:
+                        with high:
+                            pass
+                else:
+                    with high:
+                        with pytest.raises(SanitizerError):
+                            low.acquire()
+                    caught[index] += 1
+
+        _hammer(worker)
+        assert sum(caught) == sum(
+            1 for index in range(THREADS) for i in range(ROUNDS)
+            if not (index + i) % 2)
