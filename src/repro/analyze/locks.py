@@ -765,6 +765,22 @@ THREAD_ENTRIES = (
     "ClydesdaleServer.stats", "ClydesdaleServer.close",
     "ClydesdaleServer._run", "ClydesdaleServer._submit",
     "ServerSession.submit", "ServerSession.execute",
+    "Frontend.session", "Frontend.stats", "Frontend.close",
+    "Frontend.reload_catalog", "Frontend.invalidate_caches",
+    "Frontend.worker_stats", "Frontend.explain",
+    "Frontend._execute", "Frontend._serve", "Frontend._admit",
+    "Frontend._recover_worker", "Frontend._detach",
+    "FrontendSession.execute",
+    "ShapeRouter.route", "ShapeRouter.forget_worker",
+    "ShapeRouter.add_worker", "ShapeRouter.workers",
+    "ShapeRouter.assignments", "ShapeRouter.loads",
+    "ResultCache.lookup", "ResultCache.store",
+    "ResultCache.bump_generation", "ResultCache.stats",
+    "ResultCache.__len__",
+    "WorkerHandle.request", "WorkerHandle.post", "WorkerHandle.alive",
+    "WorkerHandle.mark_dead", "WorkerHandle.ensure_respawned",
+    "WorkerHandle.kill", "WorkerHandle.shutdown",
+    "WorkerHandle.execute_count",
 )
 
 

@@ -43,7 +43,13 @@ def connect(backend: str = "clydesdale", *,
             cluster: Any | None = None,
             cost_model: Any | None = None,
             conf: Configuration | None = None,
-            name: str = "session") -> Session:
+            workers: int | None = None,
+            result_cache: bool | None = None,
+            result_cache_bytes: int | None = None,
+            retries: int | None = None,
+            respawn: bool | None = None,
+            sanitize: bool = False,
+            name: str = "session") -> Any:
     """Open a :class:`Session` on a freshly-loaded backend.
 
     ``backend`` is ``"clydesdale"`` (the paper's engine),
@@ -55,11 +61,33 @@ def connect(backend: str = "clydesdale", *,
     configuration; ``slot_share`` runs every query of this session
     under a fair-share CPU grant; ``trace`` sets the session's default
     for ``execute(trace=...)``.
+
+    ``workers=N`` scales the session out instead: a
+    :class:`~repro.serve.frontend.Frontend` spawns ``N`` worker
+    *processes* (each with its own engine and hash-table cache shard)
+    with warm-shard routing and a frontend result cache, and the
+    return value is a :class:`~repro.serve.frontend.FrontendSession`
+    with the same ``execute``/``sql``/``explain``/``reload_catalog``
+    surface. ``result_cache``/``result_cache_bytes``/``retries``/
+    ``respawn`` override the ``clydesdale.serve.result_cache.*`` and
+    ``clydesdale.serve.workers.*`` configuration and only apply with
+    ``workers=``.
     """
     if backend not in BACKENDS:
         raise ValidationError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}")
     conf = conf or Configuration()
+    if workers is not None:
+        from repro.serve.frontend import Frontend
+        frontend = Frontend(
+            backend=backend, data=data, workers=workers, conf=conf,
+            scale_factor=scale_factor, seed=seed, num_nodes=num_nodes,
+            features=features, plan=plan, cache_bytes=cache_bytes,
+            row_group_size=row_group_size, trace=trace,
+            result_cache=result_cache,
+            result_cache_bytes=result_cache_bytes,
+            retries=retries, respawn=respawn, sanitize=sanitize)
+        return frontend.session(name, share=slot_share, trace=trace)
     enabled = (cache if cache is not None
                else conf.get_bool(KEY_CACHE_ENABLED, True))
     budget = (cache_bytes if cache_bytes is not None

@@ -10,9 +10,12 @@ Targets:
 * ``calibration`` — how each cost constant derives from the paper
 * ``validate`` — run all 13 queries functionally on all engines
 * ``perfsmoke`` — time vectorized kernels vs the row-wise path, the
-  columnar-v2 encoded-vs-decoded ablation, and a zone-map-pruned
-  query; writes ``BENCH_perfsmoke.json``. With ``--check``, exits
-  non-zero when any number falls below its regression floor.
+  columnar-v2 encoded-vs-decoded ablation, a zone-map-pruned query,
+  the warm session cache, and a closed-loop serving run (200
+  concurrent sessions through a multi-worker frontend, p50/p99);
+  writes ``BENCH_perfsmoke.json``. With ``--check``, exits non-zero
+  when any number falls below its regression floor or above its
+  latency ceiling.
 * ``export`` — write every series to results/*.csv and *.json
 * ``report`` — regenerate the paper-vs-measured markdown report
 * ``all``    — everything above (except export)
@@ -88,10 +91,10 @@ def main(argv: list[str] | None = None) -> int:
             if args.check:
                 failures = check_floors(report)
                 for failure in failures:
-                    print(f"FLOOR REGRESSION: {failure}")
+                    print(f"PERFSMOKE REGRESSION: {failure}")
                 if failures:
                     return 1
-                print("all perfsmoke floors hold")
+                print("all perfsmoke floors and ceilings hold")
         elif target == "export":
             from repro.bench.export import export_all
             for path in export_all(args.out_dir):

@@ -103,6 +103,20 @@ class AdmissionError(ReproError):
         self.session = session
 
 
+class WorkerCrashError(ReproError):
+    """A serving worker process died (or stopped responding) while a
+    request was outstanding on its pipe.
+
+    The frontend catches this, marks the worker dead, and re-routes the
+    query to a healthy worker; it reaches clients only when every retry
+    is exhausted. ``worker`` is the dead worker's id when known.
+    """
+
+    def __init__(self, message: str, *, worker: int | None = None):
+        super().__init__(message)
+        self.worker = worker
+
+
 class QueryError(ReproError):
     """A star query is malformed or references unknown tables/columns."""
 

@@ -202,6 +202,28 @@ KEY_SERVE_SESSION_QUOTA = _config(
     "clydesdale.serve.session.quota", kind="int", default=2,
     doc="In-flight queries one server session may hold; submissions "
         "past the quota are rejected with AdmissionError.")
+KEY_SERVE_WORKERS = _config(
+    "clydesdale.serve.workers.count", kind="int", default=2,
+    doc="Worker processes behind the scale-out serving frontend; each "
+        "owns its own engine and hash-table cache shard.")
+KEY_SERVE_WORKER_RETRIES = _config(
+    "clydesdale.serve.workers.retries", kind="int", default=1,
+    doc="Times the frontend re-routes a query to a healthy worker "
+        "after the routed worker dies mid-query.")
+KEY_SERVE_WORKER_RESPAWN = _flag(
+    "clydesdale.serve.workers.respawn", default=True,
+    doc="Respawn a dead worker process with the frontend's current "
+        "catalog and cache generation; off = the pool just shrinks.")
+KEY_SERVE_RESULT_CACHE = _flag(
+    "clydesdale.serve.result_cache.enabled", default=True,
+    doc="Frontend-level result cache: byte-identical repeat queries "
+        "are answered without reaching a worker. Entries are "
+        "generation-stamped and die on reload_catalog.")
+KEY_SERVE_RESULT_CACHE_BYTES = _config(
+    "clydesdale.serve.result_cache.bytes", kind="int",
+    default=32 * 1024 * 1024,
+    doc="Byte budget for the frontend result cache; least-recently-"
+        "used results are evicted past the budget.")
 
 # -- Hive baseline keys ------------------------------------------------ #
 KEY_HIVE_FACT_SIDE_FK = _config(
@@ -338,6 +360,31 @@ def _lock_rank(name: str, rank: int, site: str, doc: str) -> str:
     return name
 
 
+LOCK_FRONTEND_WORKER = _lock_rank(
+    "frontend.worker", 12,
+    "src/repro/serve/worker.py:WorkerHandle._lock",
+    "Serializes one worker's request pipe: exactly one frontend thread "
+    "talks to a worker process at a time. Never held while another "
+    "worker's lock is taken. The frontend's locks never nest in code; "
+    "their ranks sit between server.engine and server.admission so "
+    "every cross-layer acquisition stays rank-increasing.")
+LOCK_FRONTEND_ROUTER = _lock_rank(
+    "frontend.router", 14,
+    "src/repro/serve/routing.py:ShapeRouter._lock",
+    "Guards the shape router's assignment map and per-worker load "
+    "tallies (warm-shard routing state).")
+LOCK_FRONTEND_ADMISSION = _lock_rank(
+    "frontend.admission", 16,
+    "src/repro/serve/frontend.py:Frontend._lock",
+    "Guards frontend admission state: attached sessions, in-flight/"
+    "retry/rejection counters, routing tallies, the closed flag, and "
+    "the cache generation. The frontend calls into the router, "
+    "workers, and caches, never the reverse.")
+LOCK_FRONTEND_RESULTS = _lock_rank(
+    "frontend.results", 18,
+    "src/repro/serve/frontend.py:ResultCache._lock",
+    "Guards the frontend result cache: LRU entries, byte budget, "
+    "hit/miss/stale counters, and the generation stamp.")
 LOCK_SERVER_ENGINE = _lock_rank(
     "server.engine", 10,
     "src/repro/serve/server.py:ClydesdaleServer._engine_lock",

@@ -17,11 +17,20 @@ __all__ = [
     "CacheStats",
     "ClydesdaleServer",
     "Engine",
+    "Frontend",
+    "FrontendSession",
+    "FrontendStats",
     "HashTableCache",
+    "ResultCache",
+    "ResultCacheStats",
     "ServerSession",
     "ServerStats",
     "Session",
+    "ShapeRouter",
+    "WorkerHandle",
     "backend_name",
+    "query_shape",
+    "result_key",
 ]
 
 _EXPORTS = {
@@ -29,11 +38,20 @@ _EXPORTS = {
     "CacheStats": ("repro.serve.cache", "CacheStats"),
     "ClydesdaleServer": ("repro.serve.server", "ClydesdaleServer"),
     "Engine": ("repro.serve.session", "Engine"),
+    "Frontend": ("repro.serve.frontend", "Frontend"),
+    "FrontendSession": ("repro.serve.frontend", "FrontendSession"),
+    "FrontendStats": ("repro.serve.frontend", "FrontendStats"),
     "HashTableCache": ("repro.serve.cache", "HashTableCache"),
+    "ResultCache": ("repro.serve.frontend", "ResultCache"),
+    "ResultCacheStats": ("repro.serve.frontend", "ResultCacheStats"),
     "ServerSession": ("repro.serve.server", "ServerSession"),
     "ServerStats": ("repro.serve.server", "ServerStats"),
     "Session": ("repro.serve.session", "Session"),
+    "ShapeRouter": ("repro.serve.routing", "ShapeRouter"),
+    "WorkerHandle": ("repro.serve.worker", "WorkerHandle"),
     "backend_name": ("repro.serve.session", "backend_name"),
+    "query_shape": ("repro.serve.routing", "query_shape"),
+    "result_key": ("repro.serve.routing", "result_key"),
 }
 
 

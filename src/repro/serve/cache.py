@@ -135,13 +135,28 @@ class HashTableCache:
                 self._evictions += 1
             return True
 
-    def invalidate(self) -> None:
-        """Drop every cached table (catalog reload / explicit flush)."""
+    def invalidate(self, generation: int | None = None) -> bool:
+        """Drop every cached table (catalog reload / explicit flush).
+
+        With no argument the cache's generation simply advances — the
+        in-process, single-owner behavior. ``generation=`` is the
+        scale-out path: a frontend stamps each reload with its own
+        generation and broadcasts it to every worker shard, and each
+        shard applies the stamp *independently* — a stamp at or below
+        the shard's current generation is a duplicate or stale message
+        and is ignored, so no cross-worker barrier is needed and a
+        retried broadcast can never double-invalidate. Returns whether
+        the invalidation was applied.
+        """
         with self._lock:
+            if generation is not None and generation <= self.generation:
+                return False
             self._regions.clear()
             self._bytes.clear()
             self._invalidations += 1
-            self.generation += 1
+            self.generation = (self.generation + 1 if generation is None
+                               else generation)
+            return True
 
     # ------------------------------------------------------------------ #
 

@@ -1,0 +1,692 @@
+"""Scale-out serving: a multi-worker frontend with warm-shard routing.
+
+``ClydesdaleServer`` (PR 5) admits concurrent queries but executes them
+all in one process behind one engine lock.  This module shards that
+design: a :class:`Frontend` owns a pool of forked worker *processes*
+(:mod:`repro.serve.worker`), each with its own engine and hash-table
+cache shard, and routes every query by its canonical join-key signature
+(:func:`repro.serve.routing.query_shape`) so repeat shapes land on the
+worker whose shard is already warm — the repeat performs zero hash
+builds.  In front of the workers sits a :class:`ResultCache`: a
+byte-identical repeat of a whole query is answered without reaching a
+worker at all.  Every cache entry is stamped with the frontend's
+catalog generation; ``reload_catalog`` bumps the generation and
+broadcasts it to the workers as a fire-and-forget message, so
+invalidation never barriers the pool — stale entries simply die on
+their next touch, and each worker shard applies the stamp
+independently (see :meth:`HashTableCache.invalidate`).
+
+Admission mirrors the server: at most ``workers x max_concurrent +
+queue_depth`` queries in flight frontend-wide and ``session_quota`` per
+attached session; past either bound ``execute`` raises
+:class:`~repro.common.errors.AdmissionError`.  A worker that dies
+mid-query (detected via its process sentinel, surfacing as
+:class:`~repro.common.errors.WorkerCrashError`) is taken out of
+rotation, its shapes re-pin to healthy workers, the query retries, and
+— with ``respawn`` on — a fresh worker forks over the current catalog
+and generation, so a crash never leaks a stale cache generation.
+
+Lock discipline (declared in ``repro.common.keys``): ``frontend.
+admission`` < ``frontend.router`` < ``frontend.worker`` < ``frontend.
+results`` < every engine-side lock; the frontend calls downward only.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any
+
+from repro.common.config import Configuration
+from repro.common.errors import (
+    AdmissionError,
+    ValidationError,
+    WorkerCrashError,
+)
+from repro.common.keys import (
+    KEY_CACHE_HT_BYTES,
+    KEY_SERVE_MAX_CONCURRENT,
+    KEY_SERVE_QUEUE_DEPTH,
+    KEY_SERVE_RESULT_CACHE,
+    KEY_SERVE_RESULT_CACHE_BYTES,
+    KEY_SERVE_SESSION_QUOTA,
+    KEY_SERVE_WORKER_RESPAWN,
+    KEY_SERVE_WORKER_RETRIES,
+    KEY_SERVE_WORKERS,
+    LOCK_FRONTEND_ADMISSION,
+    LOCK_FRONTEND_RESULTS,
+)
+from repro.core.query import StarQuery
+from repro.core.result import QueryResult
+from repro.mapreduce.fairshare import validate_shares
+from repro.serve.routing import ShapeRouter, query_shape, result_key
+from repro.serve.worker import WorkerHandle
+from repro.trace.tracer import (
+    CAT_CACHE,
+    CAT_FRONTEND,
+    CAT_ROUTE,
+    CAT_WORKER,
+    STATUS_FAILED,
+    SpanTree,
+    Tracer,
+)
+
+
+def _fresh_result(result: QueryResult) -> QueryResult:
+    """A private copy of ``result`` (cached results must not alias the
+    lists handed to clients)."""
+    return QueryResult(
+        query_name=result.query_name,
+        columns=list(result.columns),
+        rows=list(result.rows),
+        simulated_seconds=result.simulated_seconds,
+        breakdown=dict(result.breakdown))
+
+
+def _result_nbytes(result: QueryResult) -> int:
+    """The byte charge for caching ``result`` (its pickled size — the
+    same wire format the worker shipped it in)."""
+    return len(pickle.dumps(result))
+
+
+# --------------------------------------------------------------------- #
+# The frontend result cache.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ResultCacheStats:
+    """Immutable snapshot of result-cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    stale_drops: int = 0   # entries that died on a generation bump
+    rejected: int = 0      # results larger than the whole budget
+    entries: int = 0
+    bytes_cached: int = 0
+    budget_bytes: int = 0
+    generation: int = 0
+
+
+@dataclass
+class _ResultEntry:
+    value: QueryResult
+    nbytes: int
+    generation: int
+
+
+class ResultCache:
+    """LRU cache of whole query results with generation-stamped entries.
+
+    ``bump_generation`` does **not** clear the cache — it only advances
+    the stamp, and entries from older generations are dropped lazily
+    when next touched.  That is what makes catalog reload barrier-free:
+    nothing blocks while a reload propagates, yet a stale result can
+    never be returned because :meth:`get` compares stamps first.
+    """
+
+    #: Fields the lock guards; ``sanitize=True`` enforces this at
+    #: runtime via :func:`repro.analyze.sanitizer.guard_fields`.
+    GUARDED_FIELDS = ("_entries", "_bytes", "_hits", "_misses", "_puts",
+                      "_evictions", "_stale_drops", "_rejected",
+                      "generation")
+
+    def __init__(self, budget_bytes: int, *,
+                 sanitize: bool = False) -> None:
+        if budget_bytes <= 0:
+            raise ValidationError(
+                f"result-cache budget must be positive, "
+                f"got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        if sanitize:
+            # Dev-tool layer, imported only when the sanitizer is on.
+            from repro.analyze.sanitizer import TrackedRLock
+            self._lock = TrackedRLock(LOCK_FRONTEND_RESULTS)
+        else:
+            self._lock = threading.RLock()
+        self._entries: OrderedDict[str, _ResultEntry] = OrderedDict()
+        self._bytes = 0
+        self._hits = 0
+        self._misses = 0
+        self._puts = 0
+        self._evictions = 0
+        self._stale_drops = 0
+        self._rejected = 0
+        self.generation = 0
+        if sanitize:
+            from repro.analyze.sanitizer import guard_fields
+            guard_fields(self, self._lock, self.GUARDED_FIELDS)
+
+    def lookup(self, key: str) -> QueryResult | None:
+        """The cached result for ``key`` — only if its stamp matches
+        the current generation; stale entries are dropped here.
+
+        (Named ``lookup``/``store`` rather than ``get``/``put`` so the
+        lock-order analyzer's duck-typed call resolution never aliases
+        these with dict/:class:`HashTableCache` accessors used under
+        other locks.)"""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            if entry.generation != self.generation:
+                del self._entries[key]
+                self._bytes -= entry.nbytes
+                self._stale_drops += 1
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.value
+
+    def store(self, key: str, value: QueryResult, nbytes: int) -> bool:
+        """Insert ``value`` stamped with the current generation,
+        evicting LRU entries past the budget. Returns False (caching
+        nothing) when the value alone exceeds the whole budget."""
+        nbytes = max(0, int(nbytes))
+        with self._lock:
+            if nbytes > self.budget_bytes:
+                self._rejected += 1
+                return False
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._entries[key] = _ResultEntry(
+                value=value, nbytes=nbytes, generation=self.generation)
+            self._bytes += nbytes
+            self._puts += 1
+            while self._bytes > self.budget_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self._evictions += 1
+            return True
+
+    def bump_generation(self) -> int:
+        """Advance the stamp; existing entries expire lazily."""
+        with self._lock:
+            self.generation += 1
+            return self.generation
+
+    def stats(self) -> ResultCacheStats:
+        with self._lock:
+            return ResultCacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                puts=self._puts,
+                evictions=self._evictions,
+                stale_drops=self._stale_drops,
+                rejected=self._rejected,
+                entries=len(self._entries),
+                bytes_cached=self._bytes,
+                budget_bytes=self.budget_bytes,
+                generation=self.generation)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+# --------------------------------------------------------------------- #
+# The frontend proper.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class FrontendStats:
+    """Snapshot of the frontend's admission and routing counters."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected: int = 0
+    completed: int = 0
+    failed: int = 0
+    retries: int = 0
+    in_flight: int = 0
+    routed_warm: int = 0
+    routed_cold: int = 0
+    generation: int = 0
+
+
+class FrontendSession:
+    """One client's handle on a frontend: quota-tracked executes that
+    route through the shared worker pool under this session's
+    fair-share grant.  API-compatible with the single-process
+    :class:`~repro.serve.session.Session` surface
+    (``execute``/``sql``/``explain``/``reload_catalog``/``close``)."""
+
+    def __init__(self, frontend: "Frontend", name: str,
+                 share: float | None, quota: int,
+                 trace: bool | None = None):
+        self.frontend = frontend
+        self.name = name
+        self.share = share
+        self.quota = quota
+        self.trace = trace
+        self.in_flight = 0
+        #: Span tree of the most recent traced ``execute``.
+        self.last_trace: SpanTree | None = None
+        #: Worker-side evidence for the most recent ``execute``:
+        #: worker id, ht_builds, cache hit/miss totals, warm_route,
+        #: attempts, and ``source`` ("worker" or "result_cache").
+        self.last_summary: dict[str, Any] | None = None
+
+    def execute(self, query: StarQuery, *,
+                trace: bool | None = None) -> QueryResult:
+        """Admit ``query``, route it, and block for the result."""
+        return self.frontend._execute(self, query, trace)
+
+    def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
+        """Parse star-join SQL against the SSB schemas and execute."""
+        from repro.core.sqlparser import parse_sql
+        from repro.ssb.schema import SCHEMAS
+        return self.execute(parse_sql(sql_text, dict(SCHEMAS),
+                                      name=name))
+
+    def explain(self, query: StarQuery) -> str:
+        """Render the physical plan on the query's routed worker."""
+        return self.frontend.explain(query)
+
+    def reload_catalog(self, data: Any) -> None:
+        self.frontend.reload_catalog(data)
+
+    def cache_stats(self) -> ResultCacheStats | None:
+        return self.frontend.result_cache_stats()
+
+    def close(self) -> None:
+        """Detach this session (the frontend itself stays up)."""
+        self.frontend._detach(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FrontendSession(name={self.name!r}, "
+                f"share={self.share}, in_flight={self.in_flight})")
+
+
+class Frontend:
+    """Multi-worker serving frontend with warm-shard routing."""
+
+    #: Admission/routing state the lock guards; ``sanitize=True``
+    #: enforces this via :func:`repro.analyze.sanitizer.guard_fields`.
+    GUARDED_FIELDS = ("_sessions", "_in_flight", "_submitted",
+                      "_rejected", "_completed", "_failed", "_retries",
+                      "_routed_warm", "_routed_cold", "_closed",
+                      "_data", "generation")
+
+    def __init__(self, *,
+                 backend: str = "clydesdale",
+                 data: Any | None = None,
+                 workers: int | None = None,
+                 conf: Configuration | None = None,
+                 scale_factor: float = 0.01,
+                 seed: int = 42,
+                 num_nodes: int = 4,
+                 features: Any | None = None,
+                 plan: str | None = None,
+                 cache_bytes: int | None = None,
+                 row_group_size: int = 25_000,
+                 trace: bool | None = None,
+                 result_cache: bool | None = None,
+                 result_cache_bytes: int | None = None,
+                 retries: int | None = None,
+                 respawn: bool | None = None,
+                 max_concurrent: int | None = None,
+                 queue_depth: int | None = None,
+                 session_quota: int | None = None,
+                 sanitize: bool = False):
+        conf = conf or Configuration()
+        self.backend = backend
+        self.workers = (workers if workers is not None
+                        else conf.get_int(KEY_SERVE_WORKERS, 2))
+        if self.workers < 1:
+            raise ValidationError(
+                f"a frontend needs at least one worker, "
+                f"got {self.workers}")
+        self.max_concurrent = (
+            max_concurrent if max_concurrent is not None
+            else conf.get_int(KEY_SERVE_MAX_CONCURRENT, 4))
+        self.queue_depth = (queue_depth if queue_depth is not None
+                            else conf.get_int(KEY_SERVE_QUEUE_DEPTH, 8))
+        self.session_quota = (
+            session_quota if session_quota is not None
+            else conf.get_int(KEY_SERVE_SESSION_QUOTA, 2))
+        self.capacity = self.workers * self.max_concurrent \
+            + self.queue_depth
+        self.retries = (retries if retries is not None
+                        else conf.get_int(KEY_SERVE_WORKER_RETRIES, 1))
+        self._respawn = (respawn if respawn is not None
+                         else conf.get_bool(KEY_SERVE_WORKER_RESPAWN,
+                                            True))
+        self.trace = trace
+        if data is None:
+            from repro.ssb.datagen import SSBGenerator
+            data = SSBGenerator(scale_factor=scale_factor,
+                                seed=seed).generate()
+        if sanitize:
+            # Dev-tool layer, imported only when the sanitizer is on.
+            from repro.analyze.sanitizer import TrackedRLock
+            self._lock = TrackedRLock(LOCK_FRONTEND_ADMISSION)
+        else:
+            self._lock = threading.RLock()
+        self._data = data
+        self.generation = 0
+        self._sessions: dict[str, FrontendSession] = {}
+        self._in_flight = 0
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._retries = 0
+        self._routed_warm = 0
+        self._routed_cold = 0
+        self._closed = False
+        options = {"num_nodes": num_nodes, "features": features,
+                   "plan": plan, "row_group_size": row_group_size,
+                   "cache_bytes": (
+                       cache_bytes if cache_bytes is not None
+                       else conf.get_int(KEY_CACHE_HT_BYTES,
+                                         128 * 1024 * 1024))}
+        self._workers: dict[int, WorkerHandle] = {
+            wid: WorkerHandle(wid, backend, data, options,
+                              sanitize=sanitize)
+            for wid in range(self.workers)}
+        self._router = ShapeRouter(self._workers, sanitize=sanitize)
+        enabled = (result_cache if result_cache is not None
+                   else conf.get_bool(KEY_SERVE_RESULT_CACHE, True))
+        budget = (result_cache_bytes
+                  if result_cache_bytes is not None
+                  else conf.get_int(KEY_SERVE_RESULT_CACHE_BYTES,
+                                    32 * 1024 * 1024))
+        self._results = (ResultCache(budget, sanitize=sanitize)
+                         if enabled else None)
+        if sanitize:
+            from repro.analyze.sanitizer import guard_fields
+            guard_fields(self, self._lock, self.GUARDED_FIELDS)
+
+    # ------------------------------------------------------------------ #
+    # Sessions and lifecycle.
+    # ------------------------------------------------------------------ #
+
+    def session(self, name: str = "session",
+                share: float | None = None,
+                quota: int | None = None,
+                trace: bool | None = None) -> FrontendSession:
+        """Attach (or fetch) the named session; ``share`` grants it a
+        fair-share slot fraction (validated against every other
+        explicitly-shared session)."""
+        with self._lock:
+            existing = self._sessions.get(name)
+            if existing is not None:
+                if share is not None:
+                    existing.share = share
+                    self._validate_shares()
+                return existing
+            handle = FrontendSession(
+                self, name, share,
+                quota if quota is not None else self.session_quota,
+                trace if trace is not None else self.trace)
+            self._sessions[name] = handle
+            try:
+                self._validate_shares()
+            except Exception:
+                del self._sessions[name]
+                raise
+            return handle
+
+    def stats(self) -> FrontendStats:
+        with self._lock:
+            return FrontendStats(
+                submitted=self._submitted,
+                admitted=self._submitted - self._rejected,
+                rejected=self._rejected,
+                completed=self._completed,
+                failed=self._failed,
+                retries=self._retries,
+                in_flight=self._in_flight,
+                routed_warm=self._routed_warm,
+                routed_cold=self._routed_cold,
+                generation=self.generation)
+
+    def result_cache_stats(self) -> ResultCacheStats | None:
+        """Result-cache counters; None when the cache is disabled."""
+        if self._results is None:
+            return None
+        return self._results.stats()
+
+    def router_snapshot(self) -> dict[int, int]:
+        """Shapes pinned per live worker (routing visibility)."""
+        return self._router.loads()
+
+    def worker_stats(self) -> list[dict[str, Any]]:
+        """Liveness + shard state per worker (dead workers included)."""
+        infos: list[dict[str, Any]] = []
+        for wid in sorted(self._workers):
+            handle = self._workers[wid]
+            if not handle.alive():
+                infos.append({"worker": wid, "alive": False,
+                              "pid": handle.pid(), "generation": None})
+                continue
+            try:
+                info, _ = handle.request(("stats",))
+            except WorkerCrashError:
+                infos.append({"worker": wid, "alive": False,
+                              "pid": handle.pid(), "generation": None})
+                continue
+            info = dict(info)
+            info["alive"] = True
+            info["executes"] = handle.execute_count()
+            infos.append(info)
+        return infos
+
+    def explain(self, query: StarQuery) -> str:
+        """EXPLAIN on the worker the query would route to."""
+        worker_id, _ = self._router.route(query_shape(query))
+        text, _ = self._workers[worker_id].request(("explain", query))
+        return text
+
+    def reload_catalog(self, data: Any) -> int:
+        """Swap the catalog: bump the generation, expire the result
+        cache, and broadcast the reload to every worker **without a
+        barrier** — each worker applies its stamped reload before its
+        next query (pipe FIFO), and stale stamps are no-ops. Returns
+        the new generation."""
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("frontend is closed",
+                                     reason="closed")
+            self._data = data
+            self.generation += 1
+            gen = self.generation
+        if self._results is not None:
+            self._results.bump_generation()
+        for wid in sorted(self._workers):
+            self._workers[wid].post(("reload", data, gen))
+        return gen
+
+    def invalidate_caches(self) -> int:
+        """Expire the result cache and every worker's shard (same
+        barrier-free broadcast as :meth:`reload_catalog`, without a
+        data swap)."""
+        with self._lock:
+            self.generation += 1
+            gen = self.generation
+        if self._results is not None:
+            self._results.bump_generation()
+        for wid in sorted(self._workers):
+            self._workers[wid].post(("invalidate", gen))
+        return gen
+
+    def close(self) -> None:
+        """Stop admitting and shut every worker down."""
+        with self._lock:
+            self._closed = True
+        for wid in sorted(self._workers):
+            self._workers[wid].shutdown()
+
+    def __enter__(self) -> "Frontend":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # The execute path.
+    # ------------------------------------------------------------------ #
+
+    def _validate_shares(self) -> None:
+        validate_shares({name: s.share
+                         for name, s in self._sessions.items()
+                         if s.share is not None})
+
+    def _detach(self, session: FrontendSession) -> None:
+        with self._lock:
+            if self._sessions.get(session.name) is session:
+                del self._sessions[session.name]
+
+    def _admit(self, session: FrontendSession,
+               query: StarQuery) -> None:
+        with self._lock:
+            self._submitted += 1
+            if self._closed:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"frontend is closed; rejecting {query.name!r}",
+                    reason="closed", session=session.name)
+            if session.in_flight >= session.quota:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"session {session.name!r} already has "
+                    f"{session.in_flight} queries in flight "
+                    f"(quota {session.quota})",
+                    reason="session-quota", session=session.name)
+            if self._in_flight >= self.capacity:
+                self._rejected += 1
+                raise AdmissionError(
+                    f"frontend saturated: {self._in_flight} queries in "
+                    f"flight (capacity {self.capacity})",
+                    reason="saturated", session=session.name)
+            self._in_flight += 1
+            session.in_flight += 1
+
+    def _execute(self, session: FrontendSession, query: StarQuery,
+                 trace: bool | None) -> QueryResult:
+        self._admit(session, query)
+        enabled = (bool(trace) if trace is not None
+                   else bool(session.trace))
+        tracer = Tracer() if enabled else None
+        root = None
+        if tracer is not None:
+            root = tracer.start(f"frontend:{query.name}", CAT_FRONTEND)
+            root.set("session", session.name)
+            root.set("backend", self.backend)
+        try:
+            result, summary = self._serve(session, query, tracer)
+        except Exception:
+            if tracer is not None:
+                root.finish(STATUS_FAILED)
+                session.last_trace = tracer.tree()
+            with self._lock:
+                self._failed += 1
+            raise
+        else:
+            if tracer is not None:
+                root.finish()
+                session.last_trace = tracer.tree()
+            else:
+                session.last_trace = None
+            session.last_summary = summary
+            with self._lock:
+                self._completed += 1
+            return result
+        finally:
+            with self._lock:
+                self._in_flight -= 1
+                session.in_flight -= 1
+
+    def _serve(self, session: FrontendSession, query: StarQuery,
+               tracer: Tracer | None) -> tuple[QueryResult, dict]:
+        key = result_key(query)
+        if self._results is not None:
+            cached = self._results.lookup(key)
+            if cached is not None:
+                if tracer is not None:
+                    with tracer.span("result_cache",
+                                     CAT_CACHE) as span:
+                        span.set("hit", True)
+                return _fresh_result(cached), {
+                    "source": "result_cache", "worker": None,
+                    "warm_route": None, "attempts": 0}
+        shape = query_shape(query)
+        attempts = 0
+        while True:
+            route_span = (tracer.start("route", CAT_ROUTE)
+                          if tracer is not None else None)
+            try:
+                worker_id, warm = self._router.route(shape)
+            except KeyError:
+                if route_span is not None:
+                    route_span.finish(STATUS_FAILED)
+                raise WorkerCrashError(
+                    "no live workers to route to") from None
+            if route_span is not None:
+                route_span.set("worker", worker_id)
+                route_span.set("warm", warm)
+                route_span.finish()
+            with self._lock:
+                if warm:
+                    self._routed_warm += 1
+                else:
+                    self._routed_cold += 1
+            attempts += 1
+            worker_span = (tracer.start(f"worker:{worker_id}",
+                                        CAT_WORKER)
+                           if tracer is not None else None)
+            try:
+                result, summary = self._workers[worker_id].request(
+                    ("execute", query, session.share))
+            except WorkerCrashError:
+                if worker_span is not None:
+                    worker_span.finish(STATUS_FAILED)
+                with self._lock:
+                    self._retries += 1
+                self._recover_worker(worker_id)
+                if attempts > self.retries:
+                    raise
+                continue
+            except Exception:
+                if worker_span is not None:
+                    worker_span.finish(STATUS_FAILED)
+                raise
+            if worker_span is not None:
+                worker_span.set("attempts", attempts)
+                worker_span.finish()
+            break
+        summary = dict(summary)
+        summary["source"] = "worker"
+        summary["warm_route"] = warm
+        summary["attempts"] = attempts
+        if self._results is not None:
+            self._results.store(key, _fresh_result(result),
+                                _result_nbytes(result))
+        return result, summary
+
+    def _recover_worker(self, worker_id: int) -> None:
+        """Take a dead worker out of rotation and — when respawn is on
+        — fork a replacement over the current catalog, replaying the
+        current generation so the fresh shard cannot leak a stale one."""
+        handle = self._workers[worker_id]
+        handle.mark_dead()
+        self._router.forget_worker(worker_id)
+        if not self._respawn:
+            return
+        with self._lock:
+            data, gen = self._data, self.generation
+        handle.ensure_respawned(data, gen)
+        self._router.add_worker(worker_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Frontend(backend={self.backend!r}, "
+                f"workers={self.workers}, capacity={self.capacity})")

@@ -1,0 +1,136 @@
+"""Warm-shard routing: canonical query shapes and the shape router.
+
+Each worker process behind the frontend owns its own hash-table cache
+shard, so a query is only "warm" on the worker that has executed its
+*shape* before.  The shape is the canonical join-key signature — fact
+table, every join's full build recipe (dimension, keys, dimension
+predicate), and the group-by set that determines the auxiliary columns
+a hash table carries.  Two queries with the same shape build byte-wise
+identical hash tables (the cache key in
+:meth:`repro.core.joinjob.StarJoinMapper._tables_via_session_cache` is
+a function of exactly these inputs), so routing repeat shapes to the
+same worker turns the per-worker shard into a warm cache: the repeat
+performs no builds at all (``ht_builds == 0``).
+
+:class:`ShapeRouter` implements the policy: first sighting of a shape
+pins it to the least-loaded live worker (ties break on the lowest
+worker id, so assignment is a deterministic function of the arrival
+order of *new shapes*, not of thread timing); every later sighting
+routes to the pinned worker.  When a worker dies the frontend calls
+:meth:`ShapeRouter.forget_worker` and the dead worker's shapes re-pin
+lazily on their next arrival.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Hashable
+
+from repro.common.keys import LOCK_FRONTEND_ROUTER
+from repro.core.query import StarQuery
+
+
+def query_shape(query: StarQuery) -> tuple:
+    """The canonical join-key signature of ``query``.
+
+    Hashable, order-insensitive in the joins, and insensitive to
+    everything that does not change the hash tables a worker builds
+    (fact predicate, aggregates, order by, limit, query name). The
+    group-by set is included because it determines each hash table's
+    auxiliary payload columns (a superset of the per-dimension aux
+    columns, so distinct group-bys never alias a shape).
+    """
+    joins = tuple(sorted(
+        json.dumps(join.to_dict(), sort_keys=True)
+        for join in query.joins))
+    return (query.fact_table, joins, tuple(sorted(query.group_by)))
+
+
+def result_key(query: StarQuery) -> str:
+    """The frontend result-cache key: the whole canonical query.
+
+    Unlike :func:`query_shape` this must capture *every* field that can
+    influence the returned rows (and the result's ``query_name``), so
+    it is the sorted-JSON rendering of the full query dict.
+    """
+    return json.dumps(query.to_dict(), sort_keys=True)
+
+
+class ShapeRouter:
+    """Sticky, deterministic shape→worker assignment over live workers."""
+
+    #: Routing state the lock guards; ``sanitize=True`` enforces this
+    #: at runtime via :func:`repro.analyze.sanitizer.guard_fields`.
+    GUARDED_FIELDS = ("_assignments", "_loads")
+
+    def __init__(self, worker_ids, *, sanitize: bool = False):
+        if sanitize:
+            # Dev-tool layer, imported only when the sanitizer is on.
+            from repro.analyze.sanitizer import TrackedRLock
+            self._lock = TrackedRLock(LOCK_FRONTEND_ROUTER)
+        else:
+            self._lock = threading.RLock()
+        self._loads: dict[int, int] = {wid: 0 for wid in worker_ids}
+        self._assignments: dict[Hashable, int] = {}
+        if sanitize:
+            from repro.analyze.sanitizer import guard_fields
+            guard_fields(self, self._lock, self.GUARDED_FIELDS)
+
+    def route(self, shape: Hashable) -> tuple[int, bool]:
+        """Route ``shape`` to ``(worker_id, warm)``.
+
+        ``warm`` is True when the shape was already pinned to a live
+        worker — its hash tables are resident in that worker's shard.
+        A shape pinned to a since-dead worker re-pins (cold) here.
+        """
+        with self._lock:
+            if not self._loads:
+                raise KeyError("no live workers to route to")
+            worker = self._assignments.get(shape)
+            if worker is not None and worker in self._loads:
+                return worker, True
+            chosen = min(self._loads,
+                         key=lambda wid: (self._loads[wid], wid))
+            self._assignments[shape] = chosen
+            self._loads[chosen] += 1
+            return chosen, False
+
+    def forget_worker(self, worker_id: int) -> None:
+        """Take a dead worker out of rotation; its shapes re-pin on
+        their next :meth:`route` (no eager rebalancing barrier). Pins
+        to the dead worker are dropped eagerly so a respawned worker
+        (same id, cold shard) is never mistaken for warm."""
+        with self._lock:
+            self._loads.pop(worker_id, None)
+            self._assignments = {
+                shape: wid for shape, wid in self._assignments.items()
+                if wid != worker_id}
+
+    def add_worker(self, worker_id: int) -> None:
+        """(Re-)admit a worker with an empty (cold) load tally."""
+        with self._lock:
+            if worker_id not in self._loads:
+                self._loads[worker_id] = 0
+
+    def workers(self) -> tuple[int, ...]:
+        """The live worker ids, ascending."""
+        with self._lock:
+            return tuple(sorted(self._loads))
+
+    def assignments(self) -> dict[Hashable, int]:
+        """Snapshot of the live shape→worker pins (dead pins dropped)."""
+        with self._lock:
+            return {shape: wid
+                    for shape, wid in self._assignments.items()
+                    if wid in self._loads}
+
+    def loads(self) -> dict[int, int]:
+        """Snapshot of shapes pinned per live worker."""
+        with self._lock:
+            return dict(self._loads)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (f"ShapeRouter(workers={sorted(self._loads)}, "
+                    f"shapes={len(self._assignments)})")

@@ -202,18 +202,11 @@ class ClydesdaleServer:
              query: StarQuery) -> QueryResult:
         try:
             with self._engine_lock:
-                base = self.base
-                if session.share is None:
-                    result = base.execute(query)
-                else:
-                    # Borrow the base session's engine/cache under this
-                    # session's fair-share grant for the duration.
-                    shared = Session(base.engine, cache=base.cache,
-                                     trace=False, features=base.features,
-                                     plan=base.plan,
-                                     slot_share=session.share,
-                                     name=session.name)
-                    result = shared.execute(query)
+                # The worker-facing execute path: the base session's
+                # engine/cache run under this session's fair-share
+                # grant for the duration.
+                result = self.base.execute_for(
+                    query, slot_share=session.share)
             with self._lock:
                 self._completed += 1
             return result

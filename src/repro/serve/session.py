@@ -172,6 +172,25 @@ class Session:
                      f"order by {order or '()'}")
         return "\n".join(lines)
 
+    def execute_for(self, query: StarQuery, *,
+                    slot_share: float | None = None,
+                    trace: bool | None = None) -> QueryResult:
+        """Worker-facing execute: run ``query`` under a per-call
+        fair-share grant without rebuilding the session.
+
+        ``ClydesdaleServer`` and the scale-out frontend's workers serve
+        many clients through one engine+cache pair; each client may
+        carry its own slot share. ``slot_share=None`` (or the session's
+        own share) is plain :meth:`execute`; otherwise the engine and
+        cache are borrowed under the caller's grant for this one call.
+        """
+        if slot_share is None or slot_share == self.slot_share:
+            return self.execute(query, trace=trace)
+        borrowed = Session(self._engine, cache=self.cache, trace=False,
+                           features=self.features, plan=self.plan,
+                           slot_share=slot_share, name=self.name)
+        return borrowed.execute(query, trace=trace)
+
     def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
         """Parse star-join SQL and ``execute`` it on this backend."""
         from repro.core.sqlparser import parse_sql
@@ -186,25 +205,40 @@ class Session:
         """Cache effectiveness counters; None when caching is off."""
         return self.cache.stats() if self.cache is not None else None
 
-    def invalidate_cache(self) -> None:
-        """Drop every cached hash table and cool the JVM pool."""
-        if self.cache is not None:
-            self.cache.invalidate()
-        pool = self._jvm_pool()
-        if pool is not None:
-            pool.clear()
+    def invalidate_cache(self, generation: int | None = None) -> bool:
+        """Drop every cached hash table and cool the JVM pool.
 
-    def reload_catalog(self, data: Any) -> None:
+        ``generation=`` threads a frontend-issued generation stamp
+        through to the cache shard (see
+        :meth:`HashTableCache.invalidate`): a stale or duplicate stamp
+        is a no-op for the cache *and* the JVM pool, so per-worker
+        shards invalidate independently without a global barrier and
+        a replayed message never re-cools warm JVMs. Returns whether
+        anything was invalidated.
+        """
+        applied = True
+        if self.cache is not None:
+            applied = self.cache.invalidate(generation=generation)
+        if applied:
+            pool = self._jvm_pool()
+            if pool is not None:
+                pool.clear()
+        return applied
+
+    def reload_catalog(self, data: Any, *,
+                       generation: int | None = None) -> None:
         """Reload the backend onto new base data and invalidate the
         cache, so no stale dimension rows can be served. Requires the
         session to have been built by ``repro.api.connect`` (or with an
-        explicit ``rebuild=`` factory)."""
+        explicit ``rebuild=`` factory). ``generation=`` stamps the
+        invalidation (scale-out workers pass the frontend's
+        generation)."""
         if self._rebuild is None:
             raise ValidationError(
                 "this Session has no rebuild factory; construct it via "
                 "repro.api.connect() to enable reload_catalog()")
         self._engine = self._rebuild(data)
-        self.invalidate_cache()
+        self.invalidate_cache(generation=generation)
         self._install_jvm_pool()
 
     def close(self) -> None:

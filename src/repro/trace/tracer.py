@@ -56,6 +56,9 @@ CAT_THREAD = "thread"  # one MTMapRunner join thread
 CAT_PHASE = "phase"    # a measured leaf: scan/build/probe/shuffle/sort/...
 CAT_SESSION = "session"  # one Session.execute() call (repro.serve)
 CAT_CACHE = "cache"    # session hash-table cache bookkeeping
+CAT_FRONTEND = "frontend"  # one scale-out Frontend execute
+CAT_ROUTE = "route"    # one warm-shard routing decision
+CAT_WORKER = "worker"  # one worker-process request/reply
 
 STATUS_OPEN = "open"
 STATUS_OK = "ok"

@@ -118,6 +118,9 @@ class _StubSession:
         self.executed += 1
         return ("ok", getattr(query, "name", "?"))
 
+    def execute_for(self, query, *, slot_share=None, trace=None):
+        return self.execute(query)
+
 
 class _StubQuery:
     name = "hammer-q"
@@ -262,3 +265,113 @@ class TestHammerWithSanitizerPanics:
         assert sum(caught) == sum(
             1 for index in range(THREADS) for i in range(ROUNDS)
             if not (index + i) % 2)
+
+
+class _Res:
+    """Minimal QueryResult stand-in for result-cache hammering."""
+
+    def __init__(self, name):
+        self.query_name = name
+        self.rows = [[name]]
+
+
+class TestResultCacheHammer:
+    def test_counters_consistent_under_bumps(self):
+        from repro.serve.frontend import ResultCache
+
+        cache = ResultCache(budget_bytes=64 * 1024, sanitize=True)
+        gets = [0] * THREADS
+        puts = [0] * THREADS
+        bumps = [0] * THREADS
+
+        def worker(index):
+            for i in range(ROUNDS):
+                key = f"k{(index * 7 + i) % 11}"
+                if cache.lookup(key) is None:
+                    if cache.store(key, _Res(key), 256):
+                        puts[index] += 1
+                gets[index] += 1
+                if index == 0 and i % 20 == 19:
+                    cache.bump_generation()
+                    bumps[index] += 1
+
+        _hammer(worker)
+        stats = cache.stats()
+        assert stats.hits + stats.misses == sum(gets)
+        assert stats.puts == sum(puts)
+        assert stats.generation == sum(bumps)
+        assert stats.entries == len(cache)
+        assert 0 <= stats.bytes_cached <= stats.budget_bytes
+        assert stats.rejected == 0
+        # Anything still resident must carry the final generation.
+        for key in list(cache._entries):
+            entry = cache._entries[key]
+            if entry.generation != stats.generation:
+                assert cache.lookup(key) is None
+
+    def test_eviction_respects_budget_under_contention(self):
+        from repro.serve.frontend import ResultCache
+
+        cache = ResultCache(budget_bytes=1024, sanitize=True)
+
+        def worker(index):
+            for i in range(ROUNDS):
+                cache.store(f"k{index}-{i}", _Res("v"), 256)
+
+        _hammer(worker)
+        stats = cache.stats()
+        assert stats.bytes_cached <= 1024
+        assert stats.entries <= 4
+        assert stats.puts == THREADS * ROUNDS
+        assert stats.evictions == stats.puts - stats.entries
+
+
+class TestShapeRouterHammer:
+    def test_pins_deterministic_and_tallies_exact(self):
+        from repro.serve.routing import ShapeRouter
+
+        router = ShapeRouter(range(4), sanitize=True)
+        shapes = [f"shape{i}" for i in range(13)]
+        routed = [[None] * len(shapes) for _ in range(THREADS)]
+
+        def worker(index):
+            for _ in range(ROUNDS // 10):
+                for i, shape in enumerate(shapes):
+                    worker_id, _ = router.route(shape)
+                    if routed[index][i] is None:
+                        routed[index][i] = worker_id
+                    # Sticky: a pinned shape never migrates.
+                    assert router.route(shape)[0] == routed[index][i]
+
+        _hammer(worker)
+        # Every thread observed the same pin for every shape, and the
+        # load tallies account for exactly one pin per shape.
+        for i in range(len(shapes)):
+            assert len({routed[t][i] for t in range(THREADS)}) == 1
+        loads = router.loads()
+        assert sum(loads.values()) == len(shapes)
+        assert router.assignments().keys() == set(shapes)
+
+    def test_forget_add_churn_keeps_router_consistent(self):
+        from repro.serve.routing import ShapeRouter
+
+        router = ShapeRouter(range(3), sanitize=True)
+
+        def worker(index):
+            for i in range(ROUNDS):
+                if index == 0 and i % 10 == 9:
+                    victim = (i // 10) % 3
+                    router.forget_worker(victim)
+                    router.add_worker(victim)
+                else:
+                    try:
+                        worker_id, _ = router.route(f"s{(index + i) % 9}")
+                    except KeyError:
+                        continue   # everything momentarily dead
+                    assert worker_id in range(3)
+
+        _hammer(worker)
+        live = router.workers()
+        assert set(live) == {0, 1, 2}
+        # Every surviving pin points at a live worker.
+        assert set(router.assignments().values()) <= set(live)

@@ -64,3 +64,167 @@ def test_colocation_keeps_scheduling_local_after_heal(engine):
     engine.execute(query)
     stats = engine.last_stats
     assert stats.job.plan.data_local_fraction >= 0.5
+
+
+# --------------------------------------------------------------------- #
+# Scale-out serving faults: worker processes killed or poisoned
+# mid-query. The frontend must retry on a healthy worker, keep every
+# admission counter exact, and never leak a stale cache generation
+# through a respawn.
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture
+def frontend_data():
+    return SSBGenerator(scale_factor=0.002, seed=5).generate()
+
+
+def _routed_worker(front, query):
+    from repro.serve.routing import query_shape
+    return front._router.route(query_shape(query))[0]
+
+
+def test_worker_crash_mid_query_retries_on_healthy_worker(frontend_data):
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=2, num_nodes=4, result_cache=False)
+    try:
+        handle = front.session("crashy")
+        query = ssb_queries()["Q2.1"]
+        baseline = handle.execute(query)
+        victim = _routed_worker(front, query)
+        front._workers[victim].post(("poison", "crash"))
+        survived = handle.execute(query)
+        assert survived.rows == baseline.rows
+        summary = handle.last_summary
+        assert summary["attempts"] == 2
+        stats = front.stats()
+        assert stats.retries == 1
+        assert stats.failed == 0 and stats.in_flight == 0
+        # The session keeps working after the fault.
+        assert handle.execute(query).rows == baseline.rows
+    finally:
+        front.close()
+
+
+def test_single_worker_crash_respawns_and_recovers(frontend_data):
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=1, num_nodes=4, respawn=True,
+                     result_cache=False)
+    try:
+        handle = front.session("solo")
+        query = ssb_queries()["Q1.1"]
+        baseline = handle.execute(query)
+        pid_before = front._workers[0].pid()
+        front._workers[0].post(("poison", "crash"))
+        after = handle.execute(query)
+        assert after.rows == baseline.rows
+        assert front._workers[0].pid() != pid_before
+        assert front.stats().retries == 1
+    finally:
+        front.close()
+
+
+def test_crash_without_respawn_routes_to_survivor(frontend_data):
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=2, num_nodes=4, respawn=False,
+                     result_cache=False)
+    try:
+        handle = front.session("survivor")
+        query = ssb_queries()["Q3.2"]
+        handle.execute(query)
+        victim = _routed_worker(front, query)
+        front._workers[victim].post(("poison", "crash"))
+        handle.execute(query)
+        assert handle.last_summary["worker"] != victim
+        infos = {info["worker"]: info for info in front.worker_stats()}
+        assert not infos[victim]["alive"]
+        assert victim not in front._router.workers()
+    finally:
+        front.close()
+
+
+def test_poisoned_failure_propagates_and_accounts(frontend_data):
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=2, num_nodes=4, result_cache=False)
+    try:
+        handle = front.session("poisoned")
+        query = ssb_queries()["Q1.2"]
+        handle.execute(query)
+        victim = _routed_worker(front, query)
+        front._workers[victim].post(("poison", "fail"))
+        # An engine-level failure is not a crash: it propagates to the
+        # caller (no silent retry) and the worker stays in rotation.
+        with pytest.raises(RuntimeError, match="poisoned"):
+            handle.execute(query)
+        stats = front.stats()
+        assert stats.failed == 1 and stats.retries == 0
+        assert stats.in_flight == 0 and handle.in_flight == 0
+        assert front._workers[victim].alive()
+        assert handle.execute(query).rows is not None
+    finally:
+        front.close()
+
+
+def test_admission_accounting_exact_under_faults(frontend_data):
+    from repro.common.errors import AdmissionError
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=2, num_nodes=4, result_cache=False)
+    try:
+        handle = front.session("books")
+        query = ssb_queries()["Q1.1"]
+        completed = failed = rejected = 0
+        for i in range(6):
+            if i == 2:
+                front._workers[_routed_worker(front, query)].post(
+                    ("poison", "fail"))
+            if i == 4:
+                front._workers[_routed_worker(front, query)].post(
+                    ("poison", "crash"))
+            try:
+                handle.execute(query)
+                completed += 1
+            except AdmissionError:
+                rejected += 1
+            except RuntimeError:
+                failed += 1
+        stats = front.stats()
+        assert stats.submitted == 6
+        assert stats.completed == completed
+        assert stats.failed == failed == 1
+        assert stats.rejected == rejected == 0
+        assert stats.submitted == \
+            stats.completed + stats.failed + stats.rejected
+        assert stats.in_flight == 0 and handle.in_flight == 0
+    finally:
+        front.close()
+
+
+def test_no_generation_leak_through_respawn(frontend_data):
+    # A worker crash after a catalog reload must not resurrect the
+    # pre-reload cache generation: the respawned shard is built over
+    # the *current* catalog and stamped with the current generation.
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=2, num_nodes=4)
+    try:
+        handle = front.session("genleak")
+        query = ssb_queries()["Q1.1"]
+        handle.execute(query)
+        data2 = SSBGenerator(scale_factor=0.002, seed=11).generate()
+        gen = front.reload_catalog(data2)
+        victim = _routed_worker(front, query)
+        front._workers[victim].post(("poison", "crash"))
+        after = handle.execute(query)
+        from repro.reference.engine import ReferenceEngine
+        assert after.rows == ReferenceEngine.from_ssb(
+            data2).execute(query).rows
+        for info in front.worker_stats():
+            assert info["alive"]
+            assert info["generation"] == gen == front.generation
+    finally:
+        front.close()

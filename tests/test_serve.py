@@ -579,3 +579,86 @@ class TestValidateShares:
     def test_oversubscription_rejected(self):
         with pytest.raises(SchedulerError):
             validate_shares({"a": 0.6, "b": 0.6})
+
+
+# --------------------------------------------------------------------- #
+# Generation-stamped invalidation (the scale-out frontend's barrier-free
+# shard protocol) and the worker-facing execute path.
+# --------------------------------------------------------------------- #
+
+
+class TestGenerationStamps:
+    def test_unstamped_invalidate_bumps_by_one(self):
+        cache = HashTableCache(budget_bytes=1024)
+        cache.put("r", "k", "v", 16)
+        assert cache.invalidate() is True
+        assert cache.generation == 1
+        assert len(cache) == 0
+
+    def test_stamped_invalidate_adopts_generation(self):
+        cache = HashTableCache(budget_bytes=1024)
+        cache.put("r", "k", "v", 16)
+        assert cache.invalidate(generation=5) is True
+        assert cache.generation == 5
+        assert cache.stats().invalidations == 1
+
+    def test_stale_and_duplicate_stamps_are_noops(self):
+        cache = HashTableCache(budget_bytes=1024)
+        cache.invalidate(generation=5)
+        cache.put("r", "k", "v", 16)
+        # A duplicate of the applied stamp and anything older must not
+        # clear the shard again (idempotent, replay-safe).
+        assert cache.invalidate(generation=5) is False
+        assert cache.invalidate(generation=3) is False
+        assert len(cache) == 1
+        assert cache.stats().invalidations == 1
+        assert cache.invalidate(generation=6) is True
+        assert len(cache) == 0
+
+    def test_session_stale_stamp_keeps_jvms_warm(self, ssb_data,
+                                                 queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        session.execute(queries["Q1.1"])
+        session.invalidate_cache(generation=2)
+        pool = session._jvm_pool()
+        session.execute(queries["Q1.1"])
+        assert pool
+        warm = dict(pool)
+        # Replaying an old stamp must not re-cool the warm JVM pool.
+        assert session.invalidate_cache(generation=1) is False
+        assert session._jvm_pool() == warm
+        assert session.invalidate_cache(generation=3) is True
+        assert session._jvm_pool() == {}
+
+    def test_reload_catalog_threads_generation(self, ssb_data):
+        from repro.ssb.datagen import SSBGenerator
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        data2 = SSBGenerator(scale_factor=0.002, seed=3).generate()
+        session.reload_catalog(data2, generation=7)
+        assert session.cache.generation == 7
+
+
+class TestExecuteFor:
+    def test_same_share_is_plain_execute(self, ssb_data, queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        plain = session.execute(queries["Q1.1"])
+        same = session.execute_for(queries["Q1.1"], slot_share=None)
+        assert same.rows == plain.rows
+
+    def test_borrowed_share_changes_timing_not_rows(self, ssb_data,
+                                                    queries):
+        session = connect(backend="clydesdale", data=ssb_data,
+                          num_nodes=4)
+        query = queries["Q2.1"]
+        session.execute(query)           # cold: populate the cache
+        full = session.execute(query)    # warm full-share baseline
+        halved = session.execute_for(query, slot_share=0.5)
+        assert halved.rows == full.rows
+        assert halved.simulated_seconds > full.simulated_seconds
+        # The borrowed run must not mutate this session's own share.
+        assert session.slot_share is None
+        assert session.execute(query).simulated_seconds == \
+            pytest.approx(full.simulated_seconds)
