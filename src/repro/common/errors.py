@@ -109,12 +109,17 @@ class WorkerCrashError(ReproError):
 
     The frontend catches this, marks the worker dead, and re-routes the
     query to a healthy worker; it reaches clients only when every retry
-    is exhausted. ``worker`` is the dead worker's id when known.
+    is exhausted. ``worker`` is the dead worker's id when known, and
+    ``pid`` the OS pid of the process that crashed — recovery compares
+    it against the handle's current process so a slow second observer
+    of the same crash can never condemn a freshly respawned worker.
     """
 
-    def __init__(self, message: str, *, worker: int | None = None):
+    def __init__(self, message: str, *, worker: int | None = None,
+                 pid: int | None = None):
         super().__init__(message)
         self.worker = worker
+        self.pid = pid
 
 
 class QueryError(ReproError):

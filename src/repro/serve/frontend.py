@@ -26,9 +26,14 @@ rotation, its shapes re-pin to healthy workers, the query retries, and
 — with ``respawn`` on — a fresh worker forks over the current catalog
 and generation, so a crash never leaks a stale cache generation.
 
-Lock discipline (declared in ``repro.common.keys``): ``frontend.
-admission`` < ``frontend.router`` < ``frontend.worker`` < ``frontend.
-results`` < every engine-side lock; the frontend calls downward only.
+Lock discipline (declared in ``repro.common.keys``): the frontend's
+locks are never held while taking one another; their declared ranks —
+``frontend.worker`` (12) < ``frontend.router`` (14) <
+``frontend.admission`` (16) < ``frontend.results`` (18) — sit between
+``server.engine`` (10) and ``server.admission`` (20), so every
+acquisition the lockset/lock-order passes (and the runtime sanitizer)
+see stays rank-increasing.  The engine-side locks (``serve.cache`` and
+deeper) live in the *worker processes*, never under a frontend lock.
 """
 
 from __future__ import annotations
@@ -104,7 +109,7 @@ class ResultCacheStats:
     misses: int = 0
     puts: int = 0
     evictions: int = 0
-    stale_drops: int = 0   # entries that died on a generation bump
+    stale_drops: int = 0   # stale-generation lookup drops + store refusals
     rejected: int = 0      # results larger than the whole budget
     entries: int = 0
     bytes_cached: int = 0
@@ -184,12 +189,19 @@ class ResultCache:
             self._hits += 1
             return entry.value
 
-    def store(self, key: str, value: QueryResult, nbytes: int) -> bool:
+    def store(self, key: str, value: QueryResult, nbytes: int,
+              generation: int | None = None) -> bool:
         """Insert ``value`` stamped with the current generation,
         evicting LRU entries past the budget. Returns False (caching
-        nothing) when the value alone exceeds the whole budget."""
+        nothing) when the value alone exceeds the whole budget, or when
+        ``generation`` — the generation ``value`` was *computed* under
+        — no longer matches the current stamp: a result that raced with
+        a catalog reload must die here, not get stamped fresh."""
         nbytes = max(0, int(nbytes))
         with self._lock:
+            if generation is not None and generation != self.generation:
+                self._stale_drops += 1
+                return False
             if nbytes > self.budget_bytes:
                 self._rejected += 1
                 return False
@@ -210,6 +222,12 @@ class ResultCache:
         """Advance the stamp; existing entries expire lazily."""
         with self._lock:
             self.generation += 1
+            return self.generation
+
+    def current_generation(self) -> int:
+        """The live stamp (snapshot it before dispatching work whose
+        result will be :meth:`store`\\ d)."""
+        with self._lock:
             return self.generation
 
     def stats(self) -> ResultCacheStats:
@@ -482,8 +500,13 @@ class Frontend:
         return infos
 
     def explain(self, query: StarQuery) -> str:
-        """EXPLAIN on the worker the query would route to."""
-        worker_id, _ = self._router.route(query_shape(query))
+        """EXPLAIN on the worker the query *would* route to.
+
+        Uses the router's read-only :meth:`ShapeRouter.peek` — nothing
+        executes, so nothing may be pinned or counted as load, and the
+        next real execute of this shape still routes (and warms) as if
+        the EXPLAIN never happened."""
+        worker_id, _ = self._router.peek(query_shape(query))
         text, _ = self._workers[worker_id].request(("explain", query))
         return text
 
@@ -609,6 +632,7 @@ class Frontend:
     def _serve(self, session: FrontendSession, query: StarQuery,
                tracer: Tracer | None) -> tuple[QueryResult, dict]:
         key = result_key(query)
+        gen_snapshot: int | None = None
         if self._results is not None:
             cached = self._results.lookup(key)
             if cached is not None:
@@ -619,6 +643,10 @@ class Frontend:
                 return _fresh_result(cached), {
                     "source": "result_cache", "worker": None,
                     "warm_route": None, "attempts": 0}
+            # Snapshot the stamp *before* dispatching: if a reload
+            # lands while the query is in flight, store() sees the
+            # stale stamp and refuses to cache the old-catalog result.
+            gen_snapshot = self._results.current_generation()
         shape = query_shape(query)
         attempts = 0
         while True:
@@ -647,12 +675,12 @@ class Frontend:
             try:
                 result, summary = self._workers[worker_id].request(
                     ("execute", query, session.share))
-            except WorkerCrashError:
+            except WorkerCrashError as crash:
                 if worker_span is not None:
                     worker_span.finish(STATUS_FAILED)
                 with self._lock:
                     self._retries += 1
-                self._recover_worker(worker_id)
+                self._recover_worker(worker_id, crash.pid)
                 if attempts > self.retries:
                     raise
                 continue
@@ -669,22 +697,52 @@ class Frontend:
         summary["warm_route"] = warm
         summary["attempts"] = attempts
         if self._results is not None:
+            # Stamp the entry with the generation the query actually
+            # executed under: the worker reports its shard generation
+            # at execute time (exact even when our execute raced ahead
+            # of a reload broadcast on the worker's pipe); fall back to
+            # the pre-dispatch snapshot when the worker has no shard.
+            executed_gen = summary.get("generation")
+            if executed_gen is None:
+                executed_gen = gen_snapshot
             self._results.store(key, _fresh_result(result),
-                                _result_nbytes(result))
+                                _result_nbytes(result),
+                                generation=executed_gen)
         return result, summary
 
-    def _recover_worker(self, worker_id: int) -> None:
+    def _recover_worker(self, worker_id: int,
+                        crashed_pid: int | None = None) -> None:
         """Take a dead worker out of rotation and — when respawn is on
         — fork a replacement over the current catalog, replaying the
-        current generation so the fresh shard cannot leak a stale one."""
+        current generation so the fresh shard cannot leak a stale one.
+
+        ``crashed_pid`` makes recovery identity-aware: if the process
+        the caller saw crash has already been replaced (another thread
+        recovered it first), this is a no-op — the healthy replacement
+        must not be condemned, and its routing pins must survive."""
         handle = self._workers[worker_id]
-        handle.mark_dead()
+        if not handle.mark_dead(crashed_pid):
+            return
         self._router.forget_worker(worker_id)
         if not self._respawn:
             return
         with self._lock:
             data, gen = self._data, self.generation
-        handle.ensure_respawned(data, gen)
+        if handle.ensure_respawned(data, gen):
+            # A reload_catalog that committed while the worker was down
+            # had its broadcast dropped (post() to a dead worker returns
+            # False), so the fresh fork may sit on the old catalog.
+            # Re-read and replay until the worker matches the current
+            # generation; once it is alive, later broadcasts land on
+            # its pipe directly.
+            while True:
+                with self._lock:
+                    cur_data, cur_gen = self._data, self.generation
+                if cur_gen == gen:
+                    break
+                if not handle.post(("reload", cur_data, cur_gen)):
+                    break   # died again; the next recovery replays
+                gen = cur_gen
         self._router.add_worker(worker_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

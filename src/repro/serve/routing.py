@@ -96,6 +96,25 @@ class ShapeRouter:
             self._loads[chosen] += 1
             return chosen, False
 
+    def peek(self, shape: Hashable) -> tuple[int, bool]:
+        """The ``(worker_id, warm)`` that :meth:`route` would return for
+        ``shape`` — without pinning the shape or bumping any load tally.
+
+        EXPLAIN and other read-only callers must use this: a
+        :meth:`route` call mutates routing state, so routing through it
+        without executing would mark the shape warm while the shard is
+        actually cold and skew least-loaded placement.
+        """
+        with self._lock:
+            if not self._loads:
+                raise KeyError("no live workers to route to")
+            worker = self._assignments.get(shape)
+            if worker is not None and worker in self._loads:
+                return worker, True
+            chosen = min(self._loads,
+                         key=lambda wid: (self._loads[wid], wid))
+            return chosen, False
+
     def forget_worker(self, worker_id: int) -> None:
         """Take a dead worker out of rotation; its shapes re-pin on
         their next :meth:`route` (no eager rebalancing barrier). Pins

@@ -222,7 +222,9 @@ class WorkerHandle:
             if self._dead or self._conn is None:
                 raise WorkerCrashError(
                     f"worker {self.worker_id} is dead",
-                    worker=self.worker_id)
+                    worker=self.worker_id,
+                    pid=(self._process.pid
+                         if self._process is not None else None))
             conn, process = self._conn, self._process
             try:
                 conn.send(msg)
@@ -233,7 +235,7 @@ class WorkerHandle:
                         raise WorkerCrashError(
                             f"worker {self.worker_id} timed out after "
                             f"{timeout}s on {msg[0]!r}",
-                            worker=self.worker_id)
+                            worker=self.worker_id, pid=process.pid)
                     ready = _conn_wait([conn, process.sentinel],
                                        timeout=remaining)
                     if conn in ready:
@@ -243,7 +245,7 @@ class WorkerHandle:
                         raise WorkerCrashError(
                             f"worker {self.worker_id} died with "
                             f"{msg[0]!r} outstanding",
-                            worker=self.worker_id)
+                            worker=self.worker_id, pid=process.pid)
             except WorkerCrashError:
                 self._dead = True
                 raise
@@ -251,7 +253,7 @@ class WorkerHandle:
                 self._dead = True
                 raise WorkerCrashError(
                     f"worker {self.worker_id} pipe failed: {exc!r}",
-                    worker=self.worker_id) from exc
+                    worker=self.worker_id, pid=process.pid) from exc
             if msg[0] == "execute":
                 self.executes += 1
         status, payload = reply[0], reply[1]
@@ -285,9 +287,24 @@ class WorkerHandle:
             return (not self._dead and self._process is not None
                     and self._process.is_alive())
 
-    def mark_dead(self) -> None:
+    def mark_dead(self, expected_pid: int | None = None) -> bool:
+        """Take the worker out of service — identity-aware.
+
+        ``expected_pid`` is the pid the caller saw crash (from
+        :attr:`WorkerCrashError.pid`).  When the handle's process has
+        already been replaced by a respawn, the stale report is a
+        no-op: a second thread observing the *old* crash must not
+        condemn the healthy replacement.  Returns whether the handle
+        is (now) dead from the caller's point of view — False means
+        "your crash was already recovered; nothing to do".
+        """
         with self._lock:
+            if (expected_pid is not None
+                    and self._process is not None
+                    and self._process.pid != expected_pid):
+                return False
             self._dead = True
+            return True
 
     def pid(self) -> int | None:
         with self._lock:

@@ -111,6 +111,21 @@ class TestShapeRouter:
         with pytest.raises(KeyError):
             router.route("s")
 
+    def test_peek_is_read_only(self):
+        # peek predicts route() without pinning the shape or bumping
+        # any load: the next real route must still come up cold.
+        router = ShapeRouter([0, 1])
+        would_be, warm = router.peek("s")
+        assert not warm
+        assert router.loads() == {0: 0, 1: 0}
+        assert router.assignments() == {}
+        assert router.route("s") == (would_be, False)
+        assert router.peek("s") == (would_be, True)  # pinned now
+        router.forget_worker(0)
+        router.forget_worker(1)
+        with pytest.raises(KeyError):
+            router.peek("s")
+
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.integers(min_value=0, max_value=9),
                     min_size=1, max_size=60),
@@ -151,6 +166,22 @@ class TestResultCache:
     def test_budget_must_be_positive(self):
         with pytest.raises(ValidationError):
             ResultCache(budget_bytes=0)
+
+    def test_store_refuses_stale_generation(self):
+        # A result computed before a reload must die at store(): were
+        # it accepted, it would be stamped with the *new* generation
+        # and served as fresh to every later identical query.
+        cache = ResultCache(budget_bytes=1024)
+        snapshot = cache.current_generation()
+        cache.bump_generation()        # reload lands mid-flight
+        assert not cache.store("k", _result(), 10, generation=snapshot)
+        assert cache.lookup("k") is None
+        stats = cache.stats()
+        assert stats.stale_drops == 1 and stats.entries == 0
+        # A stamp matching the live generation stores normally.
+        assert cache.store("k", _result(), 10,
+                           generation=cache.current_generation())
+        assert cache.lookup("k") is not None
 
     def test_generation_bump_expires_lazily(self):
         cache = ResultCache(budget_bytes=1024)
@@ -262,6 +293,24 @@ class TestWarmRouting:
             seen.add(frontend_session.last_summary["worker"])
         assert len(seen) == 1
 
+    def test_explain_does_not_fake_a_warm_route(self, ssb_data,
+                                                queries):
+        # EXPLAIN must not pin the shape or count as load: the first
+        # real execute after an explain is still a cold route, and the
+        # warm-route counters (the ht_builds==0 evidence) stay honest.
+        front = Frontend(backend="clydesdale", data=ssb_data, workers=2,
+                         num_nodes=4, result_cache=False)
+        try:
+            handle = front.session("explainer")
+            query = queries["Q2.2"]
+            handle.explain(query)
+            assert sum(front.router_snapshot().values()) == 0
+            handle.execute(query)
+            assert handle.last_summary["warm_route"] is False
+            assert front.stats().routed_warm == 0
+        finally:
+            front.close()
+
     def test_exact_repeat_served_from_result_cache(
             self, frontend_session, queries):
         query = dataclasses.replace(queries["Q1.3"], name="Q1.3-rc")
@@ -297,6 +346,42 @@ class TestReloadGenerations:
             # Every live shard carries the frontend's generation.
             for info in front.worker_stats():
                 assert info["alive"] and info["generation"] == gen
+        finally:
+            front.close()
+
+    def test_in_flight_result_never_cached_across_reload(self, ssb_data,
+                                                         queries):
+        # A query still executing on the *old* catalog when
+        # reload_catalog commits must not land in the result cache
+        # stamped fresh: its stamp is the generation it executed
+        # under, so store() refuses it and the next identical query
+        # reaches a worker holding the new catalog.
+        from repro.reference.engine import ReferenceEngine
+        from repro.ssb.datagen import SSBGenerator
+        front = Frontend(backend="clydesdale", data=ssb_data, workers=1,
+                         num_nodes=4)
+        try:
+            handle = front.session("inflight")
+            query = queries["Q1.1"]
+            data2 = SSBGenerator(scale_factor=0.002, seed=11).generate()
+            oracle2 = ReferenceEngine.from_ssb(data2).execute(query).rows
+            front._workers[0].post(("poison", "stall:0.5"))
+            failures: list[BaseException] = []
+
+            def slow():
+                try:
+                    handle.execute(query)
+                except BaseException as exc:  # pragma: no cover
+                    failures.append(exc)
+
+            thread = threading.Thread(target=slow)
+            thread.start()
+            time.sleep(0.15)   # let the execute reach the worker
+            front.reload_catalog(data2)
+            thread.join()
+            assert not failures
+            after = front.session("check").execute(query)
+            assert after.rows == oracle2
         finally:
             front.close()
 

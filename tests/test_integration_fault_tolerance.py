@@ -204,6 +204,70 @@ def test_admission_accounting_exact_under_faults(frontend_data):
         front.close()
 
 
+def test_stale_crash_report_spares_respawned_worker(frontend_data):
+    # Two threads can observe the same crash; the slower report must
+    # not condemn the freshly respawned worker (recovery is
+    # identity-aware via the crashed pid).
+    from repro.serve.frontend import Frontend
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=1, num_nodes=4, respawn=True,
+                     result_cache=False)
+    try:
+        handle = front.session("dup")
+        query = ssb_queries()["Q1.1"]
+        handle.execute(query)
+        crashed_pid = front._workers[0].pid()
+        front._workers[0].post(("poison", "crash"))
+        handle.execute(query)          # first observer recovers
+        respawned_pid = front._workers[0].pid()
+        assert respawned_pid != crashed_pid
+        pins = front.router_snapshot()
+        front._recover_worker(0, crashed_pid)   # stale second report
+        assert front._workers[0].alive()
+        assert front._workers[0].pid() == respawned_pid
+        assert front.router_snapshot() == pins
+    finally:
+        front.close()
+
+
+def test_reload_racing_respawn_is_replayed(frontend_data, monkeypatch):
+    # A reload_catalog that commits while a worker is down has its
+    # broadcast dropped; if it lands between recovery's catalog
+    # snapshot and the respawn, recovery must notice the generation
+    # advanced and replay the reload — otherwise the fresh worker
+    # serves the old catalog until the next reload.
+    from repro.reference.engine import ReferenceEngine
+    from repro.serve.frontend import Frontend
+    from repro.serve.worker import WorkerHandle
+    front = Frontend(backend="clydesdale", data=frontend_data,
+                     workers=1, num_nodes=4, respawn=True,
+                     result_cache=False)
+    try:
+        handle = front.session("race")
+        query = ssb_queries()["Q1.1"]
+        handle.execute(query)
+        data2 = SSBGenerator(scale_factor=0.002, seed=11).generate()
+        real = WorkerHandle.ensure_respawned
+
+        def racing(self, data, gen):
+            # Commit a reload inside the recovery window: after the
+            # frontend snapshotted (data, generation), before the
+            # worker is back up — the broadcast finds it dead.
+            if front.generation == 0:
+                front.reload_catalog(data2)
+            return real(self, data, gen)
+
+        monkeypatch.setattr(WorkerHandle, "ensure_respawned", racing)
+        front._workers[0].post(("poison", "crash"))
+        after = handle.execute(query)
+        assert after.rows == ReferenceEngine.from_ssb(
+            data2).execute(query).rows
+        info, _ = front._workers[0].request(("stats",))
+        assert info["generation"] == front.generation == 1
+    finally:
+        front.close()
+
+
 def test_no_generation_leak_through_respawn(frontend_data):
     # A worker crash after a catalog reload must not resurrect the
     # pre-reload cache generation: the respawned shard is built over
