@@ -9,8 +9,9 @@ Usage::
 Everything runs in-process: a mini-HDFS with a co-locating block
 placement policy holds the CIF fact table, the MapReduce engine executes
 the join, and simulated timings come from the calibrated cost model.
-The session carries a cross-query hash-table cache, so repeating a
-query skips the dimension build phase entirely.
+The session carries a cross-query hash-table cache and a materialized
+aggregate store, so repeating a query skips the engine entirely —
+`session.stats().provenance` records how each answer was produced.
 """
 
 import sys
@@ -43,7 +44,7 @@ def main() -> None:
           f"({len(result.rows)} groups):")
     print(result.pretty(max_rows=8))
 
-    stats = clyde.last_stats
+    stats = clyde.stats().execution
     print(f"\nExecution stats: probed {stats.rows_probed:,} fact rows, "
           f"{stats.rows_matched:,} matched "
           f"({100 * stats.join_selectivity():.2f}%); "
@@ -51,10 +52,10 @@ def main() -> None:
 
     warm = clyde.execute(query)
     assert warm.rows == result.rows
-    print(f"Warm repeat: {warm.simulated_seconds:.1f} simulated s, "
-          f"ht_builds={clyde.last_stats.ht_builds} "
-          f"(cache hits: {clyde.last_stats.ht_cache_hits}) — the "
-          f"session cache served every hash table.")
+    prov = clyde.stats().provenance
+    print(f"Warm repeat: served from the materialized aggregate store "
+          f"(source={prov.source}, fact rows scanned: "
+          f"{prov.scanned_rows}) — the engine never ran.")
 
     print("\nLoading Hive layout (everything in RCFile) ...")
     for plan in ("mapjoin", "repartition"):
@@ -64,7 +65,7 @@ def main() -> None:
         speedup = (hive_result.simulated_seconds
                    / result.simulated_seconds)
         print(f"Hive {plan:11s}: {hive_result.simulated_seconds:7.1f} "
-              f"simulated s across {len(hive.last_stats.stages)} "
+              f"simulated s across {len(hive.stats().execution.stages)} "
               f"stages -> Clydesdale is {speedup:.1f}x faster")
 
     print("\nSame answers, very different costs — the paper's thesis.")

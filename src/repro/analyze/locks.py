@@ -777,6 +777,9 @@ THREAD_ENTRIES = (
     "ResultCache.lookup", "ResultCache.store",
     "ResultCache.bump_generation", "ResultCache.stats",
     "ResultCache.__len__",
+    "AggStore.fetch", "AggStore.peek", "AggStore.admit",
+    "AggStore.invalidate", "AggStore.current_generation",
+    "AggStore.stats", "AggStore.__len__",
     "WorkerHandle.request", "WorkerHandle.post", "WorkerHandle.alive",
     "WorkerHandle.mark_dead", "WorkerHandle.ensure_respawned",
     "WorkerHandle.kill", "WorkerHandle.shutdown",

@@ -23,7 +23,13 @@ from typing import Any
 
 from repro.common.config import Configuration
 from repro.common.errors import ValidationError
-from repro.common.keys import KEY_CACHE_ENABLED, KEY_CACHE_HT_BYTES
+from repro.common.keys import (
+    KEY_CACHE_ENABLED,
+    KEY_CACHE_HT_BYTES,
+    KEY_SERVE_AGGSTORE,
+    KEY_SERVE_AGGSTORE_BYTES,
+)
+from repro.serve.aggstore import AggStore
 from repro.serve.cache import HashTableCache
 from repro.serve.session import BACKENDS, Session
 
@@ -38,6 +44,8 @@ def connect(backend: str = "clydesdale", *,
             trace: bool | None = None,
             cache: bool | None = None,
             cache_bytes: int | None = None,
+            aggstore: bool | None = None,
+            aggstore_bytes: int | None = None,
             slot_share: float | None = None,
             row_group_size: int = 25_000,
             cluster: Any | None = None,
@@ -58,9 +66,13 @@ def connect(backend: str = "clydesdale", *,
     :class:`~repro.ssb.datagen.SSBData` instead of generating one;
     ``features``/``plan`` fix the backend-specific execution options;
     ``cache``/``cache_bytes`` override the ``clydesdale.cache.*``
-    configuration; ``slot_share`` runs every query of this session
-    under a fair-share CPU grant; ``trace`` sets the session's default
-    for ``execute(trace=...)``.
+    configuration; ``aggstore``/``aggstore_bytes`` control the
+    materialized aggregate store (``clydesdale.serve.aggstore.*``) —
+    it rides the hash-table cache, so ``cache=False`` turns both off,
+    and the reference engine (the correctness oracle) never caches;
+    ``slot_share`` runs every query of this session under a fair-share
+    CPU grant; ``trace`` sets the session's default for
+    ``execute(trace=...)``.
 
     ``workers=N`` scales the session out instead: a
     :class:`~repro.serve.frontend.Frontend` spawns ``N`` worker
@@ -83,6 +95,7 @@ def connect(backend: str = "clydesdale", *,
             backend=backend, data=data, workers=workers, conf=conf,
             scale_factor=scale_factor, seed=seed, num_nodes=num_nodes,
             features=features, plan=plan, cache_bytes=cache_bytes,
+            aggstore=aggstore, aggstore_bytes=aggstore_bytes,
             row_group_size=row_group_size, trace=trace,
             result_cache=result_cache,
             result_cache_bytes=result_cache_bytes,
@@ -92,6 +105,14 @@ def connect(backend: str = "clydesdale", *,
                else conf.get_bool(KEY_CACHE_ENABLED, True))
     budget = (cache_bytes if cache_bytes is not None
               else conf.get_int(KEY_CACHE_HT_BYTES, 128 * 1024 * 1024))
+    # The aggregate store rides the hash-table cache: disabling the
+    # cache (or running the reference oracle) disables it too.
+    agg_enabled = (aggstore if aggstore is not None
+                   else conf.get_bool(KEY_SERVE_AGGSTORE, True))
+    agg_enabled = agg_enabled and enabled and backend != "reference"
+    agg_budget = (aggstore_bytes if aggstore_bytes is not None
+                  else conf.get_int(KEY_SERVE_AGGSTORE_BYTES,
+                                    64 * 1024 * 1024))
 
     def build(base_data: Any | None) -> Any:
         if base_data is None:
@@ -118,6 +139,8 @@ def connect(backend: str = "clydesdale", *,
     # The reference engine keeps no node-resident state worth caching.
     ht_cache = (HashTableCache(budget)
                 if enabled and backend != "reference" else None)
-    return Session(engine, cache=ht_cache, trace=trace,
+    store = (AggStore(agg_budget, sanitize=sanitize)
+             if agg_enabled else None)
+    return Session(engine, cache=ht_cache, aggstore=store, trace=trace,
                    features=features, plan=plan, slot_share=slot_share,
                    name=name, rebuild=build)

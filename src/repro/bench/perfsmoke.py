@@ -40,6 +40,8 @@ FLOORS = {
     "serving.throughput_qps": 20.0,
     # warm-shard routing must actually engage at this scale
     "serving.warm_route_executes": 100.0,
+    # subsumption rollup vs re-executing the coarser query
+    "aggstore.rollup_speedup": 5.0,
 }
 
 #: Latency ceilings for ``--check``: a value *above* the ceiling fails.
@@ -51,6 +53,8 @@ CEILINGS = {
     "serving.p50_s": 2.0,
     "serving.p99_s": 10.0,
     "serving.warm_route_builds": 0.0,
+    # a subsumed repeat must never touch the fact table
+    "aggstore.subsumed_fact_scans": 0.0,
 }
 
 
@@ -217,7 +221,10 @@ def session_cache_smoke(scale_factor: float = 0.002) -> dict:
     from repro.ssb.queries import ssb_queries
 
     data = SSBGenerator(scale_factor=scale_factor, seed=42).generate()
-    session = connect(backend="clydesdale", data=data, num_nodes=4)
+    # aggstore=False: this smoke measures the hash-table cache, so the
+    # warm repeat must reach the engine instead of the aggregate store.
+    session = connect(backend="clydesdale", data=data, num_nodes=4,
+                      aggstore=False)
     query = ssb_queries()["Q2.1"]
 
     def cold_run():
@@ -246,6 +253,58 @@ def session_cache_smoke(scale_factor: float = 0.002) -> dict:
     }
 
 
+def aggstore_smoke(scale_factor: float = 0.002) -> dict:
+    """Dashboard drilldown through the materialized aggregate store.
+
+    A fine-grained group-by (Q2.1: year × brand) is executed once;
+    strictly coarser repeats (year only) must then be answered by
+    in-memory rollup — byte-identical to a fresh execution, at least
+    5x faster than re-executing, and without a single fact-table scan.
+    """
+    from repro.api import connect
+    from repro.core.query import OrderKey
+    from repro.reference.engine import ReferenceEngine
+    from repro.ssb.datagen import SSBGenerator
+    from repro.ssb.queries import ssb_queries
+
+    data = SSBGenerator(scale_factor=scale_factor, seed=42).generate()
+    session = connect(backend="clydesdale", data=data, num_nodes=4)
+    baseline = connect(backend="clydesdale", data=data, num_nodes=4,
+                       aggstore=False)
+    fine = ssb_queries()["Q2.1"]        # group by (d_year, p_brand1)
+    coarse = (fine.with_name("Q2.1-by-year").without_order_by()
+              .with_group_by(["d_year"])
+              .with_order_by([OrderKey("d_year")]))
+    session.execute(fine)               # cold: executes and admits
+
+    subsumed_scans = [0]
+
+    def rollup_run():
+        session.execute(coarse)
+        subsumed_scans[0] += session.last_provenance.scanned_rows
+
+    rollup_s = _best_of(rollup_run)
+    source = session.last_provenance.source
+    rollup_result = session.execute(coarse)
+    execute_s = _best_of(lambda: baseline.execute(coarse))
+    expected = ReferenceEngine.from_ssb(data).execute(coarse).rows
+    stats = session.aggstore.stats()
+    return {
+        "fine_query": fine.name,
+        "coarse_query": coarse.name,
+        "source": source,
+        "rollup_s": round(rollup_s, 6),
+        "execute_s": round(execute_s, 4),
+        "rollup_speedup": round(execute_s / rollup_s, 2),
+        "subsumed_fact_scans": subsumed_scans[0],
+        "hits_rollup": stats.hits_rollup,
+        "rolled_rows": stats.rolled_rows,
+        "store_entries": stats.entries,
+        "store_bytes": stats.bytes_cached,
+        "rows_match_reference": rollup_result.rows == expected,
+    }
+
+
 def _percentile(sorted_values: list[float], q: float) -> float:
     """Nearest-rank percentile of an ascending-sorted sample."""
     if not sorted_values:
@@ -270,7 +329,6 @@ def serving_smoke(sessions: int = 200, rounds: int = 2,
     same worker → ``ht_builds == 0`` after the first build) and later
     rounds are exact repeats that exercise the frontend result cache.
     """
-    import dataclasses
     import threading
 
     from repro.common.errors import AdmissionError
@@ -282,10 +340,13 @@ def serving_smoke(sessions: int = 200, rounds: int = 2,
     data = SSBGenerator(scale_factor=scale_factor, seed=42).generate()
     queries = ssb_queries()
     bases = [queries[name] for name in ("Q1.1", "Q2.1", "Q3.2", "Q4.1")]
+    # aggstore=False: the clients repeat shapes with per-client limits,
+    # which the aggregate store would serve without routing — this
+    # smoke is about warm-shard routing and the result cache.
     frontend = Frontend(backend="clydesdale", data=data,
                         workers=workers, num_nodes=4,
                         max_concurrent=8, queue_depth=64,
-                        session_quota=2)
+                        session_quota=2, aggstore=False)
     handles = [frontend.session(f"client{i:03d}")
                for i in range(sessions)]
     barrier = threading.Barrier(sessions)
@@ -298,8 +359,8 @@ def serving_smoke(sessions: int = 200, rounds: int = 2,
     def client(i: int) -> None:
         handle = handles[i]
         base = bases[i % len(bases)]
-        query = dataclasses.replace(base, name=f"{base.name}-c{i}",
-                                    limit=(i % 7) + 1)
+        query = base.with_name(f"{base.name}-c{i}").with_limit(
+            (i % 7) + 1)
         barrier.wait()
         local_lat: list[float] = []
         local_sum: list[dict] = []
@@ -378,6 +439,7 @@ def run_perfsmoke(scale_factor: float = 0.05,
         "columnar_v2": columnar_v2,
         "zonemaps": zonemap_smoke(),
         "session_cache": session_cache_smoke(),
+        "aggstore": aggstore_smoke(),
         "serving": serving_smoke(),
     }
     with open(out_path, "w", encoding="utf-8") as handle:
@@ -460,6 +522,16 @@ def render_perfsmoke(report: dict) -> str:
             f"{cache['ht_cache_hits']} hits / "
             f"{cache['ht_cache_misses']} misses, "
             f"reference match: {cache['rows_match_reference']}")
+    agg = report.get("aggstore")
+    if agg:
+        lines.append(
+            f"aggstore ({agg['fine_query']} -> {agg['coarse_query']}): "
+            f"rollup {agg['rollup_s'] * 1000:.2f} ms vs re-execute "
+            f"{agg['execute_s'] * 1000:.1f} ms "
+            f"-> {agg['rollup_speedup']:.1f}x, "
+            f"{agg['subsumed_fact_scans']} fact scans on subsumed "
+            f"repeats, {agg['rolled_rows']} rows rolled, "
+            f"reference match: {agg['rows_match_reference']}")
     serving = report.get("serving")
     if serving:
         lines.append(

@@ -224,6 +224,17 @@ KEY_SERVE_RESULT_CACHE_BYTES = _config(
     default=32 * 1024 * 1024,
     doc="Byte budget for the frontend result cache; least-recently-"
         "used results are evicted past the budget.")
+KEY_SERVE_AGGSTORE = _flag(
+    "clydesdale.serve.aggstore.enabled", default=True,
+    doc="Materialized aggregate store: repeat and subsumed (strictly "
+        "coarser group-by) queries are answered by in-memory rollup "
+        "instead of a fact-table scan. Rides the hash-table cache's "
+        "enablement and generation stamps; off = every execute scans.")
+KEY_SERVE_AGGSTORE_BYTES = _config(
+    "clydesdale.serve.aggstore.bytes", kind="int",
+    default=64 * 1024 * 1024,
+    doc="Byte budget for the materialized aggregate store; entries "
+        "with the lowest reuse benefit are evicted past the budget.")
 
 # -- Hive baseline keys ------------------------------------------------ #
 KEY_HIVE_FACT_SIDE_FK = _config(
@@ -385,6 +396,14 @@ LOCK_FRONTEND_RESULTS = _lock_rank(
     "src/repro/serve/frontend.py:ResultCache._lock",
     "Guards the frontend result cache: LRU entries, byte budget, "
     "hit/miss/stale counters, and the generation stamp.")
+LOCK_SERVE_AGGSTORE = _lock_rank(
+    "serve.aggstore", 19,
+    "src/repro/serve/aggstore.py:AggStore._lock",
+    "Guards the materialized aggregate store: family index, rollup "
+    "entries, byte budget, benefit/hit counters, and the generation "
+    "stamp. Taken inside server.engine (a session consults the store "
+    "mid-execute) and never held while serve.cache or any engine lock "
+    "is acquired — the store serves from materialized rows only.")
 LOCK_SERVER_ENGINE = _lock_rank(
     "server.engine", 10,
     "src/repro/serve/server.py:ClydesdaleServer._engine_lock",

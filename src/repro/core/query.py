@@ -33,7 +33,7 @@ from repro.core.expressions import (
     value_from_dict,
 )
 
-AGG_FUNCTIONS = ("sum", "count", "min", "max")
+AGG_FUNCTIONS = ("sum", "count", "min", "max", "avg")
 
 
 @dataclass
@@ -93,6 +93,14 @@ class Aggregate:
             raise QueryError("aggregate needs an alias")
 
     def initial(self) -> Any:
+        if self.function == "avg":
+            # AVG never reaches an engine: the session rewrites it to
+            # SUM+COUNT before execution (repro.serve.aggstore), and
+            # every engine creates states via initial() first — so a
+            # leaked avg fails loudly here instead of silently
+            # accumulating as max.
+            raise QueryError(
+                "avg must be rewritten to sum+count before execution")
         if self.function == "sum":
             return 0
         if self.function == "count":
@@ -100,6 +108,9 @@ class Aggregate:
         return None  # min/max start undefined
 
     def accumulate(self, state: Any, value: Any) -> Any:
+        if self.function == "avg":
+            raise QueryError(
+                "avg must be rewritten to sum+count before execution")
         if self.function == "sum":
             return state + value
         if self.function == "count":
@@ -110,6 +121,9 @@ class Aggregate:
 
     def merge(self, left: Any, right: Any) -> Any:
         """Combine two partial states (combiner/reducer merging)."""
+        if self.function == "avg":
+            raise QueryError(
+                "avg must be rewritten to sum+count before execution")
         if self.function in ("sum", "count"):
             return left + right
         if left is None:
@@ -217,6 +231,62 @@ class StarQuery:
             if join.dimension == dimension:
                 return join
         raise QueryError(f"query {self.name!r} does not join {dimension!r}")
+
+    # -- copy constructors (the query algebra) ---------------------------- #
+    #
+    # Derived queries — the subsumption matcher's rollups, the serving
+    # layer's limit-stripped executes, perfsmoke's per-client variants —
+    # are all "this query, but ...". These helpers replace the ad-hoc
+    # ``dataclasses.replace`` calls that used to be scattered through the
+    # serve code; each returns a fresh, re-validated StarQuery and leaves
+    # the receiver untouched.
+
+    def _derive(self, **changes: Any) -> "StarQuery":
+        from dataclasses import replace
+        return replace(self, **changes)
+
+    def with_name(self, name: str) -> "StarQuery":
+        """This query under a different name (results carry the name)."""
+        return self._derive(name=name)
+
+    def with_group_by(self, group_by: Sequence[str]) -> "StarQuery":
+        """This query grouped by ``group_by`` instead.
+
+        Order-by keys that referenced dropped group columns would fail
+        validation, so callers coarsening a query (the rollup path)
+        combine this with :meth:`with_order_by` / :meth:`without_order_by`.
+        """
+        return self._derive(group_by=list(group_by))
+
+    def with_aggregates(self,
+                        aggregates: Sequence[Aggregate]) -> "StarQuery":
+        """This query computing ``aggregates`` instead (AVG rewrite)."""
+        return self._derive(aggregates=list(aggregates))
+
+    def with_order_by(self, order_by: Sequence[OrderKey]) -> "StarQuery":
+        """This query ordered by ``order_by`` instead."""
+        return self._derive(order_by=list(order_by))
+
+    def without_order_by(self) -> "StarQuery":
+        """This query with no ORDER BY (row order left to the engine)."""
+        return self._derive(order_by=[])
+
+    def with_limit(self, limit: int | None) -> "StarQuery":
+        """This query truncated to ``limit`` rows (None = no limit)."""
+        return self._derive(limit=limit)
+
+    def without_limit(self) -> "StarQuery":
+        """This query with the LIMIT stripped — the full result set.
+
+        The aggregate store admits *complete* results only (a truncated
+        result cannot answer a coarser rollup), so a miss executes the
+        limit-free query and slices locally.
+        """
+        return self._derive(limit=None)
+
+    def with_fact_predicate(self, predicate: Predicate) -> "StarQuery":
+        """This query filtering fact rows with ``predicate`` instead."""
+        return self._derive(fact_predicate=predicate)
 
     # -- serialization ----------------------------------------------------- #
 

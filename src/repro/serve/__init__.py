@@ -13,19 +13,24 @@ from __future__ import annotations
 from typing import Any
 
 __all__ = [
+    "AggStore",
+    "AggStoreStats",
     "BACKENDS",
     "CacheStats",
     "ClydesdaleServer",
     "Engine",
+    "ExplainReport",
     "Frontend",
     "FrontendSession",
     "FrontendStats",
     "HashTableCache",
+    "Provenance",
     "ResultCache",
     "ResultCacheStats",
     "ServerSession",
     "ServerStats",
     "Session",
+    "SessionStats",
     "ShapeRouter",
     "WorkerHandle",
     "backend_name",
@@ -34,19 +39,24 @@ __all__ = [
 ]
 
 _EXPORTS = {
+    "AggStore": ("repro.serve.aggstore", "AggStore"),
+    "AggStoreStats": ("repro.serve.aggstore", "AggStoreStats"),
     "BACKENDS": ("repro.serve.session", "BACKENDS"),
     "CacheStats": ("repro.serve.cache", "CacheStats"),
     "ClydesdaleServer": ("repro.serve.server", "ClydesdaleServer"),
     "Engine": ("repro.serve.session", "Engine"),
+    "ExplainReport": ("repro.serve.session", "ExplainReport"),
     "Frontend": ("repro.serve.frontend", "Frontend"),
     "FrontendSession": ("repro.serve.frontend", "FrontendSession"),
     "FrontendStats": ("repro.serve.frontend", "FrontendStats"),
     "HashTableCache": ("repro.serve.cache", "HashTableCache"),
+    "Provenance": ("repro.serve.aggstore", "Provenance"),
     "ResultCache": ("repro.serve.frontend", "ResultCache"),
     "ResultCacheStats": ("repro.serve.frontend", "ResultCacheStats"),
     "ServerSession": ("repro.serve.server", "ServerSession"),
     "ServerStats": ("repro.serve.server", "ServerStats"),
     "Session": ("repro.serve.session", "Session"),
+    "SessionStats": ("repro.serve.session", "SessionStats"),
     "ShapeRouter": ("repro.serve.routing", "ShapeRouter"),
     "WorkerHandle": ("repro.serve.worker", "WorkerHandle"),
     "backend_name": ("repro.serve.session", "backend_name"),

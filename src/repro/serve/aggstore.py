@@ -1,0 +1,618 @@
+"""Materialized aggregate store with subsumption reuse.
+
+The hash-table cache (PR 5) and the frontend result cache (PR 8) only
+pay off on *exact* repeats; dashboard workloads are families of
+*related* aggregates over one star schema — the same joins and filters,
+drilled down and rolled up along different group-by sets.  This module
+keeps the **finest materialized answer** of each query family resident
+and serves three kinds of requests without touching the fact table:
+
+* **exact** — same family, same group-by set, every requested aggregate
+  present in the stored entry: project and replay the stored rows;
+* **rollup** — the stored group-by is a *strict superset* of the
+  requested keys and every requested aggregate is re-aggregable
+  (SUM of SUMs, SUM of COUNTs, MIN of MINs, MAX of MAXes; AVG is
+  rewritten to SUM+COUNT by the session before the store ever sees a
+  query): re-aggregate the stored rows in memory with the columnar-v2
+  kernels (``np.add.at``/``np.minimum.at``/``np.maximum.at`` over
+  first-seen group codes), never a row-at-a-time Python loop;
+* **miss** — execute, and optionally :meth:`AggStore.admit` the full
+  (limit-free) result under a byte budget with benefit-aware eviction.
+
+A query's **family** is the canonical join-key signature of
+:func:`repro.serve.routing.query_shape` *plus* the canonicalized
+predicates: joins sorted by their canonical JSON, AND/OR conjuncts
+flattened and sorted, ``TruePredicate`` conjuncts dropped.  Two queries
+in the same family filter provably identical fact rows, which is what
+makes a rollup of one a byte-exact answer for the other.
+
+**Byte-identity is the bar, not approximation.** The reference engine
+emits groups in fact-scan insertion order and then runs a *stable* sort
+on the requested ORDER BY — an order a rollup cannot reproduce when the
+sort keys tie.  The store therefore declines to serve (counted in
+``declined``) whenever the requested ordering does not uniquely
+determine the output: any adjacent tie on the full order-key tuples, or
+an empty ORDER BY over more than one row (exact replays with the same
+ORDER BY semantics as the stored execution are exempt — they replay the
+engine's own permutation verbatim).  Rollup arithmetic must also be
+exact, so re-aggregation is integer-only: any non-``int`` aggregate
+value (or a sum that could overflow int64) declines to a miss instead
+of serving a float whose addition order could differ from the engine's.
+
+Invalidation rides the same generation stamps as
+:class:`~repro.serve.cache.HashTableCache`: ``invalidate(generation=)``
+ignores stale/duplicate stamps so scale-out broadcasts need no barrier,
+and :meth:`admit` refuses results computed under a superseded stamp —
+a query that raced a ``reload_catalog`` can never materialize stale
+rows (mirrors :meth:`ResultCache.store`).
+
+Lock discipline: everything runs under one ``serve.aggstore`` lock
+(rank 19, declared in ``repro.common.keys``), taken *inside*
+``server.engine`` (10) — a session consults the store mid-execute —
+and never held while any other declared lock is acquired: the store
+serves from materialized rows only.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.keys import LOCK_SERVE_AGGSTORE
+from repro.core.query import Aggregate, OrderKey, StarQuery
+from repro.core.result import QueryResult, apply_order_by
+
+#: Eviction scans this many oldest entries and drops the least useful.
+EVICT_SCAN = 8
+
+#: Sums whose absolute magnitude could reach int64 territory decline
+#: rollup instead of risking silent overflow in the numpy kernel.
+_INT64_SAFE = 2 ** 62
+
+
+# --------------------------------------------------------------------- #
+# Canonical keys: families, aggregate identities, order semantics.
+# --------------------------------------------------------------------- #
+
+
+def _normalize_pred_dict(data: dict) -> dict:
+    """Canonicalize a predicate dict: flatten nested AND/OR, drop TRUE
+    conjuncts, sort operands — so predicates that provably filter the
+    same rows compare equal regardless of how they were spelled."""
+    kind = data.get("kind")
+    if kind in ("and", "or"):
+        parts: list[dict] = []
+        for part in data["parts"]:
+            norm = _normalize_pred_dict(part)
+            if norm["kind"] == kind:
+                parts.extend(norm["parts"])
+            elif kind == "and" and norm["kind"] == "true":
+                continue
+            else:
+                parts.append(norm)
+        if not parts:
+            return {"kind": "true"}
+        parts.sort(key=lambda p: json.dumps(p, sort_keys=True))
+        if len(parts) == 1:
+            return parts[0]
+        return {"kind": kind, "parts": parts}
+    if kind == "not":
+        return {"kind": "not",
+                "inner": _normalize_pred_dict(data["inner"])}
+    return data
+
+
+def _canonical_join(join_dict: dict) -> dict:
+    out = dict(join_dict)
+    out["predicate"] = _normalize_pred_dict(join_dict["predicate"])
+    out["snowflake"] = [_canonical_join(dict(s))
+                        for s in join_dict.get("snowflake", [])]
+    return out
+
+
+def family_key(query: StarQuery) -> tuple:
+    """The subsumption family of ``query``: fact table, canonical joins,
+    canonical fact predicate.  Group-by, aggregates, order and limit are
+    deliberately excluded — those are what subsumption matches *across*.
+    """
+    joins = tuple(sorted(json.dumps(_canonical_join(j.to_dict()),
+                                    sort_keys=True)
+                         for j in query.joins))
+    fact_pred = json.dumps(
+        _normalize_pred_dict(query.fact_predicate.to_dict()),
+        sort_keys=True)
+    return (query.fact_table, joins, fact_pred)
+
+
+def agg_identity(agg: Aggregate) -> tuple:
+    """What makes two aggregates compute the same values.  COUNT ignores
+    its expression (every engine counts rows), everything else is
+    ``(function, canonical expr)``; the alias is presentation only."""
+    if agg.function == "count":
+        return ("count",)
+    return (agg.function, json.dumps(agg.expr.to_dict(), sort_keys=True))
+
+
+def _order_semantics(order_by: list[OrderKey], group_by: list[str],
+                     aggs: list[Aggregate]) -> tuple:
+    """ORDER BY resolved to alias-independent identities, so a stored
+    ordering and a requested ordering compare by meaning."""
+    by_alias = {a.alias: a for a in aggs}
+    out = []
+    for key in order_by:
+        if key.column in by_alias:
+            out.append(("agg", agg_identity(by_alias[key.column]),
+                        key.descending))
+        else:
+            out.append(("col", key.column, key.descending))
+    return tuple(out)
+
+
+# --------------------------------------------------------------------- #
+# Decisions and provenance.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class Provenance:
+    """How a result was produced — attached to every served answer.
+
+    ``source`` is one of ``executed`` / ``result_cache`` / ``agg_exact``
+    / ``agg_rollup``; ``candidates`` are the group-by sets the
+    subsumption matcher considered in the query's family;
+    ``rolled_rows``/``rolled_bytes`` measure the materialized input a
+    rollup re-aggregated, ``scanned_rows`` the fact rows an execution
+    probed (0 for store-served answers — that is the whole point)."""
+
+    source: str = "executed"
+    candidates: tuple[tuple[str, ...], ...] = ()
+    rolled_rows: int = 0
+    rolled_bytes: int = 0
+    scanned_rows: int = 0
+    declined: str | None = None
+
+    def to_dict(self) -> dict:
+        return {"source": self.source,
+                "candidates": [list(c) for c in self.candidates],
+                "rolled_rows": self.rolled_rows,
+                "rolled_bytes": self.rolled_bytes,
+                "scanned_rows": self.scanned_rows,
+                "declined": self.declined}
+
+
+@dataclass(frozen=True)
+class AggDecision:
+    """The subsumption matcher's verdict for one query."""
+
+    kind: str                                  # "exact"|"rollup"|"miss"
+    result: QueryResult | None = None
+    candidates: tuple[tuple[str, ...], ...] = ()
+    rolled_rows: int = 0
+    rolled_bytes: int = 0
+    declined: str | None = None
+
+
+@dataclass(frozen=True)
+class AggStoreStats:
+    """Immutable snapshot of aggregate-store effectiveness counters."""
+
+    hits_exact: int = 0
+    hits_rollup: int = 0
+    misses: int = 0
+    declined: int = 0      # subsumable but tie/type-unsafe to serve
+    puts: int = 0
+    evictions: int = 0
+    stale_drops: int = 0   # admissions refused for a superseded stamp
+    rejected: int = 0      # results larger than the whole budget
+    invalidations: int = 0
+    rolled_rows: int = 0   # materialized rows re-aggregated, lifetime
+    entries: int = 0
+    bytes_cached: int = 0
+    budget_bytes: int = 0
+    generation: int = 0
+
+    def hit_rate(self) -> float:
+        probes = self.hits_exact + self.hits_rollup + self.misses
+        return ((self.hits_exact + self.hits_rollup) / probes
+                if probes else 0.0)
+
+
+@dataclass
+class _AggEntry:
+    group_set: frozenset
+    group_cols: tuple[str, ...]     # stored column order of the keys
+    aggs: tuple[Aggregate, ...]     # stored aggregate column order
+    agg_ids: tuple[tuple, ...]      # agg_identity per stored aggregate
+    order_sem: tuple                # _order_semantics of the execution
+    columns: tuple[str, ...]
+    rows: list[tuple]               # full, ordered, limit-free
+    nbytes: int
+    cost: float                     # simulated seconds of the execute
+    generation: int
+    hits: int = 0
+    seq: int = 0                    # admission order (eviction age)
+
+    def benefit(self) -> float:
+        """Reuse benefit per byte: how much simulated work this entry
+        saves, scaled by how often it was used and how much budget it
+        occupies. Eviction drops the lowest."""
+        return (1 + self.hits) * self.cost / max(1, self.nbytes)
+
+
+# --------------------------------------------------------------------- #
+# The store.
+# --------------------------------------------------------------------- #
+
+
+class AggStore:
+    """Generation-stamped materialized aggregate store.
+
+    ``budget_bytes`` bounds the pickled size of all materialized rows;
+    past it, eviction scans the :data:`EVICT_SCAN` oldest entries and
+    drops the one with the lowest :meth:`_AggEntry.benefit` — plain LRU
+    would happily evict the expensive fine-grained entry every coarser
+    dashboard panel rolls up from.
+    """
+
+    #: Fields the lock guards; ``sanitize=True`` enforces this at
+    #: runtime via :func:`repro.analyze.sanitizer.guard_fields`.
+    GUARDED_FIELDS = ("_families", "_bytes", "_seq", "_hits_exact",
+                      "_hits_rollup", "_misses", "_declined", "_puts",
+                      "_evictions", "_stale_drops", "_rejected",
+                      "_invalidations", "_rolled_rows", "generation")
+
+    def __init__(self, budget_bytes: int, *,
+                 sanitize: bool = False) -> None:
+        if budget_bytes <= 0:
+            raise ValidationError(
+                f"aggstore budget must be positive, got {budget_bytes}")
+        self.budget_bytes = int(budget_bytes)
+        if sanitize:
+            # Dev-tool layer, imported only when the sanitizer is on.
+            from repro.analyze.sanitizer import TrackedRLock
+            self._lock = TrackedRLock(LOCK_SERVE_AGGSTORE)
+        else:
+            self._lock = threading.RLock()
+        #: family key -> list of entries, finest-first not guaranteed.
+        self._families: dict[tuple, list[_AggEntry]] = {}
+        self._bytes = 0
+        self._seq = 0
+        self._hits_exact = 0
+        self._hits_rollup = 0
+        self._misses = 0
+        self._declined = 0
+        self._puts = 0
+        self._evictions = 0
+        self._stale_drops = 0
+        self._rejected = 0
+        self._invalidations = 0
+        self._rolled_rows = 0
+        self.generation = 0
+        if sanitize:
+            from repro.analyze.sanitizer import guard_fields
+            guard_fields(self, self._lock, self.GUARDED_FIELDS)
+
+    # ------------------------------------------------------------------ #
+    # Matching and serving.
+    # ------------------------------------------------------------------ #
+
+    def fetch(self, query: StarQuery, *,
+              any_order: bool = False) -> AggDecision:
+        """Serve ``query`` from the store if subsumption allows.
+
+        ``any_order=True`` relaxes the byte-identity ordering rules for
+        callers that re-sort with a total order themselves (the
+        session's AVG finalizer); everyone else gets the tie-safe
+        behavior documented in the module docstring.
+        """
+        requested = frozenset(query.group_by)
+        with self._lock:
+            entries = self._families.get(family_key(query), [])
+            candidates = tuple(entry.group_cols for entry in entries)
+            exact, rollup = None, None
+            for entry in entries:
+                if not self._aggs_available(entry, query.aggregates):
+                    continue
+                if entry.group_set == requested:
+                    exact = entry
+                    break
+                if (entry.group_set > requested
+                        and (rollup is None
+                             or len(entry.rows) < len(rollup.rows))):
+                    rollup = entry
+            if exact is not None:
+                decision = self._serve_exact(exact, query, candidates,
+                                             any_order)
+            elif rollup is not None:
+                decision = self._serve_rollup(rollup, query, candidates,
+                                              any_order)
+            else:
+                decision = AggDecision(kind="miss", candidates=candidates)
+            if decision.kind == "exact":
+                self._hits_exact += 1
+                exact.hits += 1
+            elif decision.kind == "rollup":
+                self._hits_rollup += 1
+                rollup.hits += 1
+                self._rolled_rows += decision.rolled_rows
+            else:
+                self._misses += 1
+                if decision.declined is not None:
+                    self._declined += 1
+            return decision
+
+    def peek(self, query: StarQuery) -> AggDecision:
+        """The decision :meth:`fetch` would make — without serving rows,
+        bumping counters, or touching entry recency (EXPLAIN's view)."""
+        requested = frozenset(query.group_by)
+        with self._lock:
+            entries = self._families.get(family_key(query), [])
+            candidates = tuple(entry.group_cols for entry in entries)
+            kind = "miss"
+            for entry in entries:
+                if not self._aggs_available(entry, query.aggregates):
+                    continue
+                if entry.group_set == requested:
+                    kind = "exact"
+                    break
+                if entry.group_set > requested:
+                    kind = "rollup"
+            return AggDecision(kind=kind, candidates=candidates)
+
+    @staticmethod
+    def _aggs_available(entry: _AggEntry,
+                        aggregates: list[Aggregate]) -> bool:
+        return all(agg_identity(a) in entry.agg_ids for a in aggregates)
+
+    def _serve_exact(self, entry: _AggEntry, query: StarQuery,
+                     candidates: tuple, any_order: bool) -> AggDecision:
+        positions = [entry.columns.index(c) for c in query.group_by]
+        positions += [entry.agg_ids.index(agg_identity(a))
+                      + len(entry.group_cols)
+                      for a in query.aggregates]
+        requested_sem = _order_semantics(query.order_by, query.group_by,
+                                         query.aggregates)
+        if any_order or requested_sem == entry.order_sem:
+            # Replay the stored execution's own permutation: the stable
+            # sort the engine ran is byte-identical to the one this
+            # request asks for (or the caller re-sorts anyway).
+            rows = [tuple(row[p] for p in positions)
+                    for row in entry.rows]
+            rows = rows[:query.limit] if query.limit is not None else rows
+            return AggDecision(
+                kind="exact", candidates=candidates,
+                result=self._result(query, rows))
+        ordered, reason = self._reorder(entry, positions, query)
+        if ordered is None:
+            return AggDecision(kind="miss", candidates=candidates,
+                               declined=reason)
+        return AggDecision(kind="exact", candidates=candidates,
+                           result=self._result(query, ordered))
+
+    def _serve_rollup(self, entry: _AggEntry, query: StarQuery,
+                      candidates: tuple, any_order: bool) -> AggDecision:
+        group_pos = [entry.columns.index(c) for c in query.group_by]
+        rows = entry.rows
+        # First-seen group codes over the stored (finer) rows.
+        code_of: dict[tuple, int] = {}
+        codes = np.empty(len(rows), dtype=np.int64)
+        for i, row in enumerate(rows):
+            key = tuple(row[p] for p in group_pos)
+            codes[i] = code_of.setdefault(key, len(code_of))
+        n_groups = len(code_of)
+        outputs: list[list] = []
+        for agg in query.aggregates:
+            pos = (entry.agg_ids.index(agg_identity(agg))
+                   + len(entry.group_cols))
+            vals = [row[pos] for row in rows]
+            if not all(type(v) is int for v in vals):
+                return AggDecision(
+                    kind="miss", candidates=candidates,
+                    declined="non-integer aggregate values")
+            if agg.function in ("sum", "count"):
+                # COUNT of a coarser group is the SUM of the stored
+                # per-group counts — same kernel as SUM.
+                if sum(abs(v) for v in vals) >= _INT64_SAFE:
+                    return AggDecision(
+                        kind="miss", candidates=candidates,
+                        declined="sum magnitude unsafe for int64")
+                acc = np.zeros(n_groups, dtype=np.int64)
+                np.add.at(acc, codes, np.asarray(vals, dtype=np.int64))
+            elif agg.function == "min":
+                acc = np.full(n_groups, np.iinfo(np.int64).max,
+                              dtype=np.int64)
+                np.minimum.at(acc, codes,
+                              np.asarray(vals, dtype=np.int64))
+            else:
+                acc = np.full(n_groups, np.iinfo(np.int64).min,
+                              dtype=np.int64)
+                np.maximum.at(acc, codes,
+                              np.asarray(vals, dtype=np.int64))
+            outputs.append(acc.tolist())
+        rolled = [key + tuple(out[code] for out in outputs)
+                  for key, code in code_of.items()]
+        ordered, reason = self._order_rolled(rolled, query, any_order)
+        if ordered is None:
+            return AggDecision(kind="miss", candidates=candidates,
+                               declined=reason)
+        return AggDecision(
+            kind="rollup", candidates=candidates,
+            result=self._result(query, ordered),
+            rolled_rows=len(rows), rolled_bytes=entry.nbytes)
+
+    def _reorder(self, entry: _AggEntry, positions: list[int],
+                 query: StarQuery
+                 ) -> tuple[list[tuple] | None, str | None]:
+        """Exact entry, different ORDER BY: project, re-sort, and serve
+        only when the requested ordering is tie-free (the engine's
+        stable sort breaks ties by an insertion order we do not have)."""
+        projected = [tuple(row[p] for p in positions)
+                     for row in entry.rows]
+        return self._order_rolled(projected, query, any_order=False)
+
+    def _order_rolled(self, rows: list[tuple], query: StarQuery,
+                      any_order: bool
+                      ) -> tuple[list[tuple] | None, str | None]:
+        columns = list(query.group_by) + [a.alias
+                                          for a in query.aggregates]
+        if any_order:
+            sliced = (rows[:query.limit] if query.limit is not None
+                      else rows)
+            return sliced, None
+        if not query.order_by:
+            if len(rows) > 1:
+                return None, "no ORDER BY: row order is engine-defined"
+            return rows, None
+        ordered = apply_order_by(rows, columns, query.order_by, None)
+        key_pos = [columns.index(k.column) for k in query.order_by]
+        for prev, cur in zip(ordered, ordered[1:]):
+            if all(prev[p] == cur[p] for p in key_pos):
+                return None, "ORDER BY ties: tie-break is engine-defined"
+        if query.limit is not None:
+            ordered = ordered[:query.limit]
+        return ordered, None
+
+    @staticmethod
+    def _result(query: StarQuery, rows: list[tuple]) -> QueryResult:
+        return QueryResult(
+            query_name=query.name,
+            columns=list(query.group_by) + [a.alias
+                                            for a in query.aggregates],
+            rows=rows,
+            simulated_seconds=0.0,
+            breakdown={})
+
+    # ------------------------------------------------------------------ #
+    # Admission, eviction, invalidation.
+    # ------------------------------------------------------------------ #
+
+    def admit(self, query: StarQuery, result: QueryResult, *,
+              cost: float = 0.0,
+              generation: int | None = None) -> bool:
+        """Materialize ``result`` (a *complete*, limit-free execution of
+        ``query``) for future exact/rollup serves.
+
+        Returns False without storing when ``query`` carries a LIMIT
+        (a truncated answer cannot roll up), when ``generation`` — the
+        stamp the result was computed under — is superseded (a racing
+        ``reload_catalog`` wins), when AVG survived unrewritten, or when
+        the rows alone bust the whole budget."""
+        if query.limit is not None:
+            return False
+        if any(a.function == "avg" for a in query.aggregates):
+            return False   # store-time invariant: AVG is SUM+COUNT
+        rows = list(result.rows)
+        nbytes = len(pickle.dumps(rows))
+        key = (frozenset(query.group_by),
+               tuple(sorted(agg_identity(a) for a in query.aggregates)))
+        with self._lock:
+            if generation is not None and generation != self.generation:
+                self._stale_drops += 1
+                return False
+            if nbytes > self.budget_bytes:
+                self._rejected += 1
+                return False
+            fam = self._families.setdefault(family_key(query), [])
+            for i, entry in enumerate(fam):
+                if (entry.group_set, tuple(sorted(entry.agg_ids))) == key:
+                    self._bytes -= entry.nbytes
+                    del fam[i]
+                    break
+            self._seq += 1
+            fam.append(_AggEntry(
+                group_set=frozenset(query.group_by),
+                group_cols=tuple(query.group_by),
+                aggs=tuple(query.aggregates),
+                agg_ids=tuple(agg_identity(a) for a in query.aggregates),
+                order_sem=_order_semantics(query.order_by,
+                                           query.group_by,
+                                           query.aggregates),
+                columns=tuple(result.columns),
+                rows=rows,
+                nbytes=nbytes,
+                cost=float(cost),
+                generation=self.generation,
+                seq=self._seq))
+            self._bytes += nbytes
+            self._puts += 1
+            while self._bytes > self.budget_bytes:
+                self._evict_one()
+            return True
+
+    def _evict_one(self) -> None:
+        """Drop the least-beneficial of the :data:`EVICT_SCAN` oldest
+        entries (LRU-by-benefit)."""
+        oldest: list[tuple[tuple, int, _AggEntry]] = []
+        for fam_key, entries in self._families.items():
+            for i, entry in enumerate(entries):
+                oldest.append((fam_key, i, entry))
+        oldest.sort(key=lambda item: item[2].seq)
+        scan = oldest[:EVICT_SCAN]
+        fam_key, index, entry = min(
+            scan, key=lambda item: item[2].benefit())
+        entries = self._families[fam_key]
+        del entries[index]
+        if not entries:
+            del self._families[fam_key]
+        self._bytes -= entry.nbytes
+        self._evictions += 1
+
+    def invalidate(self, generation: int | None = None) -> bool:
+        """Drop every materialized entry (catalog reload).
+
+        Same stamp semantics as :meth:`HashTableCache.invalidate`: no
+        argument advances the generation; a frontend-issued stamp at or
+        below the current one is a stale/duplicate broadcast and is
+        ignored, so invalidation never needs a pool-wide barrier.
+        Returns whether the invalidation was applied."""
+        with self._lock:
+            if generation is not None and generation <= self.generation:
+                return False
+            self._families.clear()
+            self._bytes = 0
+            self._invalidations += 1
+            self.generation = (self.generation + 1 if generation is None
+                               else generation)
+            return True
+
+    def current_generation(self) -> int:
+        """The live stamp (snapshot it before executing work whose
+        result will be :meth:`admit`\\ ted)."""
+        with self._lock:
+            return self.generation
+
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> AggStoreStats:
+        with self._lock:
+            return AggStoreStats(
+                hits_exact=self._hits_exact,
+                hits_rollup=self._hits_rollup,
+                misses=self._misses,
+                declined=self._declined,
+                puts=self._puts,
+                evictions=self._evictions,
+                stale_drops=self._stale_drops,
+                rejected=self._rejected,
+                invalidations=self._invalidations,
+                rolled_rows=self._rolled_rows,
+                entries=sum(len(f) for f in self._families.values()),
+                bytes_cached=self._bytes,
+                budget_bytes=self.budget_bytes,
+                generation=self.generation)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(len(f) for f in self._families.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        s = self.stats()
+        return (f"AggStore(entries={s.entries}, "
+                f"bytes={s.bytes_cached}/{s.budget_bytes}, "
+                f"exact={s.hits_exact}, rollup={s.hits_rollup}, "
+                f"misses={s.misses})")

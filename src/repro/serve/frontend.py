@@ -38,6 +38,7 @@ deeper) live in the *worker processes*, never under a frontend lock.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import threading
 from collections import OrderedDict
@@ -52,6 +53,8 @@ from repro.common.errors import (
 )
 from repro.common.keys import (
     KEY_CACHE_HT_BYTES,
+    KEY_SERVE_AGGSTORE,
+    KEY_SERVE_AGGSTORE_BYTES,
     KEY_SERVE_MAX_CONCURRENT,
     KEY_SERVE_QUEUE_DEPTH,
     KEY_SERVE_RESULT_CACHE,
@@ -66,7 +69,9 @@ from repro.common.keys import (
 from repro.core.query import StarQuery
 from repro.core.result import QueryResult
 from repro.mapreduce.fairshare import validate_shares
+from repro.serve.aggstore import AggStore, AggStoreStats, Provenance
 from repro.serve.routing import ShapeRouter, query_shape, result_key
+from repro.serve.session import ExplainReport, SessionStats
 from repro.serve.worker import WorkerHandle
 from repro.trace.tracer import (
     CAT_CACHE,
@@ -290,7 +295,8 @@ class FrontendSession:
         self.last_trace: SpanTree | None = None
         #: Worker-side evidence for the most recent ``execute``:
         #: worker id, ht_builds, cache hit/miss totals, warm_route,
-        #: attempts, and ``source`` ("worker" or "result_cache").
+        #: attempts, ``provenance``, and ``source`` ("worker",
+        #: "result_cache", "agg_exact", or "agg_rollup").
         self.last_summary: dict[str, Any] | None = None
 
     def execute(self, query: StarQuery, *,
@@ -305,8 +311,8 @@ class FrontendSession:
         return self.execute(parse_sql(sql_text, dict(SCHEMAS),
                                       name=name))
 
-    def explain(self, query: StarQuery) -> str:
-        """Render the physical plan on the query's routed worker."""
+    def explain(self, query: StarQuery) -> ExplainReport:
+        """The typed plan report from the query's routed worker."""
         return self.frontend.explain(query)
 
     def reload_catalog(self, data: Any) -> None:
@@ -314,6 +320,35 @@ class FrontendSession:
 
     def cache_stats(self) -> ResultCacheStats | None:
         return self.frontend.result_cache_stats()
+
+    def stats(self) -> SessionStats:
+        """One typed snapshot, same surface as
+        :meth:`repro.serve.session.Session.stats`: the frontend's
+        admission/routing counters and shared caches, plus the
+        provenance of this session's most recent answer."""
+        summary = self.last_summary or {}
+        prov_dict = summary.get("provenance")
+        provenance = None
+        if prov_dict is not None:
+            provenance = Provenance(
+                source=prov_dict.get("source", "executed"),
+                candidates=tuple(tuple(c) for c in
+                                 prov_dict.get("candidates", ())),
+                rolled_rows=prov_dict.get("rolled_rows", 0),
+                rolled_bytes=prov_dict.get("rolled_bytes", 0),
+                scanned_rows=prov_dict.get("scanned_rows", 0),
+                declined=prov_dict.get("declined"))
+        elif summary.get("source") == "result_cache":
+            provenance = Provenance(source="result_cache")
+        return SessionStats(
+            backend=self.frontend.backend,
+            name=self.name,
+            execution=None,
+            cache=None,
+            aggstore=self.frontend.aggstore_stats(),
+            result_cache=self.frontend.result_cache_stats(),
+            frontend=self.frontend.stats(),
+            provenance=provenance)
 
     def close(self) -> None:
         """Detach this session (the frontend itself stays up)."""
@@ -349,6 +384,8 @@ class Frontend:
                  trace: bool | None = None,
                  result_cache: bool | None = None,
                  result_cache_bytes: int | None = None,
+                 aggstore: bool | None = None,
+                 aggstore_bytes: int | None = None,
                  retries: int | None = None,
                  respawn: bool | None = None,
                  max_concurrent: int | None = None,
@@ -401,12 +438,19 @@ class Frontend:
         self._routed_warm = 0
         self._routed_cold = 0
         self._closed = False
+        agg_enabled = (aggstore if aggstore is not None
+                       else conf.get_bool(KEY_SERVE_AGGSTORE, True))
+        agg_budget = (aggstore_bytes if aggstore_bytes is not None
+                      else conf.get_int(KEY_SERVE_AGGSTORE_BYTES,
+                                        64 * 1024 * 1024))
         options = {"num_nodes": num_nodes, "features": features,
                    "plan": plan, "row_group_size": row_group_size,
                    "cache_bytes": (
                        cache_bytes if cache_bytes is not None
                        else conf.get_int(KEY_CACHE_HT_BYTES,
-                                         128 * 1024 * 1024))}
+                                         128 * 1024 * 1024)),
+                   "aggstore": agg_enabled,
+                   "aggstore_bytes": agg_budget}
         self._workers: dict[int, WorkerHandle] = {
             wid: WorkerHandle(wid, backend, data, options,
                               sanitize=sanitize)
@@ -420,6 +464,13 @@ class Frontend:
                                     32 * 1024 * 1024))
         self._results = (ResultCache(budget, sanitize=sanitize)
                          if enabled else None)
+        # The frontend's own subsumption check before dispatch: a
+        # rollup served here reaches no worker at all. Per-worker
+        # stores (the "aggstore" worker option above) cover the
+        # post-routing path with their own shard-local admission.
+        self._aggstore = (AggStore(agg_budget, sanitize=sanitize)
+                          if agg_enabled and backend != "reference"
+                          else None)
         if sanitize:
             from repro.analyze.sanitizer import guard_fields
             guard_fields(self, self._lock, self.GUARDED_FIELDS)
@@ -474,6 +525,12 @@ class Frontend:
             return None
         return self._results.stats()
 
+    def aggstore_stats(self) -> AggStoreStats | None:
+        """Frontend aggregate-store counters; None when disabled."""
+        if self._aggstore is None:
+            return None
+        return self._aggstore.stats()
+
     def router_snapshot(self) -> dict[int, int]:
         """Shapes pinned per live worker (routing visibility)."""
         return self._router.loads()
@@ -499,16 +556,26 @@ class Frontend:
             infos.append(info)
         return infos
 
-    def explain(self, query: StarQuery) -> str:
+    def explain(self, query: StarQuery) -> ExplainReport:
         """EXPLAIN on the worker the query *would* route to.
 
         Uses the router's read-only :meth:`ShapeRouter.peek` — nothing
         executes, so nothing may be pinned or counted as load, and the
         next real execute of this shape still routes (and warms) as if
-        the EXPLAIN never happened."""
-        worker_id, _ = self._router.peek(query_shape(query))
-        text, _ = self._workers[worker_id].request(("explain", query))
-        return text
+        the EXPLAIN never happened. The worker's report comes back over
+        the pipe; the frontend fills in the routing target and, when
+        its own store would answer before dispatch, the store decision
+        (the frontend check runs first on the execute path)."""
+        worker_id, warm = self._router.peek(query_shape(query))
+        report, _ = self._workers[worker_id].request(("explain", query))
+        changes: dict[str, Any] = {
+            "routing": {"worker": worker_id, "warm": warm}}
+        if self._aggstore is not None:
+            decision = self._aggstore.peek(query)
+            if decision.kind != "miss":
+                changes["aggstore"] = decision.kind
+                changes["candidates"] = decision.candidates
+        return dataclasses.replace(report, **changes)
 
     def reload_catalog(self, data: Any) -> int:
         """Swap the catalog: bump the generation, expire the result
@@ -525,6 +592,8 @@ class Frontend:
             gen = self.generation
         if self._results is not None:
             self._results.bump_generation()
+        if self._aggstore is not None:
+            self._aggstore.invalidate()
         for wid in sorted(self._workers):
             self._workers[wid].post(("reload", data, gen))
         return gen
@@ -538,6 +607,8 @@ class Frontend:
             gen = self.generation
         if self._results is not None:
             self._results.bump_generation()
+        if self._aggstore is not None:
+            self._aggstore.invalidate()
         for wid in sorted(self._workers):
             self._workers[wid].post(("invalidate", gen))
         return gen
@@ -647,6 +718,28 @@ class Frontend:
             # lands while the query is in flight, store() sees the
             # stale stamp and refuses to cache the old-catalog result.
             gen_snapshot = self._results.current_generation()
+        agg_gen: int | None = None
+        if self._aggstore is not None:
+            decision = self._aggstore.fetch(query)
+            if decision.result is not None:
+                source = ("agg_exact" if decision.kind == "exact"
+                          else "agg_rollup")
+                if tracer is not None:
+                    with tracer.span("aggstore", CAT_CACHE) as span:
+                        span.set("source", source)
+                        span.set("rolled_rows", decision.rolled_rows)
+                prov = Provenance(
+                    source=source, candidates=decision.candidates,
+                    rolled_rows=decision.rolled_rows,
+                    rolled_bytes=decision.rolled_bytes)
+                return decision.result, {
+                    "source": source, "worker": None,
+                    "warm_route": None, "attempts": 0,
+                    "provenance": prov.to_dict()}
+            # Same pre-dispatch snapshot discipline as the result
+            # cache: a reload that lands mid-flight must keep the
+            # stale answer out of the store.
+            agg_gen = self._aggstore.current_generation()
         shape = query_shape(query)
         attempts = 0
         while True:
@@ -696,6 +789,17 @@ class Frontend:
         summary["source"] = "worker"
         summary["warm_route"] = warm
         summary["attempts"] = attempts
+        if self._aggstore is not None:
+            # Admit complete answers only: a LIMIT that actually
+            # truncated (len == limit) cannot seed exact or rollup
+            # serves. The stamp refuses results that raced a reload.
+            complete = (query.limit is None
+                        or len(result.rows) < query.limit)
+            if complete:
+                self._aggstore.admit(
+                    query.without_limit(), result,
+                    cost=result.simulated_seconds,
+                    generation=agg_gen)
         if self._results is not None:
             # Stamp the entry with the generation the query actually
             # executed under: the worker reports its shard generation

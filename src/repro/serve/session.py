@@ -24,11 +24,14 @@ build one.
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import dataclass
 from typing import Any, Callable, Protocol, runtime_checkable
 
 from repro.common.errors import ValidationError
-from repro.core.query import StarQuery
-from repro.core.result import QueryResult
+from repro.core.query import Aggregate, OrderKey, StarQuery
+from repro.core.result import QueryResult, apply_order_by
+from repro.serve.aggstore import AggStore, AggStoreStats, Provenance
 from repro.serve.cache import CacheStats, HashTableCache
 from repro.trace.tracer import (
     CAT_CACHE,
@@ -39,6 +42,59 @@ from repro.trace.tracer import (
 )
 
 BACKENDS = ("clydesdale", "hive", "reference")
+
+
+# --------------------------------------------------------------------- #
+# The structured result/explain API.
+# --------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ExplainReport:
+    """Structured EXPLAIN: what ``execute`` would do, and why.
+
+    ``str(report)`` renders the legacy plan text, and ``"..." in
+    report`` searches it, so existing string consumers keep working;
+    new consumers read the typed fields.  Picklable — the scale-out
+    frontend ships reports over the worker pipe and fills ``routing``
+    in with the read-only router peek.
+    """
+
+    query_name: str
+    backend: str
+    plan: str                      # the legacy plan text
+    shape: tuple                   # canonical shape (routing identity)
+    aggstore: str | None           # "exact" | "rollup" | "miss" | None
+    candidates: tuple[tuple[str, ...], ...] = ()
+    routing: dict[str, Any] | None = None   # {"worker": id, "warm": bool}
+    pruning: str | None = None     # the plan's zone-map pruning lines
+
+    def __str__(self) -> str:
+        return self.plan
+
+    def __contains__(self, item: str) -> bool:
+        return item in self.plan
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """One typed snapshot of every per-session counter surface.
+
+    ``execution`` is the backend's stats for the most recent query
+    (None for the reference engine), ``cache``/``aggstore`` the
+    session-owned caches, ``result_cache``/``frontend`` the scale-out
+    layers (None on single-process sessions), and ``provenance`` how
+    the most recent answer was produced.
+    """
+
+    backend: str
+    name: str
+    execution: Any | None = None
+    cache: CacheStats | None = None
+    aggstore: AggStoreStats | None = None
+    result_cache: Any | None = None
+    frontend: Any | None = None
+    provenance: Provenance | None = None
 
 
 @runtime_checkable
@@ -64,6 +120,27 @@ def backend_name(engine: object) -> str:
     return "clydesdale"
 
 
+def _rewrite_avg(query: StarQuery) -> tuple[StarQuery, list[tuple]]:
+    """Rewrite AVG aggregates to hidden SUM+COUNT pairs (store-time
+    rewrite: the aggregate store only ever materializes re-aggregable
+    functions). Returns the rewritten query — order-free and limit-free,
+    the caller finalizes both — plus the per-output finalize plan."""
+    rewritten: list[Aggregate] = []
+    finalize: list[tuple] = []
+    for agg in query.aggregates:
+        if agg.function == "avg":
+            total = Aggregate("sum", agg.expr, f"__avg_sum_{agg.alias}")
+            count = Aggregate("count", agg.expr,
+                              f"__avg_cnt_{agg.alias}")
+            rewritten.extend([total, count])
+            finalize.append(("avg", total.alias, count.alias))
+        else:
+            rewritten.append(agg)
+            finalize.append(("plain", agg.alias))
+    return (query.with_aggregates(rewritten)
+            .without_order_by().without_limit(), finalize)
+
+
 class Session:
     """One client's connection to an engine, with cross-query state.
 
@@ -76,6 +153,7 @@ class Session:
 
     def __init__(self, engine: Engine, *,
                  cache: HashTableCache | None = None,
+                 aggstore: AggStore | None = None,
                  trace: bool | None = None,
                  features: Any | None = None,
                  plan: str | None = None,
@@ -85,6 +163,8 @@ class Session:
         self.backend = backend_name(engine)
         self._engine = engine
         self.cache = cache
+        #: Materialized aggregate store; None disables subsumption reuse.
+        self.aggstore = aggstore
         self.name = name
         #: None defers to the engine's own ``trace`` default.
         self.trace = trace
@@ -94,6 +174,8 @@ class Session:
         self._rebuild = rebuild
         #: Span tree of the most recent session-traced ``execute``.
         self.last_trace: SpanTree | None = None
+        #: How the most recent ``execute`` produced its answer.
+        self.last_provenance: Provenance | None = None
         self._install_jvm_pool()
 
     # ------------------------------------------------------------------ #
@@ -106,30 +188,52 @@ class Session:
 
     @property
     def last_stats(self) -> Any | None:
-        """The backend's stats for the most recent query (None for the
-        reference engine, which measures nothing)."""
+        """Deprecated: the backend's untyped stats for the most recent
+        query. Use :meth:`stats` — ``stats().execution`` is the same
+        object behind a typed snapshot."""
+        warnings.warn(
+            "Session.last_stats is deprecated; use "
+            "Session.stats().execution",
+            DeprecationWarning, stacklevel=2)
         return getattr(self._engine, "last_stats", None)
+
+    def stats(self) -> SessionStats:
+        """One typed snapshot of every counter this session keeps."""
+        return SessionStats(
+            backend=self.backend,
+            name=self.name,
+            execution=getattr(self._engine, "last_stats", None),
+            cache=self.cache_stats(),
+            aggstore=(self.aggstore.stats()
+                      if self.aggstore is not None else None),
+            provenance=self.last_provenance)
 
     def execute(self, query: StarQuery, *,
                 trace: bool | None = None) -> QueryResult:
         """Run ``query`` on the backend; identical signature everywhere.
 
+        With an aggregate store attached, the subsumption matcher may
+        answer from materialized rows instead (``last_provenance``
+        records which); a miss executes the limit-free query, admits
+        the full answer, and returns the requested slice — byte-
+        identical to a direct execution either way.
+
         ``trace=True`` wraps the engine's spans in a session span and
-        records the cache hit/miss delta; the finished tree lands on
-        ``last_trace`` (and on ``last_stats`` where the backend keeps
-        one).
+        records the cache hit/miss delta plus the aggstore decision;
+        the finished tree lands on ``last_trace`` (and on the engine's
+        stats where the backend keeps them).
         """
         enabled = self._trace_enabled(trace)
         if not enabled:
             self.last_trace = None
-            return self._run_engine(query, tracer=None)
+            return self._execute_query(query, tracer=None)
         tracer = Tracer()
         before = self.cache.stats() if self.cache is not None else None
         span = tracer.start(f"session:{query.name}", CAT_SESSION)
         span.set("backend", self.backend)
         span.set("session", self.name)
         try:
-            result = self._run_engine(query, tracer=tracer)
+            result = self._execute_query(query, tracer=tracer)
         except Exception:
             span.finish(STATUS_FAILED)
             self.last_trace = tracer.tree()
@@ -141,14 +245,51 @@ class Session:
                 cache_span.set("misses", after.misses - before.misses)
                 cache_span.set("entries", after.entries)
                 cache_span.set("bytes_cached", after.bytes_cached)
+        if self.aggstore is not None and self.last_provenance is not None:
+            prov = self.last_provenance
+            with tracer.span("aggstore", CAT_CACHE) as agg_span:
+                agg_span.set("source", prov.source)
+                agg_span.set("candidates",
+                             [list(c) for c in prov.candidates])
+                agg_span.set("rolled_rows", prov.rolled_rows)
+                agg_span.set("rolled_bytes", prov.rolled_bytes)
+                agg_span.set("scanned_rows", prov.scanned_rows)
         span.finish()
         tree = tracer.tree()
         self.last_trace = tree
         self._attach_trace(tree)
         return result
 
-    def explain(self, query: StarQuery) -> str:
-        """Render the physical plan ``execute`` would run (EXPLAIN)."""
+    def explain(self, query: StarQuery) -> ExplainReport:
+        """The plan ``execute`` would run, as a typed report.
+
+        ``str()`` of the report is the legacy EXPLAIN text; the typed
+        fields add the aggstore decision (via the store's read-only
+        :meth:`AggStore.peek` — nothing is served or counted) and the
+        plan's pruning lines.
+        """
+        plan = self._plan_text(query)
+        decision = None
+        if self.aggstore is not None:
+            probe = query
+            if any(a.function == "avg" for a in query.aggregates):
+                probe, _ = _rewrite_avg(query)
+            decision = self.aggstore.peek(probe)
+        from repro.serve.routing import query_shape
+        pruning = "\n".join(line for line in plan.splitlines()
+                            if "zone maps" in line) or None
+        return ExplainReport(
+            query_name=query.name,
+            backend=self.backend,
+            plan=plan,
+            shape=query_shape(query),
+            aggstore=decision.kind if decision is not None else None,
+            candidates=(decision.candidates
+                        if decision is not None else ()),
+            pruning=pruning)
+
+    def _plan_text(self, query: StarQuery) -> str:
+        """The legacy EXPLAIN string for ``query`` (per backend)."""
         if self.backend == "clydesdale":
             return self._engine.explain(query, features=self.features)
         if self.backend == "hive":
@@ -182,14 +323,19 @@ class Session:
         many clients through one engine+cache pair; each client may
         carry its own slot share. ``slot_share=None`` (or the session's
         own share) is plain :meth:`execute`; otherwise the engine and
-        cache are borrowed under the caller's grant for this one call.
+        cache are borrowed under the caller's grant for this one call —
+        the borrowed session deliberately carries **no aggregate
+        store**: a store-served answer takes zero simulated time, which
+        would falsify the fair-share grant the caller paid for.
         """
         if slot_share is None or slot_share == self.slot_share:
             return self.execute(query, trace=trace)
         borrowed = Session(self._engine, cache=self.cache, trace=False,
                            features=self.features, plan=self.plan,
                            slot_share=slot_share, name=self.name)
-        return borrowed.execute(query, trace=trace)
+        result = borrowed.execute(query, trace=trace)
+        self.last_provenance = borrowed.last_provenance
+        return result
 
     def sql(self, sql_text: str, name: str = "sql-query") -> QueryResult:
         """Parse star-join SQL and ``execute`` it on this backend."""
@@ -219,6 +365,10 @@ class Session:
         applied = True
         if self.cache is not None:
             applied = self.cache.invalidate(generation=generation)
+        if self.aggstore is not None:
+            # Same stamp semantics as the HT cache: stale/duplicate
+            # stamps are no-ops, so the two stay in lockstep.
+            self.aggstore.invalidate(generation=generation)
         if applied:
             pool = self._jvm_pool()
             if pool is not None:
@@ -255,6 +405,89 @@ class Session:
         if self.trace is not None:
             return bool(self.trace)
         return bool(getattr(self._engine, "trace", False))
+
+    def _scanned_rows(self) -> int:
+        stats = getattr(self._engine, "last_stats", None)
+        return int(getattr(stats, "rows_probed", 0) or 0)
+
+    def _execute_query(self, query: StarQuery, tracer: Tracer | None,
+                       any_order: bool = False) -> QueryResult:
+        """Serve from the aggregate store when subsumption allows, else
+        execute (limit-free) and admit; sets ``last_provenance``."""
+        if any(a.function == "avg" for a in query.aggregates):
+            return self._execute_avg(query, tracer)
+        store = self.aggstore
+        if store is None:
+            result = self._run_engine(query, tracer=tracer)
+            self.last_provenance = Provenance(
+                source="executed", scanned_rows=self._scanned_rows())
+            return result
+        decision = store.fetch(query, any_order=any_order)
+        if decision.result is not None:
+            self.last_provenance = Provenance(
+                source=("agg_exact" if decision.kind == "exact"
+                        else "agg_rollup"),
+                candidates=decision.candidates,
+                rolled_rows=decision.rolled_rows,
+                rolled_bytes=decision.rolled_bytes)
+            return decision.result
+        # Miss: execute the *limit-free* query so the admitted entry is
+        # complete (a truncated answer cannot roll up), slice locally —
+        # sort-then-slice is exactly apply_order_by's limit semantics.
+        generation = store.current_generation()
+        full = query.without_limit()
+        result = self._run_engine(full, tracer=tracer)
+        store.admit(full, result, cost=result.simulated_seconds,
+                    generation=generation)
+        self.last_provenance = Provenance(
+            source="executed", candidates=decision.candidates,
+            declined=decision.declined,
+            scanned_rows=self._scanned_rows())
+        if query.limit is not None and len(result.rows) > query.limit:
+            result = QueryResult(
+                query_name=result.query_name,
+                columns=list(result.columns),
+                rows=list(result.rows[:query.limit]),
+                simulated_seconds=result.simulated_seconds,
+                breakdown=dict(result.breakdown))
+        return result
+
+    def _execute_avg(self, query: StarQuery,
+                     tracer: Tracer | None) -> QueryResult:
+        """AVG = SUM/COUNT, finalized here — no engine ever sees an avg
+        aggregate (``Aggregate.initial`` raises on one).
+
+        The rewritten query runs order-free and limit-free (the hidden
+        sum/count aliases cannot appear in an ORDER BY), so this
+        finalizer owns the ordering: the requested keys plus every
+        group column ascending — a total order, which makes an
+        aggstore-served answer and a fresh execution byte-identical by
+        construction."""
+        rewritten, finalize = _rewrite_avg(query)
+        full = self._execute_query(rewritten, tracer, any_order=True)
+        position = {name: i for i, name in enumerate(full.columns)}
+        group_pos = [position[c] for c in query.group_by]
+        rows = []
+        for row in full.rows:
+            out = [row[p] for p in group_pos]
+            for step in finalize:
+                if step[0] == "avg":
+                    total, count = row[position[step[1]]], \
+                        row[position[step[2]]]
+                    out.append(total / count)
+                else:
+                    out.append(row[position[step[1]]])
+            rows.append(tuple(out))
+        columns = list(query.group_by) + [a.alias
+                                          for a in query.aggregates]
+        order = list(query.order_by)
+        seen = {key.column for key in order}
+        order += [OrderKey(c) for c in query.group_by if c not in seen]
+        rows = apply_order_by(rows, columns, order, query.limit)
+        return QueryResult(query_name=query.name, columns=columns,
+                           rows=rows,
+                           simulated_seconds=full.simulated_seconds,
+                           breakdown=dict(full.breakdown))
 
     def _run_engine(self, query: StarQuery,
                     tracer: Tracer | None) -> QueryResult:

@@ -49,18 +49,30 @@ REQUEST_TIMEOUT_S = 300.0
 
 
 def _execute_summary(session, worker_id: int) -> dict[str, Any]:
-    """The warmness evidence shipped back with every execute reply."""
-    stats = session.last_stats
-    cache = session.cache_stats()
+    """The warmness evidence shipped back with every execute reply.
+
+    A store-served answer never reached the engine, so the engine's
+    last stats describe an *older* query — report zero builds (true:
+    nothing was built) and let ``provenance`` carry the real story.
+    """
+    snapshot = session.stats()
+    stats = snapshot.execution
+    cache = snapshot.cache
+    prov = snapshot.provenance
+    agg_served = (prov is not None
+                  and prov.source in ("agg_exact", "agg_rollup"))
     return {
         "worker": worker_id,
         "pid": os.getpid(),
-        "ht_builds": getattr(stats, "ht_builds", None),
-        "ht_builds_reused": getattr(stats, "ht_builds_reused", None),
+        "ht_builds": 0 if agg_served
+        else getattr(stats, "ht_builds", None),
+        "ht_builds_reused": 0 if agg_served
+        else getattr(stats, "ht_builds_reused", None),
         "ht_cache_hits": cache.hits if cache is not None else None,
         "ht_cache_misses": cache.misses if cache is not None else None,
         "generation": (session.cache.generation
                        if session.cache is not None else None),
+        "provenance": prov.to_dict() if prov is not None else None,
     }
 
 

@@ -683,6 +683,8 @@ OPTIONS = {
     "clydesdale.cache.zz_bogus": True,     # KEYS005
     "clydesdale.serve.queue.depth": 8,     # registered: ok
     "clydesdale.serve.zz_bogus": 1,        # KEYS005
+    "clydesdale.serve.aggstore.enabled": True,   # registered: ok
+    "clydesdale.serve.aggstore.zz_bogus": 1,     # KEYS005
     "clydesdale.other.key": 2,             # unreserved namespace: ignored
 }
 
@@ -698,18 +700,22 @@ class TestReservedNamespaceLint:
         context = fixture_context("fixture_reserved.py", RESERVED_FIXTURE)
         findings = StringKeyRegistryPass(check_unused=False).run(context)
         codes = [f.code for f in findings]
-        assert codes == ["KEYS005"] * 3
+        assert codes == ["KEYS005"] * 4
         messages = " | ".join(f.message for f in findings)
         assert "clydesdale.cache.zz_bogus" in messages
         assert "clydesdale.serve.zz_bogus" in messages
+        assert "clydesdale.serve.aggstore.zz_bogus" in messages
         assert "ht_cache_zz_bogus" in messages
         assert "clydesdale.other.key" not in messages
+        assert "clydesdale.serve.aggstore.enabled" not in messages
 
     def test_registered_names_pass(self):
         source = '''
         KEYS = ("clydesdale.cache.enabled", "clydesdale.cache.ht_bytes",
                 "clydesdale.serve.max.concurrent",
-                "clydesdale.serve.session.quota")
+                "clydesdale.serve.session.quota",
+                "clydesdale.serve.aggstore.enabled",
+                "clydesdale.serve.aggstore.bytes")
         CTRS = ("ht_cache_hits", "ht_cache_misses")
         '''
         context = fixture_context("fixture_reserved_ok.py", source)

@@ -29,8 +29,10 @@ from repro.trace.tracer import CAT_FRONTEND, CAT_ROUTE, CAT_WORKER
 
 @pytest.fixture(scope="module")
 def frontend_session(ssb_data):
+    # aggstore=False: this battery asserts worker routing and shard
+    # warmness, which the aggregate store would short-circuit.
     handle = connect(backend="clydesdale", data=ssb_data, workers=4,
-                     num_nodes=4, name="frontend-tests")
+                     num_nodes=4, name="frontend-tests", aggstore=False)
     yield handle
     handle.frontend.close()
 

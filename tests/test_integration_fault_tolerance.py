@@ -87,7 +87,8 @@ def _routed_worker(front, query):
 def test_worker_crash_mid_query_retries_on_healthy_worker(frontend_data):
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
-                     workers=2, num_nodes=4, result_cache=False)
+                     workers=2, num_nodes=4, result_cache=False,
+                     aggstore=False)
     try:
         handle = front.session("crashy")
         query = ssb_queries()["Q2.1"]
@@ -111,7 +112,7 @@ def test_single_worker_crash_respawns_and_recovers(frontend_data):
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
                      workers=1, num_nodes=4, respawn=True,
-                     result_cache=False)
+                     result_cache=False, aggstore=False)
     try:
         handle = front.session("solo")
         query = ssb_queries()["Q1.1"]
@@ -130,7 +131,7 @@ def test_crash_without_respawn_routes_to_survivor(frontend_data):
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
                      workers=2, num_nodes=4, respawn=False,
-                     result_cache=False)
+                     result_cache=False, aggstore=False)
     try:
         handle = front.session("survivor")
         query = ssb_queries()["Q3.2"]
@@ -149,7 +150,8 @@ def test_crash_without_respawn_routes_to_survivor(frontend_data):
 def test_poisoned_failure_propagates_and_accounts(frontend_data):
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
-                     workers=2, num_nodes=4, result_cache=False)
+                     workers=2, num_nodes=4, result_cache=False,
+                     aggstore=False)
     try:
         handle = front.session("poisoned")
         query = ssb_queries()["Q1.2"]
@@ -173,7 +175,8 @@ def test_admission_accounting_exact_under_faults(frontend_data):
     from repro.common.errors import AdmissionError
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
-                     workers=2, num_nodes=4, result_cache=False)
+                     workers=2, num_nodes=4, result_cache=False,
+                     aggstore=False)
     try:
         handle = front.session("books")
         query = ssb_queries()["Q1.1"]
@@ -211,7 +214,7 @@ def test_stale_crash_report_spares_respawned_worker(frontend_data):
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
                      workers=1, num_nodes=4, respawn=True,
-                     result_cache=False)
+                     result_cache=False, aggstore=False)
     try:
         handle = front.session("dup")
         query = ssb_queries()["Q1.1"]
@@ -241,7 +244,7 @@ def test_reload_racing_respawn_is_replayed(frontend_data, monkeypatch):
     from repro.serve.worker import WorkerHandle
     front = Frontend(backend="clydesdale", data=frontend_data,
                      workers=1, num_nodes=4, respawn=True,
-                     result_cache=False)
+                     result_cache=False, aggstore=False)
     try:
         handle = front.session("race")
         query = ssb_queries()["Q1.1"]
@@ -274,7 +277,7 @@ def test_no_generation_leak_through_respawn(frontend_data):
     # the *current* catalog and stamped with the current generation.
     from repro.serve.frontend import Frontend
     front = Frontend(backend="clydesdale", data=frontend_data,
-                     workers=2, num_nodes=4)
+                     workers=2, num_nodes=4, aggstore=False)
     try:
         handle = front.session("genleak")
         query = ssb_queries()["Q1.1"]

@@ -186,10 +186,15 @@ class TestConnect:
 
     def test_explain_uniform(self, clyde_session, hive_session,
                              ref_session, queries):
+        from repro.serve.session import ExplainReport
         query = queries["Q2.1"]
         for session in (clyde_session, hive_session, ref_session):
-            text = session.explain(query)
-            assert isinstance(text, str) and "date" in text
+            report = session.explain(query)
+            assert isinstance(report, ExplainReport)
+            assert "date" in report            # legacy containment
+            assert "date" in str(report)       # legacy plan text
+            assert report.backend == session.backend
+            assert report.query_name == query.name
 
     def test_sql_uniform(self, clyde_session, ref_session):
         sql = ("SELECT d_year, sum(lo_revenue) AS revenue "
@@ -206,9 +211,12 @@ class TestConnect:
 
 
 class TestWarmCold:
+    # aggstore=False throughout: these tests assert hash-table cache
+    # evidence on warm repeats, which the aggregate store would
+    # short-circuit before the engine runs.
     def test_warm_repeat_skips_build(self, ssb_data, queries, reference):
         session = connect(backend="clydesdale", data=ssb_data,
-                          num_nodes=4)
+                          num_nodes=4, aggstore=False)
         query = queries["Q2.1"]
         cold = session.execute(query)
         assert session.last_stats.ht_builds >= 1
@@ -228,7 +236,7 @@ class TestWarmCold:
         """Per-dimension entry/scan counters are identical warm vs cold
         (the cache serves the same tables it stored)."""
         session = connect(backend="clydesdale", data=ssb_data,
-                          num_nodes=4)
+                          num_nodes=4, aggstore=False)
         query = queries["Q3.1"]
         session.execute(query)
         cold_entries = dict(session.last_stats.ht_entries)
@@ -242,14 +250,15 @@ class TestWarmCold:
         """Q2.1, Q2.2 and Q2.3 share the identical date join recipe, so
         the second query hits the cache for it."""
         session = connect(backend="clydesdale", data=ssb_data,
-                          num_nodes=4)
+                          num_nodes=4, aggstore=False)
         session.execute(queries["Q2.1"])
         session.execute(queries["Q2.2"])
         assert session.last_stats.ht_cache_hits > 0
 
     def test_hive_mapjoin_broadcast_cached(self, ssb_data, queries,
                                            reference):
-        session = connect(backend="hive", data=ssb_data, num_nodes=4)
+        session = connect(backend="hive", data=ssb_data, num_nodes=4,
+                          aggstore=False)
         query = queries["Q2.1"]
         cold = session.execute(query)
         assert session.last_stats.ht_cache_misses >= 1
@@ -263,7 +272,7 @@ class TestWarmCold:
         """A budget too small to hold anything degrades to all-miss,
         never to wrong answers."""
         session = connect(backend="clydesdale", data=ssb_data,
-                          num_nodes=4, cache_bytes=1)
+                          num_nodes=4, cache_bytes=1, aggstore=False)
         query = queries["Q2.1"]
         session.execute(query)
         result = session.execute(query)
@@ -428,8 +437,10 @@ class TestSessionTrace:
         assert "query:Q2.1" in children and "cache" in children
 
     def test_cache_span_carries_delta(self, ssb_data, queries):
+        # aggstore=False: the warm repeat must reach the engine so the
+        # cache span has a hit delta to carry.
         session = connect(backend="clydesdale", data=ssb_data,
-                          num_nodes=4)
+                          num_nodes=4, aggstore=False)
         session.execute(queries["Q2.1"], trace=True)
         cold_span = session.last_trace.find("cache")[0]
         assert cold_span.attrs["misses"] > 0
@@ -452,7 +463,8 @@ class TestSessionTrace:
         assert clyde_session.last_trace is None
 
     def test_hive_session_trace(self, ssb_data, queries):
-        session = connect(backend="hive", data=ssb_data, num_nodes=4)
+        session = connect(backend="hive", data=ssb_data, num_nodes=4,
+                          aggstore=False)
         session.execute(queries["Q2.1"], trace=True)
         tree = session.last_trace
         assert tree.violations() == []
@@ -526,7 +538,10 @@ class TestAdmission:
         assert exc.value.reason == "closed"
 
     def test_concurrent_clients_share_cache(self, ssb_data, queries):
-        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4)
+        # aggstore=False: repeats must reach the engine to hit the
+        # shared hash-table cache this test is about.
+        base = connect(backend="clydesdale", data=ssb_data, num_nodes=4,
+                       aggstore=False)
         server = ClydesdaleServer(base, max_concurrent=2, queue_depth=4,
                                   session_quota=4)
         query = queries["Q2.1"]
